@@ -1,0 +1,86 @@
+"""Figure 10: compression effects on storage, throughput and times.
+
+Paper: GZIP/ZLIB lift CV-family pixel-centered throughput 1.6-2.4x
+(73-93% space saving, no CPU wall); NLP never gains; NILM/MP3/FLAC slow
+down (0.3-41% savings).  Offline time can inflate up to 13.5x.
+"""
+
+from conftest import emit, run_once
+
+from repro.backends import RunConfig
+from repro.core.frame import Frame
+from repro.pipelines import get_pipeline
+from repro.units import space_saving
+
+#: Paper Fig. 10 space savings per (pipeline, strategy) under GZIP.
+PAPER_SAVINGS = {
+    ("CV", "pixel-centered"): 0.727,
+    ("CV2-JPG", "decoded"): 0.41,
+    ("CV2-PNG", "decoded"): 0.83,
+    ("NLP", "concatenated"): 0.79,
+    ("NLP", "embedded"): 0.28,
+    ("NILM", "aggregated"): 0.065,
+    ("MP3", "spectrogram-encoded"): 0.14,
+    ("FLAC", "spectrogram-encoded"): 0.095,
+}
+
+PIPELINES = ("CV", "CV2-JPG", "CV2-PNG", "NLP", "NILM", "MP3", "FLAC")
+
+
+def test_fig10(benchmark, backend):
+    def experiment():
+        rows = []
+        for name in PIPELINES:
+            pipeline = get_pipeline(name)
+            for plan in pipeline.split_points():
+                if plan.is_unprocessed:
+                    continue  # the paper omits unprocessed (Sec. 4.3)
+                baseline = backend.run(plan, RunConfig())
+                for codec in ("GZIP", "ZLIB"):
+                    result = backend.run(plan, RunConfig(compression=codec))
+                    rows.append({
+                        "pipeline": name,
+                        "strategy": plan.strategy_name,
+                        "codec": codec,
+                        "space_saving": round(space_saving(
+                            baseline.storage_bytes,
+                            result.storage_bytes), 3),
+                        "throughput_gain": round(
+                            result.throughput / baseline.throughput, 2),
+                        "offline_inflation": round(
+                            result.offline.duration
+                            / baseline.offline.duration, 2),
+                    })
+        return Frame.from_records(rows)
+
+    frame = run_once(benchmark, experiment)
+    emit(benchmark, "Figure 10: compression effects", frame)
+
+    gzip_rows = {(row["pipeline"], row["strategy"]): row
+                 for row in frame.rows() if row["codec"] == "GZIP"}
+    # Space savings match the paper's measurements.
+    for key, paper_saving in PAPER_SAVINGS.items():
+        measured = gzip_rows[key]["space_saving"]
+        assert abs(measured - paper_saving) < 0.05, (key, measured)
+    # CV-family pixel-centered gains 1.3-3x.
+    for name in ("CV", "CV2-JPG", "CV2-PNG"):
+        gain = gzip_rows[(name, "pixel-centered")]["throughput_gain"]
+        assert 1.2 < gain < 3.0, name
+    # Obs 1: high savings do not guarantee gains -- NLP never improves.
+    for strategy in ("concatenated", "decoded", "bpe-encoded", "embedded"):
+        assert gzip_rows[("NLP", strategy)]["throughput_gain"] <= 1.1
+    # NILM/MP3/FLAC last strategies slow down.
+    for name in ("NILM", "MP3", "FLAC"):
+        last = get_pipeline(name).strategy_names()[-1]
+        assert gzip_rows[(name, last)]["throughput_gain"] <= 1.0
+    # Obs 2: offline inflation is volatile (spans > 3x across cells).
+    inflations = [row["offline_inflation"] for row in frame.rows()]
+    assert max(inflations) / min(inflations) > 3.0
+    # CV2-PNG: compressing the bulky early representations (concatenated
+    # 87 GB, decoded 66 GB) inflates offline time far more than the small
+    # late ones (paper: 9.6x/13.5x vs 1.08-1.1x; our shared-constant
+    # model reproduces the ordering at 2.6x/1.6x vs ~1.1x).
+    for bulky in ("concatenated", "decoded"):
+        for small in ("resized", "pixel-centered"):
+            assert (gzip_rows[("CV2-PNG", bulky)]["offline_inflation"]
+                    > gzip_rows[("CV2-PNG", small)]["offline_inflation"])

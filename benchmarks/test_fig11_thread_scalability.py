@@ -1,0 +1,55 @@
+"""Figure 11: multi-threaded read scalability vs sample size.
+
+Paper: reading the synthetic 15 GB dataset with 8 threads achieves a
+healthy speedup at 20.5 MB samples but ~1x at 0.01 MB -- the serialized
+per-sample hand-off (context-switch convoy) absorbs all parallelism for
+tiny samples.
+"""
+
+from conftest import emit, run_once
+
+from repro.backends import RunConfig
+from repro.core.frame import Frame
+from repro.pipelines.synthetic import build_read_sweep_pipeline
+
+THREADS = (1, 2, 4, 8)
+SIZES = (20.5, 5.1, 1.3, 0.32, 0.08, 0.02, 0.01)
+
+
+def test_fig11(benchmark, backend):
+    def experiment():
+        rows = []
+        for sample_mb in SIZES:
+            pipeline = build_read_sweep_pipeline(sample_mb, "float32")
+            plan = pipeline.split_points()[0]
+            durations = {}
+            for threads in THREADS:
+                result = backend.run(plan, RunConfig(threads=threads))
+                durations[threads] = result.epochs[0].duration
+            record = {"sample_mb": sample_mb}
+            for threads in THREADS:
+                record[f"speedup_x{threads}"] = round(
+                    durations[1] / durations[threads], 2)
+            rows.append(record)
+        return Frame.from_records(rows)
+
+    frame = run_once(benchmark, experiment)
+    emit(benchmark, "Figure 11: thread scalability vs sample size", frame)
+
+    rows = {row["sample_mb"]: row for row in frame.rows()}
+    # Large samples: solid 8-thread speedup (paper: ~6-7x).
+    assert rows[20.5]["speedup_x8"] > 4.0
+    # Tiny samples: parallelism evaporates (paper ~1x; our per-thread
+    # model keeps a residual ~2x because it does not overlap the
+    # single-thread baseline's I/O with dispatch -- see EXPERIMENTS.md).
+    assert rows[0.01]["speedup_x8"] < 2.2
+    # Speedup stays healthy down to ~0.08 MB, then collapses (the
+    # paper's knee): every sub-0.08 MB point scales worse than every
+    # larger point.
+    healthy = [rows[size]["speedup_x8"] for size in SIZES if size >= 0.08]
+    collapsed = [rows[size]["speedup_x8"] for size in SIZES if size < 0.08]
+    assert min(healthy) > max(collapsed)
+    # More threads never hurt for large samples.
+    big = rows[20.5]
+    assert (big["speedup_x1"] <= big["speedup_x2"]
+            <= big["speedup_x4"] <= big["speedup_x8"])

@@ -1,0 +1,51 @@
+"""Figure 13: NumPy vs framework-native RMS across sample sizes.
+
+Paper: the NumPy implementation holds the GIL and shows speedup <= 1
+across all sample sizes; the framework-native version scales 4-8x with
+8 threads -- yet single-threaded NumPy is still 2.9x faster than
+8-thread native (650 s vs 1905 s at 20.5 MB).  Lesson: efficient
+implementations can beat scalable ones.
+"""
+
+from conftest import emit, run_once
+
+from repro.backends import RunConfig
+from repro.core.frame import Frame
+from repro.pipelines.synthetic import build_rms_sweep_pipeline
+
+SIZES = (20.5, 5.1, 1.3, 0.32, 0.08)
+
+
+def test_fig13(benchmark, backend):
+    def experiment():
+        rows = []
+        for sample_mb in SIZES:
+            record = {"sample_mb": sample_mb}
+            for impl in ("numpy", "native"):
+                pipeline = build_rms_sweep_pipeline(sample_mb, impl)
+                plan = pipeline.split_points()[0]
+                durations = {}
+                for threads in (1, 8):
+                    result = backend.run(plan, RunConfig(threads=threads))
+                    durations[threads] = result.epochs[0].duration
+                record[f"{impl}_1t_s"] = round(durations[1], 1)
+                record[f"{impl}_8t_s"] = round(durations[8], 1)
+                record[f"{impl}_speedup"] = round(
+                    durations[1] / durations[8], 2)
+            rows.append(record)
+        return Frame.from_records(rows)
+
+    frame = run_once(benchmark, experiment)
+    emit(benchmark, "Figure 13: NumPy vs native RMS scaling", frame)
+
+    for row in frame.rows():
+        # NumPy (GIL-bound) never scales.
+        assert row["numpy_speedup"] < 1.3, row
+        # Native scales substantially for non-tiny samples.
+        if row["sample_mb"] >= 0.32:
+            assert row["native_speedup"] > 3.0, row
+    # The paper's punchline at 20.5 MB: single-threaded NumPy beats
+    # 8-threaded native by ~3x.
+    big = [row for row in frame.rows() if row["sample_mb"] == 20.5][0]
+    ratio = big["native_8t_s"] / big["numpy_1t_s"]
+    assert 1.8 < ratio < 4.5

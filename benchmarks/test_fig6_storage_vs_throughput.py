@@ -1,0 +1,76 @@
+"""Figure 6: storage consumption vs T4 throughput, all seven pipelines.
+
+The paper's central figure: for each pipeline, every strategy's storage
+consumption (bars) and throughput (dotted line).  This benchmark
+regenerates all 29 cells and checks each against the paper's value.
+"""
+
+from conftest import emit, run_once
+
+from repro.backends import RunConfig
+from repro.core.frame import Frame
+from repro.pipelines import get_pipeline
+
+#: Paper Fig. 6 throughputs (SPS) and storage (GB).
+PAPER = {
+    "CV": {"unprocessed": (107, 146.9), "concatenated": (962, 147.0),
+           "decoded": (746, 842.5), "resized": (1789, 347.3),
+           "pixel-centered": (576, 1390.0)},
+    "CV2-JPG": {"unprocessed": (88, 2.5), "concatenated": (288, 2.6),
+                "decoded": (64, 65.7), "resized": (1571, 1.4),
+                "pixel-centered": (643, 5.8)},
+    "CV2-PNG": {"unprocessed": (15, 85.2), "concatenated": (21, 87.2),
+                "decoded": (73, 65.7), "resized": (1786, 1.4),
+                "pixel-centered": (631, 5.8)},
+    "NLP": {"unprocessed": (6, 7.7), "concatenated": (6, 7.7),
+            "decoded": (251, 0.594), "bpe-encoded": (1726, 0.647),
+            "embedded": (131, 490.7)},
+    "NILM": {"unprocessed": (42, 39.6), "decoded": (55, 262.5),
+             "aggregated": (9053, 3.1)},
+    "MP3": {"unprocessed": (37, 0.25), "decoded": (205, 3.0),
+            "spectrogram-encoded": (5220, 0.995)},
+    "FLAC": {"unprocessed": (15, 6.6), "decoded": (47, 11.6),
+             "spectrogram-encoded": (1436, 11.6)},
+}
+
+
+def test_fig6(benchmark, backend):
+    def experiment():
+        rows = []
+        for name, strategies in PAPER.items():
+            pipeline = get_pipeline(name)
+            for plan in pipeline.split_points():
+                paper_sps, paper_gb = strategies[plan.strategy_name]
+                result = backend.run(plan, RunConfig())
+                rows.append({
+                    "pipeline": name,
+                    "strategy": plan.strategy_name,
+                    "SPS (paper)": paper_sps,
+                    "SPS": round(result.throughput, 1),
+                    "GB (paper)": paper_gb,
+                    "GB": round(result.storage_bytes / 1e9, 2),
+                })
+        return Frame.from_records(rows)
+
+    frame = run_once(benchmark, experiment)
+    emit(benchmark, "Figure 6: storage vs throughput (all pipelines)",
+         frame)
+
+    worst = 1.0
+    for row in frame.rows():
+        ratio = row["SPS"] / row["SPS (paper)"]
+        worst = max(worst, ratio, 1.0 / ratio)
+        # Every throughput within 1.6x of the paper...
+        assert 0.6 < ratio < 1.67, row
+        # ...and storage consumption essentially exact.
+        assert abs(row["GB"] - row["GB (paper)"]) <= max(
+            0.02 * row["GB (paper)"], 0.1), row
+    print(f"worst throughput deviation: {worst:.2f}x across "
+          f"{len(frame)} cells")
+
+    # Per-pipeline winners match the paper.
+    for name, strategies in PAPER.items():
+        paper_best = max(strategies, key=lambda s: strategies[s][0])
+        rows = [r for r in frame.rows() if r["pipeline"] == name]
+        measured_best = max(rows, key=lambda r: r["SPS"])["strategy"]
+        assert measured_best == paper_best, name

@@ -1,0 +1,51 @@
+"""Figure 7: online processing time vs sample size (15 GB synthetic).
+
+Paper: reading+deserializing 15 GB takes <2x as long at 20.5 MB samples
+as at 5.1 MB, but 11x longer at 0.01 MB; uint8 and float32 behave
+identically.
+"""
+
+from conftest import emit, run_once
+
+from repro.backends import RunConfig
+from repro.core.frame import Frame
+from repro.pipelines.synthetic import (build_read_sweep_pipeline,
+                                       sweep_sample_sizes)
+
+#: Paper Fig. 7 total online processing times (seconds, eyeballed from
+#: the figure; the sweep end points are quoted in the text).
+PAPER_SHAPE = {20.5: 15.0, 0.08: 33.0, 0.01: 173.5}
+
+
+def test_fig7(benchmark, backend):
+    def experiment():
+        rows = []
+        for dtype in ("uint8", "float32"):
+            for sample_mb in sweep_sample_sizes():
+                pipeline = build_read_sweep_pipeline(sample_mb, dtype)
+                plan = pipeline.split_points()[0]
+                result = backend.run(plan, RunConfig())
+                rows.append({
+                    "sample_mb": sample_mb,
+                    "dtype": dtype,
+                    "total_seconds": round(
+                        result.epochs[0].duration, 2),
+                })
+        return Frame.from_records(rows)
+
+    frame = run_once(benchmark, experiment)
+    emit(benchmark, "Figure 7: sample-size sweep (uint8 vs float32)", frame)
+
+    by_key = {(row["sample_mb"], row["dtype"]): row["total_seconds"]
+              for row in frame.rows()}
+    # dtype does not matter (paper's explicit observation).
+    for sample_mb in sweep_sample_sizes():
+        assert by_key[(sample_mb, "uint8")] == by_key[(sample_mb, "float32")]
+    # Processing time grows as samples shrink (1% slack for job-
+    # partitioning rounding at the large end).
+    times = [by_key[(mb, "float32")] for mb in sweep_sample_sizes()]
+    assert all(later >= earlier * 0.99
+               for earlier, later in zip(times, times[1:]))
+    # The 0.01 MB point is ~11x the 20.5 MB point (paper: "more than 11x").
+    ratio = by_key[(0.01, "float32")] / by_key[(20.5, "float32")]
+    assert 6.0 < ratio < 16.0

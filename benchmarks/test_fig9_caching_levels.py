@@ -1,0 +1,51 @@
+"""Figure 9: online processing time per caching level vs sample size.
+
+Paper: at 20.5 MB samples, no-cache/sys-cache/app-cache take
+15.0/4.8/0.1 s for 15 GB; at 0.01 MB all three converge (173.5/167.3/
+138.3 s) because per-sample costs dominate.  App-cache removes
+deserialization: 94-98% of sys-cache time at large samples.
+"""
+
+from conftest import emit, run_once
+
+from repro.backends import RunConfig
+from repro.core.frame import Frame
+from repro.pipelines.synthetic import (build_read_sweep_pipeline,
+                                       sweep_sample_sizes)
+
+MODES = ("none", "system", "application")
+
+
+def test_fig9(benchmark, backend):
+    def experiment():
+        rows = []
+        for sample_mb in sweep_sample_sizes():
+            pipeline = build_read_sweep_pipeline(sample_mb, "float32")
+            plan = pipeline.split_points()[0]
+            record = {"sample_mb": sample_mb}
+            for mode in MODES:
+                result = backend.run(plan, RunConfig(
+                    epochs=2, cache_mode=mode))
+                # The paper reports the *cached* epoch for sys/app modes.
+                epoch = result.epochs[1] if mode != "none" else \
+                    result.epochs[0]
+                record[f"{mode}_seconds"] = round(epoch.duration, 2)
+            rows.append(record)
+        return Frame.from_records(rows)
+
+    frame = run_once(benchmark, experiment)
+    emit(benchmark, "Figure 9: caching levels vs sample size", frame)
+
+    rows = {row["sample_mb"]: row for row in frame.rows()}
+    for sample_mb, row in rows.items():
+        # Cache hierarchy: app <= sys <= none (10% slack at dispatch-bound
+        # sizes, where faster reads only deepen the hand-off convoy).
+        assert row["application_seconds"] <= row["system_seconds"] * 1.10
+        assert row["system_seconds"] <= row["none_seconds"] * 1.10
+    # Large samples: app-cache removes nearly all (deserialization) time.
+    big = rows[20.5]
+    assert big["application_seconds"] < 0.25 * big["system_seconds"]
+    assert big["system_seconds"] < 0.6 * big["none_seconds"]
+    # Tiny samples: all three converge within ~35% (per-sample costs).
+    small = rows[0.01]
+    assert small["application_seconds"] > 0.65 * small["none_seconds"]

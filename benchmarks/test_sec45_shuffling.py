@@ -1,0 +1,60 @@
+"""Section 4.5: shuffling cost linearity and buffer placement.
+
+Paper: per-sample shuffle cost is constant across sample sizes (so
+shuffling is orthogonal to strategy choice); the buffer should sit
+after the online step with the smallest output so a fixed-byte buffer
+holds the most samples (highest entropy).
+"""
+
+from conftest import emit, run_once
+
+from repro.backends import RunConfig
+from repro.core import shuffling
+from repro.core.frame import Frame
+from repro.pipelines import get_pipeline
+from repro.units import GB
+
+
+def test_sec45(benchmark, backend):
+    def experiment():
+        # Part 1: per-sample shuffle overhead across sample counts.
+        counts = [1_000, 10_000, 100_000, 1_000_000]
+        cost_frame = shuffling.shuffle_cost_frame(counts)
+
+        # Part 2: measured throughput cost of shuffling on a real
+        # strategy (MP3 spectrogram-encoded).
+        plan = get_pipeline("MP3").split_points()[-1]
+        plain = backend.run(plan, RunConfig())
+        shuffled = backend.run(plan, RunConfig(shuffle_buffer=10_000))
+
+        # Part 3: placement advice across pipelines with a 1 GB buffer.
+        placements = []
+        for name in ("CV", "NLP", "NILM"):
+            pipeline = get_pipeline(name)
+            placement = shuffling.recommend_shuffle_position(
+                pipeline.split_points()[-1], buffer_bytes=1 * GB)
+            placements.append({
+                "pipeline": name,
+                "shuffle_after": placement.after_step,
+                "buffer_samples": placement.buffer_samples,
+                "entropy_bits": round(placement.entropy_bits, 1),
+            })
+        return (cost_frame, plain.throughput, shuffled.throughput,
+                Frame.from_records(placements))
+
+    cost_frame, plain_sps, shuffled_sps, placement_frame = run_once(
+        benchmark, experiment)
+    emit(benchmark, "Sec 4.5: shuffle cost vs sample count", cost_frame)
+    emit(benchmark, "Sec 4.5: shuffle placement advice", placement_frame)
+    print(f"MP3 last strategy: {plain_sps:.0f} SPS plain vs "
+          f"{shuffled_sps:.0f} SPS shuffled")
+
+    # Per-sample cost decreases toward the constant term (amortisation).
+    per_sample = cost_frame["per_sample_us"]
+    assert per_sample == sorted(per_sample, reverse=True)
+    assert per_sample[-1] < 1.2 * 9.6  # approaches 9.6 us
+    # Shuffling costs a little throughput, never an order of magnitude.
+    assert 0.8 < shuffled_sps / plain_sps < 1.0
+    # Placement advice: smaller representations give higher entropy.
+    rows = {row["pipeline"]: row for row in placement_frame.rows()}
+    assert rows["NILM"]["entropy_bits"] > rows["CV"]["entropy_bits"]

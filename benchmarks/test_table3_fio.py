@@ -1,0 +1,42 @@
+"""Table 3: fio profile of the storage cluster.
+
+Paper values for Ceph-HDD: sequential 219 / 910 MB/s (1 / 8 threads),
+random over 5000 x 0.2 MB files 6.6 / 40.4 MB/s, IOPS 53.4k / 222k /
+1629 / 9853.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.core.frame import Frame
+from repro.sim.fio import TABLE3_WORKLOADS, run_fio
+from repro.sim.storage import HDD_CEPH
+from repro.units import MB
+
+PAPER_BW_MB = (219.0, 910.0, 6.6, 40.4)
+PAPER_IOPS = (53_400, 222_000, 1_629, 9_853)
+
+
+def test_table3(benchmark):
+    def experiment():
+        results = run_fio(HDD_CEPH)
+        rows = []
+        for result, paper_bw, paper_iops in zip(results, PAPER_BW_MB,
+                                                PAPER_IOPS):
+            workload = result.workload
+            rows.append({
+                "Threads": workload.threads,
+                "Files per Thread": workload.files_per_thread,
+                "Bandwidth (paper MB/s)": paper_bw,
+                "Bandwidth (measured MB/s)": round(result.bandwidth / MB, 1),
+                "IOPS (paper)": paper_iops,
+                "IOPS (measured)": round(result.iops),
+            })
+        return Frame.from_records(rows)
+
+    frame = run_once(benchmark, experiment)
+    emit(benchmark, "Table 3: fio profile of the storage cluster", frame)
+
+    for row in frame.rows():
+        assert row["Bandwidth (measured MB/s)"] == pytest.approx(
+            row["Bandwidth (paper MB/s)"], rel=0.12)

@@ -1,0 +1,71 @@
+"""Table 4: throughput and network reads for concatenation strategies.
+
+Paper rows (SPS unprocessed -> concatenated, reads MB/s):
+    CV        107 -> 962   (12 -> 111)
+    CV (SSD)  588 -> 944   (68 -> 108)
+    CV2-JPG    88 -> 288   (46 -> 110)
+    CV2-PNG    15 ->  21  (270 -> 390)
+    NLP         6 ->   6  (0.21 -> 0.26)
+"""
+
+from conftest import emit, run_once
+
+from repro.backends import Environment, RunConfig, SimulatedBackend
+from repro.core.frame import Frame
+from repro.pipelines import get_pipeline
+from repro.sim.storage import SSD_CEPH
+from repro.units import MB
+
+PAPER = [
+    ("CV", "ceph-hdd", 107, 962),
+    ("CV (SSD)", "ceph-ssd", 588, 944),
+    ("CV2-JPG", "ceph-hdd", 88, 288),
+    ("CV2-PNG", "ceph-hdd", 15, 21),
+    ("NLP", "ceph-hdd", 6, 6),
+]
+
+
+def test_table4(benchmark, backend):
+    ssd_backend = SimulatedBackend(Environment(storage=SSD_CEPH))
+
+    def experiment():
+        rows = []
+        for label, storage, paper_unproc, paper_concat in PAPER:
+            pipeline = get_pipeline(label.split(" ")[0])
+            runner = ssd_backend if storage == "ceph-ssd" else backend
+            unprocessed = runner.run(pipeline.split_at("unprocessed"),
+                                     RunConfig())
+            concatenated = runner.run(pipeline.split_at("concatenated"),
+                                      RunConfig())
+            rows.append({
+                "Pipeline": label,
+                "unproc SPS (paper)": paper_unproc,
+                "unproc SPS": round(unprocessed.throughput, 1),
+                "concat SPS (paper)": paper_concat,
+                "concat SPS": round(concatenated.throughput, 1),
+                "unproc reads MB/s": round(
+                    unprocessed.epochs[0].avg_read_bw / MB, 2),
+                "concat reads MB/s": round(
+                    concatenated.epochs[0].avg_read_bw / MB, 2),
+            })
+        return Frame.from_records(rows)
+
+    frame = run_once(benchmark, experiment)
+    emit(benchmark, "Table 4: concatenation effect", frame)
+
+    rows = {row["Pipeline"]: row for row in frame.rows()}
+    # CV-family pipelines gain from concatenation (Sec. 4.1 obs 1):
+    # strongly where random access dominated (CV 9x, CV2-JPG 3.3x),
+    # marginally for CV2-PNG whose giant samples stream either way.
+    for label in ("CV", "CV2-JPG"):
+        gain = rows[label]["concat SPS"] / rows[label]["unproc SPS"]
+        assert 1.2 < gain < 13.0
+    png_gain = rows["CV2-PNG"]["concat SPS"] / rows["CV2-PNG"]["unproc SPS"]
+    assert png_gain >= 0.95
+    # NLP gains nothing: the CPU bottleneck binds.
+    nlp_gain = rows["NLP"]["concat SPS"] / rows["NLP"]["unproc SPS"]
+    assert 0.9 < nlp_gain < 1.15
+    # SSD lifts unprocessed CV ~6x but not concatenated.
+    assert rows["CV (SSD)"]["unproc SPS"] > 3 * rows["CV"]["unproc SPS"]
+    assert (abs(rows["CV (SSD)"]["concat SPS"] - rows["CV"]["concat SPS"])
+            < 0.15 * rows["CV"]["concat SPS"])

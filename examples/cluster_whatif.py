@@ -1,0 +1,49 @@
+"""What-if analysis: how does storage hardware move the bottleneck?
+
+Profiles the CV pipeline's strategies across four storage backends
+(Ceph-HDD, Ceph-SSD, local NVMe, RAM disk) and a thread sweep,
+reproducing the paper's Table 4 HDD-vs-SSD finding and extending it:
+faster storage only helps strategies whose bottleneck was storage.
+
+Run:  python examples/cluster_whatif.py
+"""
+
+from repro import Environment, RunConfig, SimulatedBackend, get_pipeline
+from repro.core.frame import Frame
+from repro.sim.storage import DEVICE_PROFILES
+
+
+def main() -> None:
+    pipeline = get_pipeline("CV")
+    rows = []
+    for device_name in ("ceph-hdd", "ceph-ssd", "nvme-local", "memory"):
+        backend = SimulatedBackend(
+            Environment(storage=DEVICE_PROFILES[device_name]))
+        record = {"storage": device_name}
+        for plan in pipeline.split_points():
+            result = backend.run(plan, RunConfig())
+            record[plan.strategy_name] = round(result.throughput)
+        rows.append(record)
+    frame = Frame.from_records(rows)
+    print("CV throughput (SPS) by storage backend and strategy:")
+    print(frame.to_markdown())
+
+    print("\nthread sweep on Ceph-HDD, resized strategy:")
+    backend = SimulatedBackend()
+    plan = pipeline.split_at("resized")
+    sweep = Frame.from_records([
+        {"threads": threads,
+         "throughput_sps": round(
+             backend.run(plan, RunConfig(threads=threads)).throughput)}
+        for threads in (1, 2, 4, 8, 16)
+    ])
+    print(sweep.to_markdown())
+
+    print("\nTakeaways: SSD rescues only the random-access-bound "
+          "'unprocessed' strategy;\nonce the pipeline is CPU- or "
+          "dispatch-bound, faster storage buys nothing --\nexactly the "
+          "paper's 'where is my bottleneck' lesson.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Run a REAL audio pipeline end to end (no simulation).
+
+The in-process backend synthesises speech-like waveforms, encodes them
+with the lossless FLAC-style codec, materialises record shards on the
+local disk, and executes the actual NumPy STFT + mel-filterbank chain on
+worker threads through the tf.data-style runtime.  All numbers below are
+real wall-clock measurements on your machine at miniature scale.
+
+Run:  python examples/inprocess_audio.py
+"""
+
+from repro import InProcessBackend, RunConfig, get_pipeline
+from repro.units import fmt_bytes, fmt_duration
+
+
+def main() -> None:
+    pipeline = get_pipeline("FLAC")
+    print(f"pipeline: {pipeline}\n")
+
+    with InProcessBackend(sample_count=64, seed=42) as backend:
+        print(f"{'strategy':<22s} {'offline':>10s} {'storage':>10s} "
+              f"{'epoch0 SPS':>11s} {'epoch1 SPS':>11s}")
+        print("-" * 70)
+        for plan in pipeline.split_points():
+            result = backend.run(plan, RunConfig(
+                threads=4, epochs=2, cache_mode="application"))
+            offline = (fmt_duration(result.offline.duration)
+                       if result.offline else "-")
+            print(f"{plan.strategy_name:<22s} {offline:>10s} "
+                  f"{fmt_bytes(result.storage_bytes):>10s} "
+                  f"{result.epochs[0].throughput:>11.0f} "
+                  f"{result.epochs[1].throughput:>11.0f}")
+
+    print("\nNote how materialising the spectrogram removes the expensive "
+          "online STFT,\nand the application cache lifts the second epoch "
+          "further -- the same shapes\nthe simulator reproduces at "
+          "29,000-sample Librispeech scale.")
+
+
+if __name__ == "__main__":
+    main()

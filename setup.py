@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+``pip install -e .`` cannot build a modern editable wheel.  This shim lets
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+on machines that do have wheel) install the package; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

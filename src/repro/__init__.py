@@ -1,0 +1,45 @@
+"""PRESTO reproduction: preprocessing-strategy profiling and optimisation.
+
+Reproduces "Where Is My Training Bottleneck? Hidden Trade-Offs in Deep
+Learning Preprocessing Pipelines" (Isenko et al., SIGMOD 2022): the
+PRESTO profiling library, the seven profiled pipelines, and the simulated
+hardware substrate used to regenerate every table and figure.
+
+Quickstart::
+
+    from repro import (SimulatedBackend, StrategyProfiler,
+                       StrategyAnalysis, get_pipeline)
+
+    profiler = StrategyProfiler(SimulatedBackend())
+    profiles = profiler.profile_pipeline(get_pipeline("CV"))
+    analysis = StrategyAnalysis(profiles)
+    print(analysis.summary())
+"""
+
+from repro.backends import (AnalyticModel, Environment, InProcessBackend,
+                            RunConfig, SimulatedBackend)
+from repro.core import (Frame, ObjectiveWeights, Strategy, StrategyAnalysis,
+                        StrategyProfiler, enumerate_strategies)
+from repro.core.autotune import AutoTuner
+from repro.pipelines import PipelineSpec, all_pipelines, get_pipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticModel",
+    "AutoTuner",
+    "Environment",
+    "Frame",
+    "InProcessBackend",
+    "ObjectiveWeights",
+    "PipelineSpec",
+    "RunConfig",
+    "SimulatedBackend",
+    "Strategy",
+    "StrategyAnalysis",
+    "StrategyProfiler",
+    "all_pipelines",
+    "enumerate_strategies",
+    "get_pipeline",
+    "__version__",
+]

@@ -1,0 +1,338 @@
+"""The discrete-event execution backend.
+
+Runs a strategy (a :class:`~repro.pipelines.base.SplitPlan` plus a
+:class:`~repro.backends.base.RunConfig`) on the simulated cluster/VM and
+returns measured metrics.  The model (see DESIGN.md):
+
+* ``threads`` reader processes each work through their shard of samples,
+  batched into jobs (``calibration.MAX_JOBS_PER_RUN`` caps event counts
+  without diluting contention -- locks charge per *sample*).
+* Per job: per-file opens (file-per-sample sources) -> network read
+  through the page cache -> decompression -> record deserialization ->
+  online step CPU (native work occupies cores, external work holds the
+  GIL) -> the serialized dispatch hand-off.
+* Offline phases read the source, run the offline steps, serialize,
+  optionally compress, and write the materialised representation.
+* The page cache persists across epochs unless ``cache_mode == "none"``
+  (the paper drops caches between runs); application-level caching stores
+  final tensors and fails when they exceed RAM, exactly like
+  ``tf.data.Dataset.cache`` OOM-ing in the paper's last CV/NLP strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro import calibration as cal
+from repro.backends.base import (CACHE_APPLICATION, CACHE_NONE, Environment,
+                                 EpochResult, OfflineResult, RunConfig,
+                                 StrategyRunResult)
+from repro.errors import ProfilingError
+from repro.formats.compression import get_codec
+from repro.pipelines.base import Representation, SplitPlan, StepSpec
+from repro.sim.cluster import StorageCluster
+from repro.sim.cpu import Machine
+from repro.sim.events import Event, Simulation, all_of
+
+
+@dataclass
+class _JobPlan:
+    """One batched unit of thread work."""
+
+    thread_id: int
+    job_index: int
+    samples: int
+
+
+def partition_jobs(sample_count: int, threads: int,
+                   max_jobs: int) -> list[list[_JobPlan]]:
+    """Split ``sample_count`` samples into per-thread job lists.
+
+    Samples are spread as evenly as possible across threads (the paper
+    shards datasets so each thread owns a file), then each thread's share
+    is cut into roughly ``max_jobs / threads`` jobs.
+    """
+    if sample_count < 1:
+        raise ProfilingError("cannot run an empty dataset")
+    threads = min(threads, sample_count)
+    per_thread = [sample_count // threads] * threads
+    for index in range(sample_count % threads):
+        per_thread[index] += 1
+    jobs_per_thread = max(1, max_jobs // threads)
+    plans: list[list[_JobPlan]] = []
+    for thread_id, thread_samples in enumerate(per_thread):
+        n_jobs = min(jobs_per_thread, thread_samples)
+        base, extra = divmod(thread_samples, n_jobs)
+        jobs = []
+        for job_index in range(n_jobs):
+            samples = base + (1 if job_index < extra else 0)
+            jobs.append(_JobPlan(thread_id, job_index, samples))
+        plans.append(jobs)
+    return plans
+
+
+class SimulatedBackend:
+    """Deterministic full-scale strategy execution on the DES."""
+
+    def __init__(self, environment: Optional[Environment] = None):
+        self.environment = environment or Environment()
+
+    # -- public entry point -----------------------------------------------
+
+    def run(self, plan: SplitPlan, config: RunConfig) -> StrategyRunResult:
+        if plan.is_unprocessed and config.compression:
+            raise ProfilingError(
+                "compression on the unprocessed strategy is not meaningful: "
+                "random file access dominates (paper Sec. 4.3)")
+        sim = Simulation()
+        machine = Machine(
+            sim, cores=self.environment.cores,
+            ram_bytes=self.environment.ram_bytes,
+            page_cache_bytes=(cal.PAGE_CACHE_FRACTION
+                              * self.environment.ram_bytes),
+            memory_bw=self.environment.memory_bw,
+            memory_stream_bw=self.environment.memory_stream_bw,
+            dispatch_cost=cal.DISPATCH_COST,
+            dispatch_convoy=cal.DISPATCH_CONVOY,
+            gil_convoy=cal.GIL_CONVOY)
+        cluster = StorageCluster(sim, self.environment.storage,
+                                 memory_link=machine.memory_link)
+        # Ceph serves a fixed striping share per client stream once many
+        # readers are configured; pin the per-stream rate to the fair share
+        # so partially-idle readers do not transiently exceed it (matches
+        # the paper's measured per-strategy network read speeds).
+        storage = self.environment.storage
+        cluster.read_link.per_stream_bw = min(
+            storage.stream_bw, storage.aggregate_bw / config.threads)
+
+        pipeline = plan.pipeline
+        count = pipeline.sample_count
+        stored = plan.materialized
+        if plan.is_unprocessed:
+            stored_bytes_ps = stored.bytes_per_sample
+        else:
+            stored_bytes_ps = stored.compressed_bytes_per_sample(
+                config.compression)
+
+        offline = None
+        if not plan.is_unprocessed:
+            offline = self._run_offline(sim, machine, cluster, plan, config)
+            machine.drop_page_cache()
+
+        # Application-cache admission check (paper Sec. 4.2 obs. 4).
+        app_tensor_bytes_ps = self._app_cache_tensor_bytes(plan)
+        app_cache_fits = (app_tensor_bytes_ps * count
+                          <= self.environment.ram_bytes)
+        app_cache_failed = (config.cache_mode == CACHE_APPLICATION
+                            and not app_cache_fits)
+
+        result = StrategyRunResult(
+            pipeline=pipeline.name,
+            strategy=plan.strategy_name,
+            config=config,
+            environment=self.environment,
+            storage_bytes=stored_bytes_ps * count,
+            offline=offline,
+            app_cache_failed=app_cache_failed,
+        )
+        app_cache_ready = False
+        for epoch in range(config.epochs):
+            use_app_cache = (config.cache_mode == CACHE_APPLICATION
+                             and app_cache_fits and app_cache_ready)
+            epoch_result = self._run_epoch(
+                sim, machine, cluster, plan, config, epoch,
+                stored_bytes_ps=stored_bytes_ps,
+                from_app_cache=use_app_cache,
+                populate_app_cache=(config.cache_mode == CACHE_APPLICATION
+                                    and app_cache_fits
+                                    and not app_cache_ready),
+                app_tensor_bytes_ps=app_tensor_bytes_ps)
+            result.epochs.append(epoch_result)
+            if config.cache_mode == CACHE_NONE:
+                machine.drop_page_cache()
+            if config.cache_mode == CACHE_APPLICATION and app_cache_fits:
+                app_cache_ready = True
+        return result
+
+    # -- offline phase ------------------------------------------------------
+
+    def _run_offline(self, sim: Simulation, machine: Machine,
+                     cluster: StorageCluster, plan: SplitPlan,
+                     config: RunConfig) -> OfflineResult:
+        pipeline = plan.pipeline
+        source = pipeline.source
+        count = pipeline.sample_count
+        out_bytes_ps = plan.materialized.bytes_per_sample
+        stored_bytes_ps = plan.materialized.compressed_bytes_per_sample(
+            config.compression)
+        codec = get_codec(config.compression)
+        opens_per_sample = self._opens_per_sample(source, count)
+        start_read = cluster.read_link.bytes_moved
+        start_write = cluster.write_link.bytes_moved
+        start = sim.now
+        compression_work = {"seconds": 0.0}
+
+        def worker(jobs: list[_JobPlan]) -> Generator[Event, None, None]:
+            for job in jobs:
+                k = job.samples
+                opens = opens_per_sample * k
+                if opens > 0:
+                    yield from cluster.metadata.use(
+                        opens * self._open_latency())
+                yield cluster.read_link.transfer(k * source.bytes_per_sample)
+                yield sim.timeout(
+                    k * cal.runtime_overhead(source.bytes_per_sample))
+                for step in plan.offline_steps:
+                    yield from self._charge_step(machine, step, k)
+                # Serialize the materialised records.
+                serialize_seconds = k * (
+                    cal.DESER_FIXED
+                    + out_bytes_ps / cal.SER_BW_PER_THREAD)
+                yield from machine.compute_native(serialize_seconds)
+                if codec is not None:
+                    compress_seconds = (k * out_bytes_ps
+                                        / codec.costs.compress_bw)
+                    compression_work["seconds"] += compress_seconds
+                    yield from machine.compute_native(compress_seconds)
+                yield from cluster.write(k * stored_bytes_ps)
+
+        self._run_threads(sim, [worker(jobs) for jobs in partition_jobs(
+            count, config.threads, config.max_jobs)])
+        return OfflineResult(
+            duration=sim.now - start,
+            bytes_read=cluster.read_link.bytes_moved - start_read,
+            bytes_written=cluster.write_link.bytes_moved - start_write,
+            compression_seconds=compression_work["seconds"],
+        )
+
+    # -- online epochs -------------------------------------------------------
+
+    def _run_epoch(self, sim: Simulation, machine: Machine,
+                   cluster: StorageCluster, plan: SplitPlan,
+                   config: RunConfig, epoch: int, stored_bytes_ps: float,
+                   from_app_cache: bool, populate_app_cache: bool,
+                   app_tensor_bytes_ps: float) -> EpochResult:
+        pipeline = plan.pipeline
+        count = pipeline.sample_count
+        stored = plan.materialized
+        codec = get_codec(config.compression)
+        opens_per_sample = self._opens_per_sample(stored, count)
+        online_steps = plan.online_steps
+        nondet_steps = [s for s in online_steps if not s.deterministic]
+        start = sim.now
+        start_read = cluster.read_link.bytes_moved
+        start_cache = cluster.cache_bytes_read
+        machine.page_cache.reset_stats()
+
+        def worker(jobs: list[_JobPlan]) -> Generator[Event, None, None]:
+            if config.shuffle_buffer and jobs and jobs[0].thread_id == 0:
+                yield sim.timeout(cal.SHUFFLE_BUFFER_ALLOC)
+            for job in jobs:
+                k = job.samples
+                if from_app_cache:
+                    # Served entirely from the tensor cache: memory read,
+                    # non-deterministic steps, light iterator hand-off.
+                    yield from machine.read_memory(k * app_tensor_bytes_ps)
+                    for step in nondet_steps:
+                        yield from self._charge_step(machine, step, k)
+                    yield from machine.dispatch.hold_scaled(
+                        cal.APP_CACHE_ITER_COST, k)
+                    continue
+                opens = opens_per_sample * k
+                chunk_key = (stored.name, config.compression,
+                             job.thread_id, job.job_index)
+                cached = machine.page_cache.lookup(chunk_key)
+                disk_bytes = k * stored_bytes_ps
+                if cached:
+                    cluster.cache_bytes_read += disk_bytes
+                    yield from machine.read_memory(disk_bytes)
+                else:
+                    if opens > 0:
+                        yield from cluster.metadata.use(
+                            opens * self._open_latency()
+                            * stored.open_latency_factor)
+                    yield cluster.read_link.transfer(disk_bytes)
+                    machine.page_cache.insert(chunk_key, disk_bytes)
+                yield sim.timeout(
+                    k * cal.runtime_overhead(stored.bytes_per_sample))
+                if codec is not None:
+                    yield from machine.compute_native(
+                        k * stored.bytes_per_sample
+                        / codec.costs.decompress_bw)
+                if stored.record_format:
+                    yield from machine.compute_native(k * (
+                        cal.DESER_FIXED
+                        + stored.bytes_per_sample * stored.deser_penalty
+                        / cal.DESER_BW_PER_THREAD))
+                for step in online_steps:
+                    yield from self._charge_step(machine, step, k)
+                if config.shuffle_buffer:
+                    yield from machine.compute_native(
+                        k * cal.SHUFFLE_PER_SAMPLE)
+                if populate_app_cache:
+                    yield from machine.read_memory(k * app_tensor_bytes_ps)
+                yield from machine.dispatch.hold_scaled(
+                    machine.dispatch_cost, k)
+
+        self._run_threads(sim, [worker(jobs) for jobs in partition_jobs(
+            count, config.threads, config.max_jobs)])
+        return EpochResult(
+            epoch=epoch,
+            duration=sim.now - start,
+            samples=count,
+            bytes_from_storage=cluster.read_link.bytes_moved - start_read,
+            bytes_from_cache=cluster.cache_bytes_read - start_cache,
+            cache_hit_rate=machine.page_cache.hit_rate,
+            served_from_app_cache=from_app_cache,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _open_latency(self) -> float:
+        return self.environment.storage.pipeline_open_latency
+
+    @staticmethod
+    def _opens_per_sample(rep: Representation, count: int) -> float:
+        """File opens charged per sample for this representation.
+
+        Materialised record shards (a handful of files) are free to open;
+        file-per-sample sources pay one open each; container sources
+        (NILM's 744 HDF5 files) pay a pro-rated fraction.
+        """
+        if rep.n_files is None:
+            return 0.0
+        opens = rep.n_files / count
+        return opens if opens > 1e-3 else 0.0
+
+    @staticmethod
+    def _charge_step(machine: Machine, step: StepSpec, samples: int
+                     ) -> Generator[Event, None, None]:
+        if step.cpu_seconds <= 0:
+            return
+        if step.holds_gil:
+            yield from machine.gil.hold_scaled(step.cpu_seconds, samples)
+        else:
+            yield from machine.compute_native(samples * step.cpu_seconds)
+
+    @staticmethod
+    def _app_cache_tensor_bytes(plan: SplitPlan) -> float:
+        """In-memory tensor size cached by application-level caching.
+
+        ``tf.data.Dataset.cache`` sits after the last deterministic step,
+        so the cached element is the furthest materialisable
+        representation, held uncompressed in RAM.
+        """
+        pipeline = plan.pipeline
+        return pipeline.representations[
+            pipeline.max_offline_index()].bytes_per_sample
+
+    @staticmethod
+    def _run_threads(sim: Simulation, generators) -> None:
+        processes = [sim.process(generator, name=f"worker-{i}")
+                     for i, generator in enumerate(generators)]
+
+        def barrier() -> Generator[Event, None, None]:
+            yield all_of(sim, processes)
+
+        sim.run_process(barrier(), name="epoch-barrier")

@@ -1,0 +1,211 @@
+"""The ``presto`` command-line interface.
+
+Subcommands::
+
+    presto pipelines                  list the profiled pipelines
+    presto profile CV                 profile all strategies of a pipeline
+    presto tune CV --wp 1 --wt 1      auto-tune with objective weights
+    presto bottleneck NLP             per-strategy bottleneck report
+    presto fio                        Table 3 storage probe
+    presto datasets                   Table 2 dataset metadata
+
+All commands run on the simulated backend (deterministic, full scale);
+``profile --backend inprocess`` switches to real miniature execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.backends import (Environment, InProcessBackend, RunConfig,
+                            SimulatedBackend)
+from repro.core.analysis import ObjectiveWeights, StrategyAnalysis
+from repro.core.autotune import AutoTuner
+from repro.core.profiler import StrategyProfiler
+from repro.core.report import bottleneck_report
+from repro.datasets.catalog import table2_frame
+from repro.pipelines.registry import PAPER_PIPELINES, get_pipeline
+from repro.sim.fio import run_fio
+from repro.sim.storage import DEVICE_PROFILES
+from repro.units import MB
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="presto",
+        description="PRESTO: preprocessing strategy profiling & tuning")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("pipelines", help="list profiled pipelines")
+    sub.add_parser("datasets", help="print Table 2 dataset metadata")
+
+    profile = sub.add_parser("profile", help="profile a pipeline")
+    profile.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    profile.add_argument("--threads", type=int, default=8)
+    profile.add_argument("--epochs", type=int, default=1)
+    profile.add_argument("--compression", choices=["GZIP", "ZLIB"],
+                         default=None)
+    profile.add_argument("--cache", choices=["none", "system", "application"],
+                         default="none")
+    profile.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
+                         default="ceph-hdd")
+    profile.add_argument("--backend", choices=["simulated", "inprocess"],
+                         default="simulated")
+
+    tune = sub.add_parser("tune", help="auto-tune a pipeline")
+    tune.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    tune.add_argument("--wp", type=float, default=0.0,
+                      help="preprocessing-time weight")
+    tune.add_argument("--ws", type=float, default=0.0,
+                      help="storage weight")
+    tune.add_argument("--wt", type=float, default=1.0,
+                      help="throughput weight")
+    tune.add_argument("--threads", type=int, nargs="+", default=[8])
+
+    bottleneck = sub.add_parser("bottleneck",
+                                help="per-strategy bottleneck report")
+    bottleneck.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    bottleneck.add_argument("--threads", type=int, default=8)
+
+    fio = sub.add_parser("fio", help="run the Table 3 storage probe")
+    fio.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
+                     default="ceph-hdd")
+
+    cost = sub.add_parser("cost", help="dollar cost per strategy")
+    cost.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    cost.add_argument("--epochs", type=int, default=10)
+    cost.add_argument("--months", type=float, default=1.0,
+                      help="storage retention in months")
+
+    amortize = sub.add_parser(
+        "amortize", help="offline-time break-even across epoch horizons")
+    amortize.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    amortize.add_argument("--horizons", type=int, nargs="+",
+                          default=[1, 5, 20, 100])
+
+    fanout = sub.add_parser(
+        "fanout", help="per-trainer throughput when serving many jobs")
+    fanout.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    fanout.add_argument("--strategy", default=None,
+                        help="split name (default: last strategy)")
+    fanout.add_argument("--trainers", type=int, nargs="+",
+                        default=[1, 2, 4, 8, 16])
+    return parser
+
+
+def _cmd_pipelines() -> int:
+    for name in PAPER_PIPELINES:
+        pipeline = get_pipeline(name)
+        chain = " -> ".join(rep.name for rep in pipeline.representations)
+        print(f"{name:8s} {pipeline.sample_count:>9,} samples  {chain}")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    print(table2_frame().to_markdown())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    environment = Environment(storage=DEVICE_PROFILES[args.storage])
+    if args.backend == "inprocess":
+        backend = InProcessBackend(environment=environment)
+    else:
+        backend = SimulatedBackend(environment)
+    config = RunConfig(threads=args.threads, epochs=args.epochs,
+                       compression=args.compression, cache_mode=args.cache)
+    profiler = StrategyProfiler(backend)
+    profiles = profiler.profile_pipeline(get_pipeline(args.pipeline),
+                                         config=config)
+    analysis = StrategyAnalysis(profiles)
+    print(analysis.summary())
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    weights = ObjectiveWeights(preprocessing=args.wp, storage=args.ws,
+                               throughput=args.wt)
+    tuner = AutoTuner(SimulatedBackend())
+    report = tuner.tune(get_pipeline(args.pipeline), weights=weights,
+                        threads=tuple(args.threads))
+    print(report.frame().to_markdown())
+    print()
+    print(report.describe())
+    return 0
+
+
+def _cmd_bottleneck(args) -> int:
+    config = RunConfig(threads=args.threads)
+    print(bottleneck_report(get_pipeline(args.pipeline), config=config))
+    return 0
+
+
+def _cmd_fio(args) -> int:
+    profile = DEVICE_PROFILES[args.storage]
+    print(f"fio profile of {profile.name}:")
+    header = (f"{'Threads':>8s} {'Files/Thread':>13s} {'Bandwidth':>12s} "
+              f"{'IOPS':>9s}")
+    print(header)
+    for result in run_fio(profile):
+        workload = result.workload
+        print(f"{workload.threads:>8d} {workload.files_per_thread:>13d} "
+              f"{result.bandwidth / MB:>9.1f} MB/s {result.iops:>9.0f}")
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    from repro.core.economics import PriceSheet, cost_frame
+    profiler = StrategyProfiler(SimulatedBackend())
+    profiles = profiler.profile_pipeline(get_pipeline(args.pipeline))
+    frame = cost_frame(profiles, PriceSheet(), epochs=args.epochs,
+                       project_months=args.months)
+    print(f"dollar cost for {args.epochs} epochs, "
+          f"{args.months:g} month(s) of storage (cheapest first):")
+    print(frame.to_markdown())
+    return 0
+
+
+def _cmd_amortize(args) -> int:
+    from repro.core.amortization import amortization_frame
+    profiler = StrategyProfiler(SimulatedBackend())
+    profiles = profiler.profile_pipeline(get_pipeline(args.pipeline))
+    frame = amortization_frame(profiles, horizons=tuple(args.horizons))
+    print(frame.to_markdown())
+    return 0
+
+
+def _cmd_fanout(args) -> int:
+    from repro.core.distributed import fan_out_frame
+    pipeline = get_pipeline(args.pipeline)
+    strategy = args.strategy or pipeline.strategy_names()[-1]
+    plan = pipeline.split_at(strategy)
+    config = RunConfig()
+    single = SimulatedBackend().run(plan, config).throughput
+    frame = fan_out_frame(plan, config, single_job_sps=single,
+                          trainer_counts=tuple(args.trainers))
+    print(f"fanning out {args.pipeline}/{strategy} "
+          f"(single-trainer T4 = {single:.0f} SPS):")
+    print(frame.to_markdown())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "pipelines": lambda: _cmd_pipelines(),
+        "datasets": lambda: _cmd_datasets(),
+        "profile": lambda: _cmd_profile(args),
+        "tune": lambda: _cmd_tune(args),
+        "bottleneck": lambda: _cmd_bottleneck(args),
+        "fio": lambda: _cmd_fio(args),
+        "cost": lambda: _cmd_cost(args),
+        "amortize": lambda: _cmd_amortize(args),
+        "fanout": lambda: _cmd_fanout(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Strategy ranking with the paper's weighted objective function.
+
+Paper Sec. 3.1: ``StrategyAnalysis`` normalizes each metric vector
+(preprocessing time p, storage consumption s, throughput t) to [0, 1] by
+min-max and combines them with user weights (w_p, w_s, w_t).
+
+We make the optimisation direction explicit: preprocessing time and
+storage are *costs* (lower is better), throughput is a *benefit*.  The
+score of strategy i is::
+
+    score_i = w_t * t_norm_i + w_p * (1 - p_norm_i) + w_s * (1 - s_norm_i)
+
+maximised over strategies.  The paper's example presets are provided:
+``(1, 0, 1)`` for the hyperparameter-tuning-before-a-deadline scenario
+and ``(0, 0, 1)`` (throughput only) as the recommended default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.frame import Frame
+from repro.core.profiler import StrategyProfile
+from repro.errors import ProfilingError
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """User-defined metric weights (w_p, w_s, w_t) -- paper Sec. 3.1."""
+
+    preprocessing: float = 0.0
+    storage: float = 0.0
+    throughput: float = 1.0
+
+    def __post_init__(self):
+        if min(self.preprocessing, self.storage, self.throughput) < 0:
+            raise ProfilingError("objective weights must be non-negative")
+        if self.preprocessing == self.storage == self.throughput == 0:
+            raise ProfilingError("at least one weight must be positive")
+
+
+#: The paper's recommended default: sort by throughput only.
+THROUGHPUT_ONLY = ObjectiveWeights(0.0, 0.0, 1.0)
+
+#: The paper's deadline scenario: fast preprocessing and high throughput,
+#: storage is irrelevant.
+DEADLINE = ObjectiveWeights(1.0, 0.0, 1.0)
+
+#: A storage-constrained cluster: keep the materialised dataset small.
+STORAGE_BUDGET = ObjectiveWeights(0.0, 1.0, 1.0)
+
+
+class StrategyAnalysis:
+    """Summarises profiles and picks the best strategy for an objective."""
+
+    def __init__(self, profiles: Sequence[StrategyProfile]):
+        if not profiles:
+            raise ProfilingError("no profiles to analyse")
+        self.profiles = list(profiles)
+        self.frame = Frame.from_records(
+            [profile.to_record() for profile in profiles])
+
+    # -- scoring ------------------------------------------------------------
+
+    def scores(self, weights: ObjectiveWeights) -> list[float]:
+        """Objective score per profile (higher is better)."""
+        p_norm = self.frame.normalized("preprocessing_s")
+        s_norm = self.frame.normalized("storage_gb")
+        t_norm = self.frame.normalized("throughput_sps")
+        return [
+            weights.throughput * t
+            + weights.preprocessing * (1.0 - p)
+            + weights.storage * (1.0 - s)
+            for p, s, t in zip(p_norm, s_norm, t_norm)
+        ]
+
+    def ranked(self, weights: Optional[ObjectiveWeights] = None) -> Frame:
+        """Result frame with a ``score`` column, best strategy first."""
+        weights = weights or THROUGHPUT_ONLY
+        scores = self.scores(weights)
+        enriched = Frame.from_records([
+            {**row, "score": score}
+            for row, score in zip(self.frame.rows(), scores)
+        ])
+        return enriched.sort_by("score", descending=True)
+
+    def best(self, weights: Optional[ObjectiveWeights] = None
+             ) -> StrategyProfile:
+        """The winning profile under ``weights`` (ties: higher throughput)."""
+        weights = weights or THROUGHPUT_ONLY
+        scored = list(zip(self.scores(weights), self.profiles))
+        return max(scored,
+                   key=lambda pair: (pair[0], pair[1].throughput))[1]
+
+    def best_strategy_name(self,
+                           weights: Optional[ObjectiveWeights] = None) -> str:
+        return self.best(weights).strategy.split_name
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self, weights: Optional[ObjectiveWeights] = None) -> str:
+        """Markdown summary: the ranked table plus the recommendation."""
+        weights = weights or THROUGHPUT_ONLY
+        table = self.ranked(weights).select([
+            "strategy", "threads", "compression", "cache_mode",
+            "throughput_sps", "preprocessing_s", "storage_gb", "score",
+        ]).to_markdown()
+        best = self.best(weights)
+        return (
+            f"{table}\n\n"
+            f"Recommended strategy: {best.strategy.name} "
+            f"({best.throughput:.0f} SPS, "
+            f"{best.storage_bytes / 1e9:.1f} GB, "
+            f"{best.preprocessing_seconds / 3600:.2f} h preprocessing)"
+        )

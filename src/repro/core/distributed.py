@@ -1,0 +1,186 @@
+"""Distributed preprocessing and concurrent training (paper Sec. 7).
+
+Two discussion points of the paper, made quantitative on top of the
+calibrated model:
+
+* **Multi-worker offline preprocessing** -- "preprocessing a dataset is
+  a trivially parallelizable task by splitting the dataset into equal
+  chunks".  Workers scale the CPU side linearly, but they share the
+  storage cluster's aggregate bandwidth and metadata service, so
+  read/write-bound phases stop scaling -- exactly the kind of hidden
+  wall PRESTO exists to expose.
+* **Fan-out to concurrent trainers** -- "the throughput T4 can be fanned
+  out to all training jobs ... if the network can not handle the
+  duplicated load it will become a new bottleneck".  Serving J trainers
+  multiplies the per-epoch read volume by J against the same link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import calibration as cal
+from repro.backends.base import Environment, RunConfig
+from repro.core.frame import Frame
+from repro.errors import ProfilingError
+from repro.formats.compression import get_codec
+from repro.pipelines.base import SplitPlan
+
+
+@dataclass(frozen=True)
+class DistributedOfflineEstimate:
+    """Offline preprocessing time with W parallel workers."""
+
+    workers: int
+    cpu_seconds: float          # per-worker CPU wall time
+    read_seconds: float         # shared-storage read wall time
+    write_seconds: float        # shared-storage write wall time
+    open_seconds: float         # metadata service wall time
+
+    @property
+    def duration(self) -> float:
+        """Workers overlap phases; the binding shared resource rules."""
+        return max(self.cpu_seconds, self.read_seconds, self.write_seconds,
+                   self.open_seconds)
+
+    @property
+    def bottleneck(self) -> str:
+        parts = {
+            "worker-cpu": self.cpu_seconds,
+            "storage-read": self.read_seconds,
+            "storage-write": self.write_seconds,
+            "metadata": self.open_seconds,
+        }
+        return max(parts, key=parts.get)
+
+
+def estimate_distributed_offline(plan: SplitPlan, config: RunConfig,
+                                 workers: int,
+                                 environment: Environment | None = None,
+                                 ) -> DistributedOfflineEstimate:
+    """Offline wall time with ``workers`` VMs sharing one storage cluster.
+
+    Each worker owns ``config.threads`` cores; CPU work divides across
+    workers, while reads, writes and opens contend on the cluster.
+    """
+    if workers < 1:
+        raise ProfilingError("need at least one worker")
+    if plan.is_unprocessed:
+        raise ProfilingError("the unprocessed strategy has no offline phase")
+    environment = environment or Environment()
+    storage = environment.storage
+    pipeline = plan.pipeline
+    count = pipeline.sample_count
+    source = pipeline.source
+    codec = get_codec(config.compression)
+    out_bytes = plan.materialized.bytes_per_sample
+    stored_bytes = plan.materialized.compressed_bytes_per_sample(
+        config.compression)
+
+    native = sum(step.cpu_seconds for step in plan.offline_steps
+                 if not step.holds_gil)
+    external = sum(step.cpu_seconds for step in plan.offline_steps
+                   if step.holds_gil)
+    serialize = cal.DESER_FIXED + out_bytes / cal.SER_BW_PER_THREAD
+    compress = (out_bytes / codec.costs.compress_bw if codec else 0.0)
+    per_sample_parallel = (native + serialize + compress
+                           + cal.runtime_overhead(source.bytes_per_sample))
+    # GIL-bound steps serialize per worker, not per thread.
+    cores = min(config.threads, environment.cores)
+    cpu_seconds = count * (per_sample_parallel / (workers * cores)
+                           + external / workers)
+
+    read_seconds = count * source.bytes_per_sample / storage.aggregate_bw
+    write_seconds = count * stored_bytes / storage.write_bw
+    opens = (source.n_files / count if source.n_files else 0.0)
+    open_seconds = (count * opens * storage.pipeline_open_latency
+                    / storage.metadata_slots)
+    return DistributedOfflineEstimate(
+        workers=workers,
+        cpu_seconds=cpu_seconds,
+        read_seconds=read_seconds,
+        write_seconds=write_seconds,
+        open_seconds=open_seconds,
+    )
+
+
+def offline_scaling_frame(plan: SplitPlan, config: RunConfig,
+                          worker_counts=(1, 2, 4, 8, 16),
+                          environment: Environment | None = None) -> Frame:
+    """Offline duration and bottleneck across worker counts."""
+    records = []
+    base = None
+    for workers in worker_counts:
+        estimate = estimate_distributed_offline(plan, config, workers,
+                                                environment)
+        if base is None:
+            base = estimate.duration
+        records.append({
+            "workers": workers,
+            "hours": round(estimate.duration / 3600, 2),
+            "speedup": round(base / estimate.duration, 2),
+            "bottleneck": estimate.bottleneck,
+        })
+    return Frame.from_records(records)
+
+
+@dataclass(frozen=True)
+class FanOutEstimate:
+    """Serving J concurrent trainers from one materialised dataset."""
+
+    trainers: int
+    per_trainer_sps: float
+    link_bound_sps: float
+
+    @property
+    def delivered_sps(self) -> float:
+        """What each trainer actually receives."""
+        return min(self.per_trainer_sps, self.link_bound_sps)
+
+    @property
+    def network_is_bottleneck(self) -> bool:
+        return self.link_bound_sps < self.per_trainer_sps
+
+
+def estimate_fan_out(plan: SplitPlan, config: RunConfig, trainers: int,
+                     single_job_sps: float,
+                     environment: Environment | None = None,
+                     ) -> FanOutEstimate:
+    """Per-trainer throughput when T4 is fanned out to ``trainers`` jobs.
+
+    ``single_job_sps`` is the profiled single-trainer T4.  The shared
+    link divides its aggregate bandwidth by the duplicated read volume
+    (paper Sec. 7, "Applicability for concurrent training").
+    """
+    if trainers < 1:
+        raise ProfilingError("need at least one trainer")
+    if single_job_sps <= 0:
+        raise ProfilingError("single-job throughput must be positive")
+    environment = environment or Environment()
+    bytes_per_sample = plan.materialized.compressed_bytes_per_sample(
+        config.compression) if not plan.is_unprocessed \
+        else plan.materialized.bytes_per_sample
+    link_bound = (environment.storage.aggregate_bw
+                  / (bytes_per_sample * trainers)
+                  if bytes_per_sample > 0 else float("inf"))
+    return FanOutEstimate(
+        trainers=trainers,
+        per_trainer_sps=single_job_sps,
+        link_bound_sps=link_bound,
+    )
+
+
+def fan_out_frame(plan: SplitPlan, config: RunConfig, single_job_sps: float,
+                  trainer_counts=(1, 2, 4, 8, 16),
+                  environment: Environment | None = None) -> Frame:
+    """Per-trainer delivered throughput across fan-out widths."""
+    records = []
+    for trainers in trainer_counts:
+        estimate = estimate_fan_out(plan, config, trainers, single_job_sps,
+                                    environment)
+        records.append({
+            "trainers": trainers,
+            "delivered_sps": round(estimate.delivered_sps, 1),
+            "network_bound": estimate.network_is_bottleneck,
+        })
+    return Frame.from_records(records)

@@ -1,0 +1,138 @@
+"""Cloud-cost objective functions (paper Sec. 3.1 extension).
+
+The paper notes that "more complex objective functions can feature cloud
+providers' processing and storage prices".  This module prices a
+profiled strategy end-to-end:
+
+* **offline compute** -- the preprocessing VM, billed per hour;
+* **storage** -- the materialised representation, billed per GB-month
+  for the lifetime of the training project;
+* **read egress** -- bytes moved from storage to the trainers per epoch
+  (relevant when storage and compute live in different zones);
+* **training compute** -- the accelerator, billed per hour, for
+  ``epochs * samples / effective_throughput`` where the effective rate
+  is capped by the preprocessing throughput (stalls burn GPU dollars --
+  the economic reading of the paper's Fig. 3).
+
+:func:`cheapest_strategy` then ranks profiles by total cost, giving a
+monetary counterpart to :class:`~repro.core.analysis.StrategyAnalysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.frame import Frame
+from repro.core.profiler import StrategyProfile
+from repro.errors import ProfilingError
+from repro.units import GB, HOUR
+
+#: Seconds per billing month (30 days).
+MONTH = 30 * 24 * HOUR
+
+
+@dataclass(frozen=True)
+class PriceSheet:
+    """Cloud prices; defaults approximate a 2021 public-cloud price list."""
+
+    preprocessing_vm_per_hour: float = 0.38   # 8-vCPU VM
+    trainer_per_hour: float = 3.06            # single-V100 instance
+    storage_per_gb_month: float = 0.023       # object storage
+    egress_per_gb: float = 0.0                # same-zone by default
+    trainer_ingest_sps: float = 1457.0        # V100 ResNet-50 rate
+
+    def __post_init__(self):
+        if min(self.preprocessing_vm_per_hour, self.trainer_per_hour,
+               self.storage_per_gb_month, self.egress_per_gb) < 0:
+            raise ProfilingError("prices must be non-negative")
+        if self.trainer_ingest_sps <= 0:
+            raise ProfilingError("trainer ingest rate must be positive")
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Dollar breakdown of one strategy for a training project."""
+
+    strategy: str
+    offline_usd: float
+    storage_usd: float
+    egress_usd: float
+    training_usd: float
+    training_hours: float
+    stall_fraction: float
+
+    @property
+    def total_usd(self) -> float:
+        return (self.offline_usd + self.storage_usd + self.egress_usd
+                + self.training_usd)
+
+    def to_record(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "offline_usd": round(self.offline_usd, 2),
+            "storage_usd": round(self.storage_usd, 2),
+            "egress_usd": round(self.egress_usd, 2),
+            "training_usd": round(self.training_usd, 2),
+            "total_usd": round(self.total_usd, 2),
+            "training_hours": round(self.training_hours, 1),
+            "stall_pct": round(100 * self.stall_fraction, 1),
+        }
+
+
+def price_strategy(profile: StrategyProfile, prices: PriceSheet,
+                   epochs: int, project_months: float = 1.0) -> StrategyCost:
+    """Price one profiled strategy over a training project.
+
+    ``epochs`` is how many passes the training makes over the dataset;
+    ``project_months`` is how long the materialised representation must
+    stay on storage.
+    """
+    if epochs < 1:
+        raise ProfilingError("need at least one training epoch")
+    if project_months < 0:
+        raise ProfilingError("project duration must be non-negative")
+    run = profile.result
+    samples = run.epochs[0].samples
+
+    offline_usd = (profile.preprocessing_seconds / HOUR
+                   * prices.preprocessing_vm_per_hour)
+    storage_usd = (profile.storage_bytes / GB * project_months
+                   * prices.storage_per_gb_month)
+    egress_usd = (profile.storage_bytes / GB * epochs
+                  * prices.egress_per_gb)
+    # The trainer runs at min(T4, ingest): stalls stretch wall-clock.
+    effective_sps = min(profile.throughput, prices.trainer_ingest_sps)
+    training_seconds = epochs * samples / effective_sps
+    training_usd = training_seconds / HOUR * prices.trainer_per_hour
+    stall = 1.0 - effective_sps / prices.trainer_ingest_sps
+    return StrategyCost(
+        strategy=profile.strategy.split_name,
+        offline_usd=offline_usd,
+        storage_usd=storage_usd,
+        egress_usd=egress_usd,
+        training_usd=training_usd,
+        training_hours=training_seconds / HOUR,
+        stall_fraction=stall,
+    )
+
+
+def cost_frame(profiles: Sequence[StrategyProfile], prices: PriceSheet,
+               epochs: int, project_months: float = 1.0) -> Frame:
+    """Dollar comparison of strategies, cheapest first."""
+    costs = [price_strategy(profile, prices, epochs, project_months)
+             for profile in profiles]
+    return Frame.from_records(
+        [cost.to_record() for cost in costs]).sort_by("total_usd")
+
+
+def cheapest_strategy(profiles: Sequence[StrategyProfile],
+                      prices: Optional[PriceSheet] = None, epochs: int = 10,
+                      project_months: float = 1.0) -> StrategyCost:
+    """The monetary winner for a given project shape."""
+    if not profiles:
+        raise ProfilingError("no profiles to price")
+    prices = prices or PriceSheet()
+    costs = [price_strategy(profile, prices, epochs, project_months)
+             for profile in profiles]
+    return min(costs, key=lambda cost: cost.total_usd)

@@ -1,0 +1,218 @@
+"""A small column-oriented data frame.
+
+The original PRESTO returns profiling results as pandas DataFrames; pandas
+is not available in this environment, so :class:`Frame` provides the slice
+of functionality the profiler and the benchmark harness need: column
+storage, row append, filtering, sorting, group-by aggregation, column
+arithmetic and pretty markdown/CSV rendering.
+
+A Frame is intentionally simple -- columns are Python lists, rows are
+dicts -- because profiling result sets are tiny (tens to hundreds of
+rows).  Clarity beats vectorisation here.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import FrameError
+
+
+class Frame:
+    """Column-oriented table with a pandas-like flavour."""
+
+    def __init__(self, columns: Optional[Sequence[str]] = None):
+        self._columns: dict[str, list[Any]] = {
+            name: [] for name in (columns or [])
+        }
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]]) -> "Frame":
+        """Build a frame from an iterable of row dicts.
+
+        The union of keys defines the columns; missing values become None.
+        """
+        rows = list(records)
+        columns: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        frame = cls(columns)
+        for row in rows:
+            frame.append(row)
+        return frame
+
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, Sequence[Any]]) -> "Frame":
+        """Build a frame from name -> values mappings of equal length."""
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise FrameError(f"ragged columns: lengths {sorted(lengths)}")
+        frame = cls(list(columns))
+        for name, values in columns.items():
+            frame._columns[name] = list(values)
+        return frame
+
+    def append(self, row: Mapping[str, Any]) -> None:
+        """Append one row; unknown keys become new columns padded with None."""
+        for key in row:
+            if key not in self._columns:
+                self._columns[key] = [None] * len(self)
+        for name, values in self._columns.items():
+            values.append(row.get(name))
+
+    # -- shape and access ------------------------------------------------------
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    def __getitem__(self, name: str) -> list[Any]:
+        try:
+            return list(self._columns[name])
+        except KeyError:
+            raise FrameError(
+                f"no column {name!r}; have {self.columns}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a dict."""
+        if not -len(self) <= index < len(self):
+            raise FrameError(f"row {index} out of range for {len(self)} rows")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as dicts."""
+        for index in range(len(self)):
+            yield self.row(index)
+
+    # -- transformation ---------------------------------------------------------
+
+    def with_column(self, name: str,
+                    fn: Callable[[dict[str, Any]], Any]) -> "Frame":
+        """Return a copy with an extra column computed per row."""
+        result = Frame.from_records(list(self.rows()))
+        values = [fn(row) for row in self.rows()]
+        result._columns[name] = values
+        return result
+
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Return a copy containing only ``names``, in that order."""
+        missing = [name for name in names if name not in self._columns]
+        if missing:
+            raise FrameError(f"no such columns: {missing}")
+        return Frame.from_columns({name: self._columns[name]
+                                   for name in names})
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Frame":
+        """Return a copy with only rows matching ``predicate``."""
+        return Frame.from_records(
+            [row for row in self.rows() if predicate(row)])
+
+    def sort_by(self, name: str, descending: bool = False) -> "Frame":
+        """Return a copy sorted by one column (None sorts last)."""
+        if name not in self._columns and len(self):
+            raise FrameError(f"no column {name!r}")
+
+        def key(row: dict[str, Any]):
+            value = row.get(name)
+            return (value is None, value)
+
+        ordered = sorted(self.rows(), key=key, reverse=descending)
+        return Frame.from_records(ordered)
+
+    def group_by(self, name: str,
+                 aggregations: Mapping[str, Callable[[list[Any]], Any]],
+                 ) -> "Frame":
+        """Group rows by ``name`` and aggregate other columns.
+
+        ``aggregations`` maps column -> reducer over the grouped values.
+        Groups appear in first-seen order.
+        """
+        groups: dict[Any, list[dict[str, Any]]] = {}
+        for row in self.rows():
+            groups.setdefault(row.get(name), []).append(row)
+        records = []
+        for key_value, members in groups.items():
+            record: dict[str, Any] = {name: key_value}
+            for column, reducer in aggregations.items():
+                record[column] = reducer([m.get(column) for m in members])
+            records.append(record)
+        return Frame.from_records(records)
+
+    # -- numeric helpers ----------------------------------------------------------
+
+    def column_min(self, name: str) -> float:
+        values = [v for v in self[name] if v is not None]
+        if not values:
+            raise FrameError(f"column {name!r} has no values")
+        return min(values)
+
+    def column_max(self, name: str) -> float:
+        values = [v for v in self[name] if v is not None]
+        if not values:
+            raise FrameError(f"column {name!r} has no values")
+        return max(values)
+
+    def normalized(self, name: str) -> list[float]:
+        """Min-max normalise a numeric column into [0, 1].
+
+        A constant column normalises to all zeros (the paper's objective
+        then ignores it, since every strategy is equal on that metric).
+        """
+        values = self[name]
+        low, high = self.column_min(name), self.column_max(name)
+        span = high - low
+        if span == 0:
+            return [0.0 for _ in values]
+        return [(value - low) / span if value is not None else 0.0
+                for value in values]
+
+    # -- rendering -----------------------------------------------------------------
+
+    def to_markdown(self, float_format: str = "{:.3f}") -> str:
+        """Render as a GitHub-style markdown table."""
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return "" if value is None else str(value)
+
+        names = self.columns
+        rows = [[fmt(row[name]) for name in names] for row in self.rows()]
+        widths = [max(len(name), *(len(r[i]) for r in rows), 3) if rows
+                  else max(len(name), 3)
+                  for i, name in enumerate(names)]
+        header = "| " + " | ".join(
+            name.ljust(width) for name, width in zip(names, widths)) + " |"
+        rule = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+        body = [
+            "| " + " | ".join(cell.ljust(width)
+                              for cell, width in zip(row, widths)) + " |"
+            for row in rows
+        ]
+        return "\n".join([header, rule, *body])
+
+    def to_csv(self) -> str:
+        """Render as CSV text (header + rows)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows():
+            writer.writerow([row[name] for name in self.columns])
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:
+        return f"Frame({len(self)} rows x {len(self.columns)} columns)"

@@ -1,0 +1,142 @@
+"""Dataset-growth extrapolation (paper Sec. 7, "Datasets can grow").
+
+The paper argues PRESTO's profile of a static dataset remains valuable
+as the dataset grows -- unless growth pushes a representation across a
+hardware threshold, at which point the trade-offs flip.  This module
+makes that concrete:
+
+* :func:`extrapolate_profile` scales a profiled strategy to a grown
+  dataset (storage and offline time scale linearly; throughput is
+  per-sample and unchanged *except* for cache-fit effects);
+* :func:`find_threshold_crossings` reports the growth factors at which
+  each representation crosses RAM (caching stops working) and at which
+  cached strategies lose their epoch-1 advantage;
+* :func:`growth_report` re-ranks the strategies across growth factors
+  and flags where the recommended strategy changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.backends.base import Environment, RunConfig
+from repro.core.frame import Frame
+from repro.errors import ProfilingError
+from repro.pipelines.base import PipelineSpec
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class GrowthEstimate:
+    """A strategy's projected metrics at a grown dataset size."""
+
+    strategy: str
+    growth_factor: float
+    storage_bytes: float
+    offline_seconds: float
+    throughput_sps: float
+    fits_in_ram: bool
+    cacheable_before: bool
+
+    @property
+    def caching_lost(self) -> bool:
+        """True when growth pushed this representation out of RAM."""
+        return self.cacheable_before and not self.fits_in_ram
+
+
+def extrapolate_profile(profile, growth_factor: float,
+                        environment: Environment) -> GrowthEstimate:
+    """Project one profiled strategy to ``growth_factor`` x the dataset.
+
+    Per-sample behaviour (throughput) is size-invariant in the paper's
+    model; total storage and offline preprocessing scale linearly.
+    """
+    if growth_factor <= 0:
+        raise ProfilingError("growth factor must be positive")
+    run = profile.result
+    grown_storage = profile.storage_bytes * growth_factor
+    return GrowthEstimate(
+        strategy=profile.strategy.split_name,
+        growth_factor=growth_factor,
+        storage_bytes=grown_storage,
+        offline_seconds=profile.preprocessing_seconds * growth_factor,
+        throughput_sps=profile.throughput,
+        fits_in_ram=grown_storage <= environment.ram_bytes,
+        cacheable_before=profile.storage_bytes <= environment.ram_bytes,
+    )
+
+
+def find_threshold_crossings(pipeline: PipelineSpec,
+                             environment: Environment,
+                             max_factor: float = 64.0) -> Frame:
+    """Growth factor at which each representation stops fitting in RAM.
+
+    A factor of 1.0 means it already exceeds RAM; ``> max_factor`` means
+    it stays cacheable throughout the considered horizon.
+    """
+    records = []
+    for plan in pipeline.split_points():
+        rep = plan.materialized
+        total = rep.total_bytes(pipeline.sample_count)
+        if total <= 0:
+            raise ProfilingError(f"empty representation {rep.name!r}")
+        crossing = environment.ram_bytes / total
+        records.append({
+            "strategy": plan.strategy_name,
+            "storage_gb": round(total / GB, 2),
+            "ram_crossing_factor": (round(crossing, 2)
+                                    if crossing <= max_factor
+                                    else float("inf")),
+            "cacheable_now": total <= environment.ram_bytes,
+        })
+    return Frame.from_records(records)
+
+
+def growth_report(backend, pipeline: PipelineSpec,
+                  growth_factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+                  config: RunConfig | None = None) -> Frame:
+    """Profile the pipeline at several growth factors and re-rank.
+
+    Runs the backend on scaled copies of the pipeline (sample counts
+    multiplied), so cache-fit flips show up in the measured throughputs
+    rather than being inferred.
+    """
+    config = config or RunConfig(epochs=2, cache_mode="system")
+    records = []
+    for factor in growth_factors:
+        if factor <= 0:
+            raise ProfilingError("growth factors must be positive")
+        scaled = pipeline.with_sample_count(
+            max(1, round(pipeline.sample_count * factor)))
+        best_strategy, best_sps = None, -1.0
+        for plan in scaled.split_points():
+            result = backend.run(plan, config)
+            cached_sps = result.epochs[-1].throughput
+            records.append({
+                "growth": factor,
+                "strategy": plan.strategy_name,
+                "storage_gb": round(result.storage_bytes / GB, 1),
+                "cold_sps": round(result.throughput, 1),
+                "cached_sps": round(cached_sps, 1),
+            })
+            if cached_sps > best_sps:
+                best_strategy, best_sps = plan.strategy_name, cached_sps
+        for record in records:
+            if record["growth"] == factor:
+                record["winner"] = best_strategy
+    return Frame.from_records(records)
+
+
+def recommendation_flips(report: Frame) -> list[tuple[float, str]]:
+    """(growth factor, winner) whenever the winning strategy changes."""
+    flips: list[tuple[float, str]] = []
+    last_winner = None
+    for row in report.rows():
+        winner = row["winner"]
+        factor = row["growth"]
+        if winner != last_winner and (not flips
+                                      or flips[-1][0] != factor):
+            flips.append((factor, winner))
+            last_winner = winner
+    return flips

@@ -1,0 +1,85 @@
+"""Rendering helpers for profiling results.
+
+Turns profile collections into the paper's presentation formats: the
+Fig. 6-style storage-vs-throughput listing, Table 1-style trade-off rows
+and compact bottleneck summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.backends.analytic import AnalyticModel
+from repro.backends.base import RunConfig
+from repro.core.frame import Frame
+from repro.core.profiler import StrategyProfile
+from repro.pipelines.base import PipelineSpec
+from repro.units import fmt_bytes, fmt_duration, fmt_sps
+
+
+def storage_vs_throughput(profiles: Sequence[StrategyProfile]) -> Frame:
+    """Fig. 6 data: one row per strategy, storage and T4 throughput."""
+    return Frame.from_records([
+        {
+            "strategy": profile.strategy.split_name,
+            "storage": fmt_bytes(profile.storage_bytes),
+            "storage_gb": profile.storage_bytes / 1e9,
+            "throughput_sps": profile.throughput,
+        }
+        for profile in profiles
+    ])
+
+
+def tradeoff_table(profiles: Sequence[StrategyProfile]) -> Frame:
+    """Table 1 layout: strategy, throughput, storage consumption."""
+    return Frame.from_records([
+        {
+            "Preprocessing strategy": profile.strategy.split_name,
+            "Throughput in samples/s": round(profile.throughput),
+            "Storage Consumption in GB": round(
+                profile.storage_bytes / 1e9, 1),
+        }
+        for profile in profiles
+    ])
+
+
+def bottleneck_report(pipeline: PipelineSpec,
+                      config: Optional[RunConfig] = None,
+                      model: Optional[AnalyticModel] = None) -> str:
+    """"Where is my bottleneck?" -- per-strategy binding resources.
+
+    Uses the analytic model's per-resource bounds to answer the paper's
+    title question for every split point.
+    """
+    model = model or AnalyticModel()
+    config = config or RunConfig()
+    lines = [f"Bottleneck report for pipeline {pipeline.name!r} "
+             f"({config.threads} threads):"]
+    for plan in pipeline.split_points():
+        if plan.is_unprocessed and config.compression:
+            continue
+        estimate = model.estimate(plan, config)
+        lines.append(
+            f"  {plan.strategy_name:>20s}: ~{fmt_sps(estimate.throughput)}"
+            f", bound by {estimate.bottleneck}"
+            f" (storage {fmt_bytes(estimate.storage_bytes)})")
+    return "\n".join(lines)
+
+
+def profile_summary(profile: StrategyProfile) -> str:
+    """One-paragraph human summary of a single strategy profile."""
+    run = profile.result
+    pieces = [
+        f"strategy {profile.strategy.name} on pipeline {run.pipeline}:",
+        f"throughput {fmt_sps(profile.throughput)}",
+        f"storage {fmt_bytes(profile.storage_bytes)}",
+    ]
+    if run.offline is not None:
+        pieces.append(
+            f"offline preprocessing {fmt_duration(run.offline.duration)}")
+    if len(run.epochs) > 1:
+        pieces.append(
+            f"cached epochs reach {fmt_sps(profile.cached_throughput)}")
+    if run.app_cache_failed:
+        pieces.append("application cache FAILED (dataset exceeds RAM)")
+    return " ".join(pieces)

@@ -1,0 +1,115 @@
+"""Shuffling analysis (paper Sec. 4.5).
+
+The paper profiles buffer-based with-replacement shuffling (reservoir
+style) and finds:
+
+* the per-sample shuffle overhead is constant -- independent of sample
+  size -- so total shuffle cost is linear in sample count;
+* the one-time buffer allocation amortises with larger sample counts
+  (per-sample time *decreases* as counts grow);
+* therefore shuffling should not participate in strategy selection, but
+  should be placed after the online step with the *smallest* data size:
+  a fixed-byte buffer then holds the most samples, maximising shuffle
+  entropy and giving a better gradient approximation.
+
+This module provides the cost model, an entropy estimator for a buffer
+position, and :func:`recommend_shuffle_position`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import calibration as cal
+from repro.errors import PipelineError
+from repro.pipelines.base import PipelineSpec, SplitPlan
+
+
+def shuffle_overhead_seconds(sample_count: int) -> float:
+    """Total shuffle cost: linear per-sample term plus buffer allocation."""
+    if sample_count < 0:
+        raise PipelineError("negative sample count")
+    if sample_count == 0:
+        return 0.0
+    return (cal.SHUFFLE_BUFFER_ALLOC
+            + sample_count * cal.SHUFFLE_PER_SAMPLE)
+
+
+def per_sample_shuffle_seconds(sample_count: int) -> float:
+    """Amortised per-sample cost; decreases toward the constant term.
+
+    Reproduces the paper's observation that per-sample time falls with
+    increasing sample counts as the allocation amortises.
+    """
+    if sample_count <= 0:
+        raise PipelineError("sample count must be positive")
+    return shuffle_overhead_seconds(sample_count) / sample_count
+
+
+def buffer_capacity_samples(buffer_bytes: float,
+                            bytes_per_sample: float) -> int:
+    """How many samples a fixed-size buffer holds at a representation."""
+    if bytes_per_sample <= 0:
+        raise PipelineError("bytes per sample must be positive")
+    return max(1, int(buffer_bytes // bytes_per_sample))
+
+
+def shuffle_entropy_bits(buffer_samples: int) -> float:
+    """Entropy of the next-sample choice: log2 of the buffer occupancy.
+
+    With-replacement buffer shuffling picks uniformly among the buffered
+    samples, so a fuller buffer means higher entropy and a better
+    approximation of the "true" gradient (paper Sec. 4.5).
+    """
+    if buffer_samples < 1:
+        raise PipelineError("buffer must hold at least one sample")
+    return math.log2(buffer_samples)
+
+
+@dataclass(frozen=True)
+class ShufflePlacement:
+    """Advice for where to shuffle inside a chosen strategy."""
+
+    after_step: str
+    bytes_per_sample: float
+    buffer_samples: int
+    entropy_bits: float
+
+
+def recommend_shuffle_position(plan: SplitPlan,
+                               buffer_bytes: float) -> ShufflePlacement:
+    """Pick the online position with the smallest per-sample size.
+
+    Considers the materialised representation and every representation
+    produced by an online step; the smallest one packs the most samples
+    into ``buffer_bytes``.
+    """
+    pipeline = plan.pipeline
+    candidates = []
+    for index in range(plan.split_index, len(pipeline.representations)):
+        rep = pipeline.representations[index]
+        step_name = ("load" if index == plan.split_index
+                     else pipeline.steps[index - 1].name)
+        candidates.append((rep.bytes_per_sample, step_name))
+    size, step_name = min(candidates, key=lambda pair: pair[0])
+    samples = buffer_capacity_samples(buffer_bytes, size)
+    return ShufflePlacement(
+        after_step=step_name,
+        bytes_per_sample=size,
+        buffer_samples=samples,
+        entropy_bits=shuffle_entropy_bits(samples),
+    )
+
+
+def shuffle_cost_frame(sample_counts: list[int]):
+    """Per-sample shuffle cost across counts (the paper's measurement)."""
+    from repro.core.frame import Frame
+    return Frame.from_records([
+        {
+            "sample_count": count,
+            "total_shuffle_s": shuffle_overhead_seconds(count),
+            "per_sample_us": per_sample_shuffle_seconds(count) * 1e6,
+        }
+        for count in sample_counts
+    ])

@@ -1,0 +1,29 @@
+"""Dataset metadata and synthetic dataset generation.
+
+The paper profiles seven public datasets (Table 2).  They are not
+available offline, so :mod:`repro.datasets.catalog` records their exact
+metadata (sample counts, sizes, formats) and
+:mod:`repro.datasets.synthetic` generates seeded synthetic stand-ins whose
+per-sample payloads match the recorded size distributions -- enough for
+the in-process backend, since PRESTO's decisions depend on sizes and step
+costs, never on semantic content.
+"""
+
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.catalog import (CATALOG, CREAM, CUBE_JPG, CUBE_PNG,
+                                    ILSVRC2012, COMMONVOICE_MP3, LIBRISPEECH_FLAC,
+                                    OPENWEBTEXT, get_dataset, table2_frame)
+
+__all__ = [
+    "DatasetSpec",
+    "CATALOG",
+    "ILSVRC2012",
+    "CUBE_JPG",
+    "CUBE_PNG",
+    "OPENWEBTEXT",
+    "CREAM",
+    "COMMONVOICE_MP3",
+    "LIBRISPEECH_FLAC",
+    "get_dataset",
+    "table2_frame",
+]

@@ -1,0 +1,139 @@
+"""The seven profiled datasets (paper Table 2) plus synthetic sweeps.
+
+Sizes and counts are transcribed from Table 2.  Derived per-sample sizes
+used by the pipeline specs (e.g. decoded image bytes) live with the
+pipeline definitions; this module only records the raw-source facts.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.spec import DatasetSpec
+from repro.units import GB, MB
+
+#: ImageNet ILSVRC2012 subset: 1.3 M low-resolution JPGs.
+ILSVRC2012 = DatasetSpec(
+    name="ILSVRC2012",
+    pipeline="CV",
+    sample_count=1_300_000,
+    total_bytes=146.90 * GB,
+    source_format="JPG",
+    n_files=1_300_000,
+    notes="low-resolution JPG subset of ImageNet",
+)
+
+#: Cube++ high-resolution JPGs (~0.52 MB, ~4.5 MP).
+CUBE_JPG = DatasetSpec(
+    name="Cube++ JPG",
+    pipeline="CV2-JPG",
+    sample_count=4_890,
+    total_bytes=2.54 * GB,
+    source_format="JPG",
+    n_files=4_890,
+    notes="high-resolution JPG flavour of Cube++",
+)
+
+#: Cube++ 16-bit PNGs (~17.4 MB each).
+CUBE_PNG = DatasetSpec(
+    name="Cube++ PNG",
+    pipeline="CV2-PNG",
+    sample_count=4_890,
+    total_bytes=85.17 * GB,
+    source_format="PNG",
+    n_files=4_890,
+    notes="16-bit PNG flavour of Cube++",
+)
+
+#: OpenWebText (early 8 GB iteration): scraped HTML in text files.
+OPENWEBTEXT = DatasetSpec(
+    name="OpenWebText",
+    pipeline="NLP",
+    sample_count=181_000,
+    total_bytes=7.71 * GB,
+    source_format="TXT",
+    n_files=181_000,
+    notes="HTML content of Reddit-upvoted URLs",
+)
+
+#: CREAM X8 coffeemaker dataset: 744 hourly HDF5 containers, 6.4 kHz
+#: current+voltage; samples are 10 s windows => 744 h x 360 = 267,840.
+CREAM = DatasetSpec(
+    name="CREAM",
+    pipeline="NILM",
+    sample_count=268_000,
+    total_bytes=39.56 * GB,
+    source_format="HDF5",
+    n_files=744,
+    notes="component-level electrical measurements (X8 machine)",
+)
+
+#: Mozilla Commonvoice 5.1 English: ~2.4 s MP3 clips at 48 kHz.
+COMMONVOICE_MP3 = DatasetSpec(
+    name="Commonvoice (en)",
+    pipeline="MP3",
+    sample_count=13_000,
+    total_bytes=0.25 * GB,
+    source_format="MP3",
+    n_files=13_000,
+    notes="short spoken-sentence clips",
+)
+
+#: Librispeech: ~12.5 s FLAC utterances at 16 kHz.
+LIBRISPEECH_FLAC = DatasetSpec(
+    name="Librispeech",
+    pipeline="FLAC",
+    sample_count=29_000,
+    total_bytes=6.61 * GB,
+    source_format="FLAC",
+    n_files=29_000,
+    notes="read audiobook utterances",
+)
+
+#: All Table 2 datasets keyed by pipeline name.
+CATALOG: dict[str, DatasetSpec] = {
+    spec.pipeline: spec
+    for spec in (ILSVRC2012, CUBE_JPG, CUBE_PNG, OPENWEBTEXT, CREAM,
+                 COMMONVOICE_MP3, LIBRISPEECH_FLAC)
+}
+
+
+def get_dataset(pipeline: str) -> DatasetSpec:
+    """Look up the Table 2 dataset backing ``pipeline``."""
+    try:
+        return CATALOG[pipeline]
+    except KeyError:
+        raise KeyError(
+            f"no dataset for pipeline {pipeline!r}; "
+            f"known: {sorted(CATALOG)}") from None
+
+
+def table2_frame():
+    """Render the catalog as the paper's Table 2 (a
+    :class:`repro.core.frame.Frame`)."""
+    # Imported here: repro.core pulls in the backends, which would create
+    # an import cycle at module load time.
+    from repro.core.frame import Frame
+    return Frame.from_records(
+        [spec.table2_row() for spec in CATALOG.values()])
+
+
+def synthetic_sweep_spec(sample_mb: float, total_bytes: float = 15 * GB,
+                         dtype: str = "float32") -> DatasetSpec:
+    """A synthetic sweep dataset (paper Figs. 7/9/11): fixed total size,
+    varying sample size; sample counts adapt (732 at 20.5 MB .. 1.5 M at
+    0.01 MB)."""
+    sample_bytes = sample_mb * MB
+    count = max(1, round(total_bytes / sample_bytes))
+    return DatasetSpec(
+        name=f"synthetic-{sample_mb}MB-{dtype}",
+        pipeline="SYNTH",
+        sample_count=count,
+        total_bytes=count * sample_bytes,
+        source_format=dtype,
+        n_files=count,
+        notes="synthetic sample-size sweep dataset",
+    )
+
+
+#: The paper's sweep points, in MB per sample (Figs. 7, 9, 11, 13).
+SWEEP_SAMPLE_MB = (20.5, 10.2, 5.1, 2.6, 1.3, 0.64, 0.32, 0.16,
+                   0.08, 0.04, 0.02, 0.01)

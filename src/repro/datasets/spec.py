@@ -1,0 +1,42 @@
+"""Dataset metadata records (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata of one profiled dataset, matching paper Table 2."""
+
+    name: str
+    pipeline: str
+    sample_count: int
+    total_bytes: float
+    source_format: str
+    #: Number of files holding the raw dataset (one per sample unless the
+    #: source ships containers, like CREAM's hourly HDF5 files).
+    n_files: int
+    notes: str = ""
+
+    @property
+    def avg_sample_bytes(self) -> float:
+        """Average raw sample footprint (Table 2's "Avg. Sample Size")."""
+        return self.total_bytes / self.sample_count
+
+    @property
+    def avg_sample_mb(self) -> float:
+        return self.avg_sample_bytes / MB
+
+    def table2_row(self) -> dict:
+        """Row in the paper's Table 2 layout."""
+        return {
+            "Dataset": self.name,
+            "Pipeline": self.pipeline,
+            "Sample Count": self.sample_count,
+            "Size in GB": self.total_bytes / 1e9,
+            "Avg. Sample Size in MB": self.avg_sample_mb,
+            "Format": self.source_format,
+        }

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch one base class.  Sub-hierarchies mirror the package layout:
+simulation faults, pipeline construction faults, profiling faults and codec
+faults each have their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class ResourceError(SimulationError):
+    """Illegal use of a simulated resource (double release, bad capacity)."""
+
+
+class PipelineError(ReproError):
+    """A preprocessing pipeline was constructed or used incorrectly."""
+
+
+class StepNotFoundError(PipelineError):
+    """A referenced step name does not exist in the pipeline."""
+
+    def __init__(self, step: str, available: list[str]):
+        self.step = step
+        self.available = list(available)
+        super().__init__(
+            f"step {step!r} not in pipeline; available steps: {available}"
+        )
+
+
+class NonDeterministicSplitError(PipelineError):
+    """A strategy tried to move a non-deterministic step offline.
+
+    Steps such as random-crop or shuffling must run online in every epoch
+    (paper Sec. 2); caching their output would freeze the randomness.
+    """
+
+
+class ProfilingError(ReproError):
+    """A profiling run could not be completed."""
+
+
+class CodecError(ReproError):
+    """Encoding or decoding a payload failed."""
+
+
+class FrameError(ReproError):
+    """Invalid operation on a :class:`repro.core.frame.Frame`."""
+
+
+class StorageError(ReproError):
+    """A simulated storage operation failed (missing object, overflow)."""

@@ -1,0 +1,71 @@
+"""Compression codecs: GZIP (RFC 1952) and ZLIB (RFC 1950).
+
+The in-process backend really compresses bytes (both formats are DEFLATE
+streams, available from the standard library).  The simulator instead
+charges calibrated CPU costs and uses per-representation space-saving
+fractions recorded from the paper's Fig. 10 -- compressibility is a
+property of the *data*, which we cannot reconstruct from synthetic
+payloads alone (e.g. JPG decode artifacts hurting DEFLATE, Sec. 4.3
+obs. 1, is an empirical fact of the original images).
+"""
+
+from __future__ import annotations
+
+import gzip
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.calibration import GZIP_COSTS, ZLIB_COSTS, CompressionCosts
+from repro.errors import CodecError
+
+
+@dataclass(frozen=True)
+class CompressionCodec:
+    """A compression scheme: real byte transforms plus simulator costs."""
+
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+    costs: CompressionCosts
+
+
+def _gzip_compress(data: bytes) -> bytes:
+    # mtime pinned for determinism (gzip embeds a timestamp).
+    return gzip.compress(data, compresslevel=6, mtime=0)
+
+
+GZIP = CompressionCodec(
+    name="GZIP",
+    compress=_gzip_compress,
+    decompress=gzip.decompress,
+    costs=GZIP_COSTS,
+)
+
+ZLIB = CompressionCodec(
+    name="ZLIB",
+    compress=lambda data: zlib.compress(data, 6),
+    decompress=zlib.decompress,
+    costs=ZLIB_COSTS,
+)
+
+#: Codec registry; ``None`` means no compression.
+CODECS: dict[str, CompressionCodec] = {codec.name: codec
+                                       for codec in (GZIP, ZLIB)}
+
+
+def get_codec(name: Optional[str]) -> Optional[CompressionCodec]:
+    """Look up a codec by name; ``None`` passes through."""
+    if name is None:
+        return None
+    try:
+        return CODECS[name.upper()]
+    except KeyError:
+        raise CodecError(
+            f"unknown compression codec {name!r}; known: {sorted(CODECS)}"
+        ) from None
+
+
+def compression_names() -> list[Optional[str]]:
+    """The paper's Fig. 10 sweep: none, GZIP, ZLIB."""
+    return [None, "GZIP", "ZLIB"]

@@ -1,0 +1,89 @@
+"""TFRecord-style record framing.
+
+The paper materialises intermediate representations as TFRecord files:
+length-prefixed records that concatenate into one sequential stream per
+shard.  This module implements the same framing:
+
+    [8-byte little-endian length][4-byte masked CRC of length]
+    [payload bytes]              [4-byte masked CRC of payload]
+
+so each record costs 16 bytes of framing -- which is why the paper's
+``concatenated`` strategies are marginally larger than ``unprocessed``
+(147.0 GB vs 146.9 GB for CV).  CRCs use the same Castagnoli masking
+scheme as TFRecord so corruption is detected on read.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.errors import CodecError
+
+#: Framing bytes added per record (length + 2 CRCs).
+RECORD_FRAMING_BYTES = 16
+
+_LENGTH_STRUCT = struct.Struct("<Q")
+_CRC_STRUCT = struct.Struct("<I")
+_CRC_MASK_DELTA = 0xA282EAD8
+
+
+class RecordCorruptionError(CodecError):
+    """A record failed its CRC or framing check."""
+
+
+def _masked_crc(data: bytes) -> int:
+    """TFRecord-style masked CRC32 (rotated and offset)."""
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return (((crc >> 15) | (crc << 17)) + _CRC_MASK_DELTA) & 0xFFFFFFFF
+
+
+def record_overhead(n_records: int) -> int:
+    """Total framing bytes for ``n_records`` records."""
+    return n_records * RECORD_FRAMING_BYTES
+
+
+def write_record(stream: BinaryIO, payload: bytes) -> int:
+    """Append one framed record; returns bytes written."""
+    length = _LENGTH_STRUCT.pack(len(payload))
+    stream.write(length)
+    stream.write(_CRC_STRUCT.pack(_masked_crc(length)))
+    stream.write(payload)
+    stream.write(_CRC_STRUCT.pack(_masked_crc(payload)))
+    return len(payload) + RECORD_FRAMING_BYTES
+
+
+def write_records(stream: BinaryIO, payloads: Iterable[bytes]) -> int:
+    """Append many records; returns total bytes written."""
+    return sum(write_record(stream, payload) for payload in payloads)
+
+
+def read_records(stream: BinaryIO) -> Iterator[bytes]:
+    """Yield payloads from a framed stream, verifying CRCs.
+
+    Raises :class:`RecordCorruptionError` on truncated or corrupt data.
+    """
+    while True:
+        header = stream.read(_LENGTH_STRUCT.size)
+        if not header:
+            return
+        if len(header) != _LENGTH_STRUCT.size:
+            raise RecordCorruptionError("truncated record length")
+        (length,) = _LENGTH_STRUCT.unpack(header)
+        crc_bytes = stream.read(_CRC_STRUCT.size)
+        if len(crc_bytes) != _CRC_STRUCT.size:
+            raise RecordCorruptionError("truncated length CRC")
+        (length_crc,) = _CRC_STRUCT.unpack(crc_bytes)
+        if length_crc != _masked_crc(header):
+            raise RecordCorruptionError("length CRC mismatch")
+        payload = stream.read(length)
+        if len(payload) != length:
+            raise RecordCorruptionError("truncated payload")
+        payload_crc_bytes = stream.read(_CRC_STRUCT.size)
+        if len(payload_crc_bytes) != _CRC_STRUCT.size:
+            raise RecordCorruptionError("truncated payload CRC")
+        (payload_crc,) = _CRC_STRUCT.unpack(payload_crc_bytes)
+        if payload_crc != _masked_crc(payload):
+            raise RecordCorruptionError("payload CRC mismatch")
+        yield payload

@@ -1,0 +1,91 @@
+"""Tensor wire format: the protobuf/pickle stand-in.
+
+The paper notes that neither pickle (PyTorch) nor protobuf (TensorFlow)
+is optimised for tensor payloads; deserialization cost is a first-class
+term in its performance model.  This module provides the equivalent for
+our runtime: a compact, self-describing binary encoding for NumPy arrays.
+
+Layout::
+
+    magic   2 bytes  b"RT"
+    version 1 byte
+    dtype   1-byte code (see _DTYPE_CODES)
+    ndim    1 byte
+    shape   ndim x 8-byte little-endian unsigned
+    payload C-order array bytes
+
+Decoding is zero-copy on the payload (``np.frombuffer``), mirroring how a
+real loader would avoid copies where possible.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import CodecError
+
+_MAGIC = b"RT"
+_VERSION = 1
+
+#: Supported dtypes and their wire codes.
+_DTYPE_CODES: dict[str, int] = {
+    "uint8": 0,
+    "int16": 1,
+    "int32": 2,
+    "int64": 3,
+    "float32": 4,
+    "float64": 5,
+    "uint16": 6,
+}
+_CODE_DTYPES = {code: np.dtype(name)
+                for name, code in _DTYPE_CODES.items()}
+
+_HEADER_STRUCT = struct.Struct("<2sBBB")
+
+
+def header_bytes(ndim: int) -> int:
+    """Serialized header size for an ``ndim``-dimensional tensor."""
+    return _HEADER_STRUCT.size + 8 * ndim
+
+
+def serialize_tensor(array: np.ndarray) -> bytes:
+    """Encode an array into the wire format."""
+    dtype_name = array.dtype.name
+    code = _DTYPE_CODES.get(dtype_name)
+    if code is None:
+        raise CodecError(
+            f"unsupported dtype {dtype_name!r}; "
+            f"supported: {sorted(_DTYPE_CODES)}")
+    if array.ndim > 255:
+        raise CodecError("tensor rank exceeds wire format limit")
+    header = _HEADER_STRUCT.pack(_MAGIC, _VERSION, code, array.ndim)
+    shape = struct.pack(f"<{array.ndim}Q", *array.shape)
+    return header + shape + np.ascontiguousarray(array).tobytes()
+
+
+def deserialize_tensor(data: bytes) -> np.ndarray:
+    """Decode wire bytes back into an array (payload is not copied)."""
+    if len(data) < _HEADER_STRUCT.size:
+        raise CodecError("tensor wire data truncated (header)")
+    magic, version, code, ndim = _HEADER_STRUCT.unpack_from(data)
+    if magic != _MAGIC:
+        raise CodecError(f"bad tensor magic {magic!r}")
+    if version != _VERSION:
+        raise CodecError(f"unsupported tensor wire version {version}")
+    dtype = _CODE_DTYPES.get(code)
+    if dtype is None:
+        raise CodecError(f"unknown dtype code {code}")
+    offset = _HEADER_STRUCT.size
+    shape_end = offset + 8 * ndim
+    if len(data) < shape_end:
+        raise CodecError("tensor wire data truncated (shape)")
+    shape = struct.unpack_from(f"<{ndim}Q", data, offset)
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    payload = data[shape_end:]
+    if len(payload) != expected:
+        raise CodecError(
+            f"payload size {len(payload)} != expected {expected} "
+            f"for shape {shape} {dtype}")
+    return np.frombuffer(payload, dtype=dtype).reshape(shape)

@@ -1,0 +1,12 @@
+"""Real, executable preprocessing operators.
+
+Every transformation the paper's pipelines apply exists here as a genuine
+NumPy implementation: the in-process backend runs them on real bytes, and
+the unit/property tests pin their semantics.  The simulator charges these
+steps via calibrated cost models instead of executing them, but both
+paths share the same step *definitions* (shapes in, shapes out).
+"""
+
+from repro.ops import audio, image, nilm, numeric, text
+
+__all__ = ["audio", "image", "nilm", "numeric", "text"]

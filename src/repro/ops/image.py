@@ -1,0 +1,114 @@
+"""Image operators for the CV pipelines (paper Fig. 2).
+
+The chain is: decode -> resize -> pixel-center -> random-crop, with the
+Sec. 4.6 case-study greyscale step available for insertion.  All
+operators take and return NumPy arrays; decoding lives in
+:mod:`repro.formats.codecs` because it is format-specific.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PipelineError
+
+
+def _require_hwc(image: np.ndarray, op: str) -> None:
+    if image.ndim != 3:
+        raise PipelineError(
+            f"{op}: expected an HxWxC image, got shape {image.shape}")
+
+
+def resize_bilinear(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resize to ``height x width`` (the model-input resize step).
+
+    Matches the usual align_corners=False convention: output pixel centres
+    are sampled at ``(i + 0.5) * scale - 0.5`` in source coordinates.
+    """
+    _require_hwc(image, "resize")
+    if height <= 0 or width <= 0:
+        raise PipelineError(f"resize: bad target {height}x{width}")
+    src_h, src_w, _channels = image.shape
+    data = image.astype(np.float32)
+
+    def sample_axis(n_out: int, n_src: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        coords = (np.arange(n_out, dtype=np.float32) + 0.5) \
+            * (n_src / n_out) - 0.5
+        coords = np.clip(coords, 0.0, n_src - 1.0)
+        low = np.floor(coords).astype(np.int64)
+        high = np.minimum(low + 1, n_src - 1)
+        frac = coords - low
+        return low, high, frac.astype(np.float32)
+
+    y0, y1, fy = sample_axis(height, src_h)
+    x0, x1, fx = sample_axis(width, src_w)
+    top = data[y0][:, x0] * (1 - fx)[None, :, None] \
+        + data[y0][:, x1] * fx[None, :, None]
+    bottom = data[y1][:, x0] * (1 - fx)[None, :, None] \
+        + data[y1][:, x1] * fx[None, :, None]
+    blended = top * (1 - fy)[:, None, None] + bottom * fy[:, None, None]
+    if np.issubdtype(image.dtype, np.integer):
+        info = np.iinfo(image.dtype)
+        return np.clip(np.rint(blended), info.min, info.max).astype(image.dtype)
+    return blended.astype(image.dtype)
+
+
+def pixel_center(image: np.ndarray) -> np.ndarray:
+    """Map integer pixels into centred float32 in [-1, 1].
+
+    This is the step whose uint8 -> float32 conversion quadruples storage
+    consumption and makes the fully-preprocessed CV strategy lose
+    (Sec. 4.1 obs. 2).
+    """
+    if not np.issubdtype(image.dtype, np.integer):
+        raise PipelineError("pixel_center expects an integer image")
+    info = np.iinfo(image.dtype)
+    midpoint = (info.max + 1) / 2.0
+    return ((image.astype(np.float32) - midpoint) / midpoint).astype(np.float32)
+
+
+def random_crop(image: np.ndarray, height: int, width: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Crop a random ``height x width`` window (non-deterministic step).
+
+    Because the offset is drawn fresh every epoch, this step can never be
+    materialised offline -- the paper's only always-online CV step.
+    """
+    _require_hwc(image, "random_crop")
+    src_h, src_w, _ = image.shape
+    if height > src_h or width > src_w:
+        raise PipelineError(
+            f"random_crop: window {height}x{width} exceeds image "
+            f"{src_h}x{src_w}")
+    top = int(rng.integers(0, src_h - height + 1))
+    left = int(rng.integers(0, src_w - width + 1))
+    return image[top:top + height, left:left + width]
+
+
+def greyscale(image: np.ndarray) -> np.ndarray:
+    """ITU-R BT.601 luma conversion, keeping a single channel.
+
+    The Sec. 4.6 case-study step: cuts 3-channel storage by ~3x, which is
+    why inserting it *before* pixel-center raises every downstream
+    strategy's throughput (Fig. 14).
+    """
+    _require_hwc(image, "greyscale")
+    if image.shape[2] == 1:
+        return image.copy()
+    weights = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+    luma = image[..., :3].astype(np.float32) @ weights
+    if np.issubdtype(image.dtype, np.integer):
+        info = np.iinfo(image.dtype)
+        luma = np.clip(np.rint(luma), info.min, info.max)
+    return luma.astype(image.dtype)[..., np.newaxis]
+
+
+def center_crop(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Deterministic companion to :func:`random_crop` (evaluation-style)."""
+    _require_hwc(image, "center_crop")
+    src_h, src_w, _ = image.shape
+    if height > src_h or width > src_w:
+        raise PipelineError("center_crop: window exceeds image")
+    top = (src_h - height) // 2
+    left = (src_w - width) // 2
+    return image[top:top + height, left:left + width]

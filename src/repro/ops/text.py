@@ -1,0 +1,200 @@
+"""Text operators for the NLP pipeline (paper Fig. 5a, GPT-2 style).
+
+The chain: extract text from scraped HTML (the paper uses the
+``newspaper`` library), byte-pair-encode each word to int32 ids, and look
+the ids up in a word2vec-style embedding producing an ``n x 768`` float32
+tensor.
+
+The BPE here is a real byte-pair encoder: merges are learned from a
+corpus and applied greedily, and encoding round-trips through
+:func:`bpe_decode`.  The embedding table is deterministic
+(hash-seeded) so runs are reproducible without shipping word2vec weights.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PipelineError
+
+#: Dimension of the GPT-2-era word2vec embedding in the paper.
+EMBEDDING_DIM = 768
+
+#: Marks the end of a word inside BPE symbol sequences.
+_WORD_END = "</w>"
+
+_TAG_RE = re.compile(r"<[^>]+>")
+_SCRIPT_RE = re.compile(r"<(script|style)\b.*?</\1>",
+                        re.DOTALL | re.IGNORECASE)
+_SPACE_RE = re.compile(r"\s+")
+
+
+def extract_text(html: str) -> str:
+    """Strip markup from scraped HTML, keeping visible text.
+
+    Stands in for the ``newspaper`` article extraction the paper wraps in
+    ``tf.py_function`` (the GIL-bound step that pins NLP at 6 SPS).
+    """
+    without_scripts = _SCRIPT_RE.sub(" ", html)
+    without_tags = _TAG_RE.sub(" ", without_scripts)
+    return _SPACE_RE.sub(" ", without_tags).strip()
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Lowercased word tokens (the units BPE operates on)."""
+    return re.findall(r"[a-z0-9']+", text.lower())
+
+
+@dataclass
+class BPEVocab:
+    """A learned byte-pair-encoding vocabulary.
+
+    ``merges`` is the ordered list of symbol pairs to fuse; ``token_ids``
+    maps every final symbol to a stable int32 id.
+    """
+
+    merges: list[tuple[str, str]] = field(default_factory=list)
+    token_ids: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def id_tokens(self) -> dict[int, str]:
+        return {token_id: token for token, token_id in self.token_ids.items()}
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.token_ids)
+
+
+def train_bpe(corpus: list[str], n_merges: int = 200) -> BPEVocab:
+    """Learn BPE merges from a corpus (Sennrich et al., as cited).
+
+    Words are decomposed into characters plus a word-end marker; the most
+    frequent adjacent pair is merged iteratively.
+    """
+    word_freqs: dict[tuple[str, ...], int] = {}
+    for document in corpus:
+        for word in tokenize_words(document):
+            symbols = tuple(word) + (_WORD_END,)
+            word_freqs[symbols] = word_freqs.get(symbols, 0) + 1
+
+    merges: list[tuple[str, str]] = []
+    for _ in range(n_merges):
+        pair_counts: dict[tuple[str, str], int] = {}
+        for symbols, freq in word_freqs.items():
+            for pair in zip(symbols, symbols[1:]):
+                pair_counts[pair] = pair_counts.get(pair, 0) + freq
+        if not pair_counts:
+            break
+        best = max(pair_counts, key=lambda p: (pair_counts[p], p))
+        if pair_counts[best] < 2:
+            break
+        merges.append(best)
+        merged_symbol = best[0] + best[1]
+        updated: dict[tuple[str, ...], int] = {}
+        for symbols, freq in word_freqs.items():
+            new_symbols: list[str] = []
+            i = 0
+            while i < len(symbols):
+                if (i + 1 < len(symbols)
+                        and (symbols[i], symbols[i + 1]) == best):
+                    new_symbols.append(merged_symbol)
+                    i += 2
+                else:
+                    new_symbols.append(symbols[i])
+                    i += 1
+            key = tuple(new_symbols)
+            updated[key] = updated.get(key, 0) + freq
+        word_freqs = updated
+
+    # Build a stable id space: all seen symbols, merged and atomic.
+    symbols = set()
+    for word in word_freqs:
+        symbols.update(word)
+    for left, right in merges:
+        symbols.update((left, right, left + right))
+    # Reserve single characters so unseen words stay encodable.
+    symbols.update("abcdefghijklmnopqrstuvwxyz0123456789'")
+    symbols.add(_WORD_END)
+    token_ids = {token: i for i, token in enumerate(sorted(symbols))}
+    return BPEVocab(merges=merges, token_ids=token_ids)
+
+
+def _encode_word(word: str, vocab: BPEVocab) -> list[str]:
+    symbols = list(word) + [_WORD_END]
+    for left, right in vocab.merges:
+        merged = left + right
+        i = 0
+        while i + 1 < len(symbols):
+            if symbols[i] == left and symbols[i + 1] == right:
+                symbols[i:i + 2] = [merged]
+            else:
+                i += 1
+    return symbols
+
+
+def bpe_encode(text: str, vocab: BPEVocab) -> np.ndarray:
+    """Encode text into int32 token ids (the ``bpe-encoded`` step)."""
+    ids: list[int] = []
+    for word in tokenize_words(text):
+        for symbol in _encode_word(word, vocab):
+            token_id = vocab.token_ids.get(symbol)
+            if token_id is None:
+                # Fall back to character tokens for unseen symbols.
+                for char in symbol.replace(_WORD_END, ""):
+                    ids.append(vocab.token_ids.get(char, 0))
+                ids.append(vocab.token_ids[_WORD_END])
+            else:
+                ids.append(token_id)
+    return np.asarray(ids, dtype=np.int32)
+
+
+def bpe_decode(ids: np.ndarray, vocab: BPEVocab) -> str:
+    """Invert :func:`bpe_encode` back to space-joined words."""
+    id_tokens = vocab.id_tokens
+    pieces: list[str] = []
+    for token_id in np.asarray(ids).tolist():
+        try:
+            pieces.append(id_tokens[int(token_id)])
+        except KeyError:
+            raise PipelineError(f"unknown token id {token_id}") from None
+    return "".join(pieces).replace(_WORD_END, " ").strip()
+
+
+class EmbeddingTable:
+    """A deterministic word2vec stand-in: id -> 768-dim float32 vector.
+
+    Vectors are generated lazily from a hash-seeded RNG, so any vocabulary
+    size works without storing weights, and the same id always maps to the
+    same vector (reproducibility).
+    """
+
+    def __init__(self, dim: int = EMBEDDING_DIM, seed: int = 0):
+        if dim <= 0:
+            raise PipelineError("embedding dim must be positive")
+        self.dim = dim
+        self.seed = seed
+        self._cache: dict[int, np.ndarray] = {}
+
+    def vector(self, token_id: int) -> np.ndarray:
+        token_id = int(token_id)
+        cached = self._cache.get(token_id)
+        if cached is None:
+            rng = np.random.default_rng((self.seed, token_id))
+            cached = rng.standard_normal(self.dim).astype(np.float32)
+            self._cache[token_id] = cached
+        return cached
+
+    def embed(self, ids: np.ndarray) -> np.ndarray:
+        """Stack vectors for a token sequence: the ``embedded`` step.
+
+        An ``n``-token input becomes an ``n x dim`` float32 tensor -- the
+        64x storage blow-up that makes the fully-preprocessed NLP strategy
+        lose by 13x (paper Sec. 4.1).
+        """
+        flat = np.asarray(ids, dtype=np.int64).ravel()
+        if flat.size == 0:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        return np.stack([self.vector(token_id) for token_id in flat])

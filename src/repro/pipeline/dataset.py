@@ -1,0 +1,114 @@
+"""The tf.data-style public API: :class:`PipelineDataset`.
+
+Build lazily, iterate eagerly::
+
+    dataset = (PipelineDataset.from_record_shards(paths)
+               .map(decode, num_parallel_calls=8)
+               .cache()
+               .shuffle(buffer_size=1024, seed=7)
+               .batch(32)
+               .prefetch(2))
+    for batch in dataset:
+        ...
+
+Every transformation returns a new dataset sharing nothing mutable, so
+datasets are safe to re-iterate (each iteration re-executes the graph,
+except across ``cache()``, which replays from memory like
+``tf.data.Dataset.cache``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.pipeline import nodes as n
+from repro.pipeline.runtime import GraphExecutor
+
+
+class PipelineDataset:
+    """A lazy, composable dataset pipeline."""
+
+    def __init__(self, sink: n.Node):
+        self._sink = sink
+        self._executor: Optional[GraphExecutor] = None
+
+    # -- sources -----------------------------------------------------------
+
+    @classmethod
+    def from_generator(cls, factory: Callable[[], Iterable[Any]],
+                       length_hint: Optional[int] = None) -> "PipelineDataset":
+        """Dataset from a factory returning a fresh iterable per epoch."""
+        return cls(n.SourceNode(parent=None, factory=factory,
+                                length_hint=length_hint))
+
+    @classmethod
+    def from_items(cls, items: Sequence[Any]) -> "PipelineDataset":
+        """Dataset over an in-memory sequence."""
+        materialised = list(items)
+        return cls.from_generator(lambda: iter(materialised),
+                                  length_hint=len(materialised))
+
+    @classmethod
+    def from_record_shards(cls, paths: Sequence[str]) -> "PipelineDataset":
+        """Dataset of raw record payloads from framed shard files."""
+        from repro.pipeline.io import iter_shard_records
+        shard_paths = [str(path) for path in paths]
+        return cls.from_generator(lambda: iter_shard_records(shard_paths))
+
+    # -- transformations ---------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], num_parallel_calls: int = 1,
+            name: str = "map") -> "PipelineDataset":
+        """Apply ``fn`` per element, optionally on worker threads."""
+        return PipelineDataset(n.MapNode(
+            parent=self._sink, fn=fn,
+            num_parallel_calls=num_parallel_calls, name=name))
+
+    def cache(self, capacity_bytes: Optional[float] = None
+              ) -> "PipelineDataset":
+        """Application-level caching (``tf.data.Dataset.cache``).
+
+        The first full iteration materialises elements in memory; later
+        iterations replay them without upstream work.  ``capacity_bytes``
+        enforces the RAM budget -- exceeding it raises, mirroring the
+        paper's failed app-cache runs for CV/NLP last strategies.
+        """
+        return PipelineDataset(n.CacheNode(parent=self._sink,
+                                           capacity_bytes=capacity_bytes))
+
+    def shuffle(self, buffer_size: int, seed: int = 0) -> "PipelineDataset":
+        """Buffer-based with-replacement shuffling (paper Sec. 4.5)."""
+        return PipelineDataset(n.ShuffleNode(parent=self._sink,
+                                             buffer_size=buffer_size,
+                                             seed=seed))
+
+    def batch(self, batch_size: int,
+              drop_remainder: bool = False) -> "PipelineDataset":
+        """Group consecutive elements into lists."""
+        return PipelineDataset(n.BatchNode(parent=self._sink,
+                                           batch_size=batch_size,
+                                           drop_remainder=drop_remainder))
+
+    def prefetch(self, buffer_size: int = 1) -> "PipelineDataset":
+        """Overlap production and consumption via a background thread."""
+        return PipelineDataset(n.PrefetchNode(parent=self._sink,
+                                              buffer_size=buffer_size))
+
+    # -- execution ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        if self._executor is None:
+            self._executor = GraphExecutor(self._sink)
+        return self._executor.iterator()
+
+    def materialize(self) -> list[Any]:
+        """Run the pipeline once and collect every element."""
+        return list(self)
+
+    def count(self) -> int:
+        """Run the pipeline once, touching every element (the paper's
+        simulated training loop accesses each tensor's shape)."""
+        total = 0
+        for _ in self:
+            total += 1
+        return total

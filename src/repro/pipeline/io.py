@@ -1,0 +1,86 @@
+"""Shard files on the local filesystem.
+
+The in-process backend materialises offline representations exactly like
+the paper does: payloads framed into record shards (one shard per reader
+thread), optionally compressed whole-shard.  Readers stream the shards
+back and yield raw payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import CodecError
+from repro.formats.compression import get_codec
+from repro.formats.record import read_records, write_record
+
+
+def write_shards(payloads: Iterable[bytes], directory: str | Path,
+                 n_shards: int, prefix: str = "shard",
+                 compression: Optional[str] = None) -> list[Path]:
+    """Round-robin payloads into ``n_shards`` record files.
+
+    Returns the shard paths.  With ``compression``, each shard is
+    compressed as one stream after framing (like ``TFRecordOptions``
+    compression).
+    """
+    if n_shards < 1:
+        raise CodecError("need at least one shard")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    codec = get_codec(compression)
+    suffix = f".{codec.name.lower()}" if codec else ""
+    paths = [directory / f"{prefix}-{index:05d}.records{suffix}"
+             for index in range(n_shards)]
+    if codec is None:
+        handles = [open(path, "wb") for path in paths]
+        try:
+            for index, payload in enumerate(payloads):
+                write_record(handles[index % n_shards], payload)
+        finally:
+            for handle in handles:
+                handle.close()
+        return paths
+    # Compressed shards: frame in memory per shard, then compress once.
+    import io as _io
+    buffers = [_io.BytesIO() for _ in paths]
+    for index, payload in enumerate(payloads):
+        write_record(buffers[index % n_shards], payload)
+    for path, buffer in zip(paths, buffers):
+        path.write_bytes(codec.compress(buffer.getvalue()))
+    return paths
+
+
+def iter_shard_records(paths: Sequence[str | Path]) -> Iterator[bytes]:
+    """Stream payloads from shards sequentially, shard by shard."""
+    for path in paths:
+        path = Path(path)
+        compression = _compression_from_suffix(path)
+        if compression is None:
+            with open(path, "rb") as handle:
+                yield from read_records(handle)
+        else:
+            codec = get_codec(compression)
+            import io as _io
+            raw = codec.decompress(path.read_bytes())
+            yield from read_records(_io.BytesIO(raw))
+
+
+def read_shards(paths: Sequence[str | Path]) -> list[bytes]:
+    """Materialise every payload from the given shards."""
+    return list(iter_shard_records(paths))
+
+
+def shard_sizes(paths: Sequence[str | Path]) -> int:
+    """Total on-disk footprint of the shards in bytes."""
+    return sum(os.path.getsize(path) for path in paths)
+
+
+def _compression_from_suffix(path: Path) -> Optional[str]:
+    if path.suffix == ".gzip":
+        return "GZIP"
+    if path.suffix == ".zlib":
+        return "ZLIB"
+    return None

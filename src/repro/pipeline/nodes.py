@@ -1,0 +1,103 @@
+"""Dataset-graph nodes.
+
+Each node is a small declarative record; execution lives in
+:mod:`repro.pipeline.runtime`.  Nodes form a linked list from sink to
+source (every node holds its ``parent``), matching how tf.data composes
+transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import PipelineError
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for dataset-graph nodes."""
+
+    parent: Optional["Node"]
+
+    def validate(self) -> None:
+        """Hook for construction-time checks."""
+
+    def chain(self) -> list["Node"]:
+        """Nodes from source to this node."""
+        nodes: list[Node] = []
+        node: Optional[Node] = self
+        while node is not None:
+            nodes.append(node)
+            node = node.parent
+        return list(reversed(nodes))
+
+
+@dataclass(frozen=True)
+class SourceNode(Node):
+    """Produces samples from a factory returning a fresh iterable."""
+
+    factory: Callable[[], Iterable[Any]]
+    length_hint: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.parent is not None:
+            raise PipelineError("source nodes cannot have parents")
+
+
+@dataclass(frozen=True)
+class MapNode(Node):
+    """Applies ``fn`` to every sample, optionally on worker threads."""
+
+    fn: Callable[[Any], Any] = None  # type: ignore[assignment]
+    num_parallel_calls: int = 1
+    name: str = "map"
+
+    def validate(self) -> None:
+        if self.fn is None:
+            raise PipelineError(f"map node {self.name!r} needs a function")
+        if self.num_parallel_calls < 1:
+            raise PipelineError(
+                f"map node {self.name!r}: num_parallel_calls must be >= 1")
+
+
+@dataclass(frozen=True)
+class CacheNode(Node):
+    """Application-level cache: stores elements in RAM after pass one."""
+
+    capacity_bytes: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ShuffleNode(Node):
+    """Buffer-based with-replacement shuffling (paper Sec. 4.5)."""
+
+    buffer_size: int = 0
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.buffer_size < 1:
+            raise PipelineError("shuffle buffer must hold at least 1 sample")
+
+
+@dataclass(frozen=True)
+class BatchNode(Node):
+    """Groups consecutive samples into lists of ``batch_size``."""
+
+    batch_size: int = 1
+    drop_remainder: bool = False
+
+    def validate(self) -> None:
+        if self.batch_size < 1:
+            raise PipelineError("batch size must be >= 1")
+
+
+@dataclass(frozen=True)
+class PrefetchNode(Node):
+    """Decouples producer and consumer with a bounded background queue."""
+
+    buffer_size: int = 1
+
+    def validate(self) -> None:
+        if self.buffer_size < 1:
+            raise PipelineError("prefetch buffer must be >= 1")

@@ -1,0 +1,31 @@
+"""The profiled preprocessing pipelines.
+
+One module per paper domain builds the pipeline specifications used
+throughout the reproduction:
+
+* :mod:`repro.pipelines.cv` -- CV (ILSVRC2012), CV2-JPG and CV2-PNG
+  (Cube++), paper Fig. 2.
+* :mod:`repro.pipelines.nlp` -- the GPT-2/OpenWebText pipeline, Fig. 5a.
+* :mod:`repro.pipelines.audio` -- MP3 (Commonvoice) and FLAC
+  (Librispeech), Fig. 5b.
+* :mod:`repro.pipelines.nilm` -- the CREAM event-detection pipeline,
+  Fig. 5c.
+* :mod:`repro.pipelines.synthetic` -- the synthetic sample-size-sweep
+  pipelines behind Figs. 7, 9, 11 and 13.
+
+Each pipeline is a :class:`repro.pipelines.base.PipelineSpec`: an ordered
+chain of steps with calibrated cost models, the data representation after
+every step, and bindings to real NumPy implementations for the in-process
+backend.
+"""
+
+from repro.pipelines.base import PipelineSpec, Representation, StepSpec
+from repro.pipelines.registry import all_pipelines, get_pipeline
+
+__all__ = [
+    "PipelineSpec",
+    "Representation",
+    "StepSpec",
+    "all_pipelines",
+    "get_pipeline",
+]

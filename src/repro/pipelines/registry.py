@@ -1,0 +1,49 @@
+"""Registry of the seven profiled pipelines.
+
+Builders are re-invoked on each lookup so callers can mutate their copy
+(e.g. ``with_sample_count``) without affecting others.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.pipelines.audio import build_flac, build_mp3
+from repro.pipelines.base import PipelineSpec
+from repro.pipelines.cv import (build_cv, build_cv2_jpg, build_cv2_png,
+                                build_cv_greyscale_after_center,
+                                build_cv_greyscale_before_center)
+from repro.pipelines.nilm import build_nilm
+from repro.pipelines.nlp import build_nlp
+
+_BUILDERS: dict[str, Callable[[], PipelineSpec]] = {
+    "CV": build_cv,
+    "CV2-JPG": build_cv2_jpg,
+    "CV2-PNG": build_cv2_png,
+    "NLP": build_nlp,
+    "NILM": build_nilm,
+    "MP3": build_mp3,
+    "FLAC": build_flac,
+    # Sec. 4.6 variants (not part of the Fig. 6 seven).
+    "CV+greyscale-before": build_cv_greyscale_before_center,
+    "CV+greyscale-after": build_cv_greyscale_after_center,
+}
+
+#: The seven pipelines of the paper's Fig. 6, in presentation order.
+PAPER_PIPELINES = ("CV", "CV2-JPG", "CV2-PNG", "NLP", "NILM", "MP3", "FLAC")
+
+
+def get_pipeline(name: str) -> PipelineSpec:
+    """Build a fresh spec for ``name``."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown pipeline {name!r}; known: {sorted(_BUILDERS)}"
+        ) from None
+
+
+def all_pipelines(paper_only: bool = True) -> list[PipelineSpec]:
+    """Fresh specs for every pipeline (the Fig. 6 seven by default)."""
+    names = PAPER_PIPELINES if paper_only else tuple(_BUILDERS)
+    return [get_pipeline(name) for name in names]

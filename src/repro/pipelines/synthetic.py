@@ -1,0 +1,86 @@
+"""Synthetic sweep pipelines (paper Figs. 7, 9, 11, 13).
+
+The paper's microbenchmarks read a fixed 15 GB dataset whose sample size
+sweeps from 20.5 MB down to 0.01 MB (sample counts 732 .. 1.5 M):
+
+* Fig. 7 -- read + deserialize, uint8 vs float32 (dtype does not matter);
+* Fig. 9 -- the same sweep under no-cache / sys-cache / app-cache;
+* Fig. 11 -- the same sweep across 1/2/4/8 threads;
+* Fig. 13 -- an added RMS step implemented in NumPy (external/GIL) vs
+  framework-native code.
+
+Each sweep point is its own small :class:`PipelineSpec` whose single
+optional step cost scales with the sample size.
+"""
+
+from __future__ import annotations
+
+from repro import calibration as cal
+from repro.datasets.catalog import SWEEP_SAMPLE_MB, synthetic_sweep_spec
+from repro.ops import numeric
+from repro.pipelines.base import (EXTERNAL, NATIVE, PipelineSpec,
+                                  Representation, StepSpec)
+from repro.units import GB, MB
+
+#: Default total volume of every sweep dataset.
+SWEEP_TOTAL_BYTES = 15 * GB
+
+
+def build_read_sweep_pipeline(sample_mb: float, dtype: str = "float32",
+                              total_bytes: float = SWEEP_TOTAL_BYTES,
+                              ) -> PipelineSpec:
+    """A no-op pipeline: materialised records are only read + deserialized.
+
+    This isolates exactly what Figs. 7/9/11 measure.  The single
+    representation is already in record format (the paper reads
+    pre-serialized TFRecords for these experiments).
+    """
+    spec = synthetic_sweep_spec(sample_mb, total_bytes, dtype)
+    representation = Representation(
+        f"synthetic-{sample_mb}MB", spec.avg_sample_bytes, dtype=dtype,
+        record_format=True,
+        compressibility={"GZIP": 0.35, "ZLIB": 0.35})
+    return PipelineSpec(
+        f"SYNTH-{sample_mb}MB-{dtype}", [representation], [],
+        spec.sample_count,
+        description="15 GB read/deserialize sweep point")
+
+
+def build_rms_sweep_pipeline(sample_mb: float, impl: str,
+                             total_bytes: float = SWEEP_TOTAL_BYTES,
+                             ) -> PipelineSpec:
+    """Fig. 13: the read sweep plus one RMS step, NumPy vs native.
+
+    NumPy is ~19x faster per byte but holds the GIL; the framework-native
+    version scales across threads but is slow.  Costs scale linearly with
+    the sample size (both implementations stream the whole sample).
+    """
+    if impl not in ("numpy", "native"):
+        raise ValueError(f"impl must be 'numpy' or 'native', got {impl!r}")
+    spec = synthetic_sweep_spec(sample_mb, total_bytes, "float32")
+    source = Representation(
+        f"synthetic-{sample_mb}MB", spec.avg_sample_bytes, dtype="float32",
+        record_format=True)
+    # RMS halves nothing: output is size/period, negligible; model the
+    # output representation as the per-period means.
+    out_bytes = max(spec.avg_sample_bytes / numeric.DEFAULT_PERIOD, 8.0)
+    output = Representation("rms-applied", out_bytes, dtype="float64")
+    if impl == "numpy":
+        step = StepSpec(
+            "rms", cpu_seconds=cal.RMS_NUMPY_PER_MB * sample_mb,
+            impl=EXTERNAL,
+            fn=lambda sample, rng: numeric.rms_vectorized(sample))
+    else:
+        step = StepSpec(
+            "rms", cpu_seconds=cal.RMS_NATIVE_PER_MB * sample_mb,
+            impl=NATIVE,
+            fn=lambda sample, rng: numeric.rms_framework(sample))
+    return PipelineSpec(
+        f"SYNTH-RMS-{impl}-{sample_mb}MB", [source, output], [step],
+        spec.sample_count,
+        description="Fig. 13 RMS implementation comparison point")
+
+
+def sweep_sample_sizes() -> tuple[float, ...]:
+    """The paper's x-axis, in MB."""
+    return SWEEP_SAMPLE_MB

@@ -1,0 +1,97 @@
+"""The Ceph-like object store.
+
+A :class:`StorageCluster` combines a :class:`DeviceProfile` with shared
+read/write links and a metadata service.  Reads and writes are simulation
+processes (generators to ``yield from`` inside a process):
+
+* ``read()`` -- optionally pays a per-file open (metadata slot + latency),
+  then streams bytes over the max-min-fair read link.  If a
+  :class:`~repro.sim.pagecache.PageCache` is supplied, hits are served from
+  memory instead and misses populate the cache.
+* ``write()`` -- streams bytes over the write link.
+
+The cluster does not store payloads -- only the byte accounting matters for
+throughput -- but it tracks cumulative counters that
+:class:`~repro.sim.dstat.Dstat` turns into the paper's "network reads in
+MB/s" columns.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Hashable, Optional
+
+from repro.sim.bandwidth import SharedBandwidth
+from repro.sim.events import Event, Simulation
+from repro.sim.pagecache import PageCache
+from repro.sim.resources import Resource
+from repro.sim.storage import DeviceProfile
+
+
+class StorageCluster:
+    """Simulated remote object store (Ceph over a 10 Gb/s link)."""
+
+    def __init__(self, sim: Simulation, profile: DeviceProfile,
+                 memory_link: Optional[SharedBandwidth] = None):
+        self.sim = sim
+        self.profile = profile
+        self.read_link = SharedBandwidth(
+            sim, profile.aggregate_bw, profile.stream_bw,
+            name=f"{profile.name}-read")
+        self.write_link = SharedBandwidth(
+            sim, profile.write_bw, profile.stream_bw,
+            name=f"{profile.name}-write")
+        self.metadata = Resource(sim, profile.metadata_slots,
+                                 name=f"{profile.name}-mds")
+        #: Client-side memory path used to serve page-cache hits.
+        self.memory_link = memory_link
+        # Counters.
+        self.files_opened = 0
+        self.cache_bytes_read = 0.0
+
+    # -- read path ------------------------------------------------------------
+
+    def open_file(self, pipeline_path: bool = True
+                  ) -> Generator[Event, None, None]:
+        """Pay the per-file open cost through the metadata service."""
+        latency = (self.profile.pipeline_open_latency if pipeline_path
+                   else self.profile.open_latency)
+        self.files_opened += 1
+        yield from self.metadata.use(latency)
+
+    def read(self, key: Hashable, nbytes: float,
+             page_cache: Optional[PageCache] = None,
+             open_file: bool = False, pipeline_path: bool = True,
+             ) -> Generator[Event, None, str]:
+        """Read ``nbytes`` under ``key``; returns ``"cache"`` or ``"storage"``.
+
+        ``open_file`` should be true in file-per-sample mode (the paper's
+        ``unprocessed`` strategies) and false for sequential record streams.
+        """
+        if page_cache is not None and page_cache.lookup(key):
+            self.cache_bytes_read += nbytes
+            if self.memory_link is not None:
+                yield self.memory_link.transfer(nbytes)
+            return "cache"
+        if open_file:
+            yield from self.open_file(pipeline_path=pipeline_path)
+        yield self.read_link.transfer(nbytes)
+        if page_cache is not None:
+            page_cache.insert(key, nbytes)
+        return "storage"
+
+    # -- write path ------------------------------------------------------------
+
+    def write(self, nbytes: float) -> Generator[Event, None, None]:
+        """Stream ``nbytes`` to the cluster."""
+        yield self.write_link.transfer(nbytes)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def bytes_read_from_storage(self) -> float:
+        """Bytes actually moved over the network read link."""
+        return self.read_link.bytes_moved
+
+    @property
+    def bytes_written(self) -> float:
+        return self.write_link.bytes_moved

@@ -1,0 +1,138 @@
+"""dstat-style resource counters for simulated runs.
+
+The paper runs ``dstat`` alongside every profile to capture disk/network
+load.  :class:`Dstat` provides the same information for simulated runs:
+
+* a sampled time series of network read/write throughput and page-cache
+  occupancy (adaptive sampling interval so long offline runs do not bloat
+  the event queue), and
+* aggregate statistics -- the "average network read speed" columns of
+  Table 4 come from :meth:`Dstat.summary`.
+
+Start it before the run, call :meth:`stop` when the run's main process
+finishes; the sampler process then terminates at its next tick and the
+simulation can drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.sim.cluster import StorageCluster
+from repro.sim.cpu import Machine
+from repro.sim.events import Event, Simulation
+from repro.units import MB
+
+
+@dataclass
+class DstatSample:
+    """One sampled row of system counters."""
+
+    time: float
+    read_bw: float
+    write_bw: float
+    memory_bw: float
+    cache_used: float
+    active_read_streams: int
+
+
+@dataclass
+class DstatSummary:
+    """Aggregates over a window, mirroring the paper's reported averages."""
+
+    duration: float
+    bytes_read: float
+    bytes_written: float
+    cache_hit_rate: float
+    avg_read_bw: float
+    avg_write_bw: float
+    peak_read_bw: float = 0.0
+    samples: int = 0
+
+    def describe(self) -> str:
+        return (f"reads {self.avg_read_bw / MB:.1f} MB/s avg "
+                f"({self.peak_read_bw / MB:.1f} peak), "
+                f"writes {self.avg_write_bw / MB:.1f} MB/s, "
+                f"cache hit rate {self.cache_hit_rate:.0%}")
+
+
+class Dstat:
+    """Samples cluster/machine counters during a simulated run."""
+
+    def __init__(self, sim: Simulation, cluster: StorageCluster,
+                 machine: Machine, interval: float = 1.0,
+                 max_samples: int = 4000):
+        self.sim = sim
+        self.cluster = cluster
+        self.machine = machine
+        self.interval = interval
+        self.max_samples = max_samples
+        self.samples: list[DstatSample] = []
+        self._stopped = False
+        self._stop_time: Optional[float] = None
+        self._start_time = sim.now
+        self._start_read = cluster.read_link.bytes_moved
+        self._start_write = cluster.write_link.bytes_moved
+        self._last_read = self._start_read
+        self._last_write = self._start_write
+        self._last_mem = machine.memory_link.bytes_moved
+        self._last_time = sim.now
+        self._process = sim.process(self._sample_loop(), name="dstat")
+
+    def stop(self) -> None:
+        """Ask the sampler to terminate at its next tick.
+
+        The stop moment also closes the measurement window, so summary
+        averages exclude the sampler's idle tail.
+        """
+        self._stopped = True
+        self._stop_time = self.sim.now
+
+    def _sample_loop(self) -> Generator[Event, None, None]:
+        while not self._stopped:
+            yield self.sim.timeout(self.interval)
+            self._record()
+            if len(self.samples) >= self.max_samples:
+                # Long run: halve the sampling rate, thin the series.
+                self.interval *= 2.0
+                self.samples = self.samples[::2]
+
+    def _record(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_time
+        if elapsed <= 0:
+            return
+        read_bytes = self.cluster.read_link.bytes_moved
+        write_bytes = self.cluster.write_link.bytes_moved
+        mem_bytes = self.machine.memory_link.bytes_moved
+        self.samples.append(DstatSample(
+            time=now,
+            read_bw=(read_bytes - self._last_read) / elapsed,
+            write_bw=(write_bytes - self._last_write) / elapsed,
+            memory_bw=(mem_bytes - self._last_mem) / elapsed,
+            cache_used=self.machine.page_cache.used_bytes,
+            active_read_streams=self.cluster.read_link.active_streams,
+        ))
+        self._last_read = read_bytes
+        self._last_write = write_bytes
+        self._last_mem = mem_bytes
+        self._last_time = now
+
+    def summary(self) -> DstatSummary:
+        """Aggregate counters since construction."""
+        end = self._stop_time if self._stop_time is not None else self.sim.now
+        duration = max(end - self._start_time, 1e-12)
+        bytes_read = self.cluster.read_link.bytes_moved - self._start_read
+        bytes_written = self.cluster.write_link.bytes_moved - self._start_write
+        peak = max((s.read_bw for s in self.samples), default=0.0)
+        return DstatSummary(
+            duration=duration,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            cache_hit_rate=self.machine.page_cache.hit_rate,
+            avg_read_bw=bytes_read / duration,
+            avg_write_bw=bytes_written / duration,
+            peak_read_bw=peak,
+            samples=len(self.samples),
+        )

@@ -1,0 +1,256 @@
+"""A minimal discrete-event simulation kernel.
+
+The kernel follows the simpy model without the dependency: a
+:class:`Simulation` owns a priority queue of timestamped events, and a
+:class:`Process` wraps a Python generator that ``yield``s events.  When a
+yielded event triggers, the process resumes with the event's value.
+
+Only the features the storage/CPU models need are implemented, which keeps
+the kernel small enough to test exhaustively:
+
+* :class:`Timeout` -- fires after a simulated delay.
+* :class:`Event` -- manually triggered (used by resources and links).
+* :class:`Process` -- itself an event that triggers when the generator
+  returns, so processes can wait on each other.
+* :func:`all_of` -- barrier over a list of events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+#: Type of the generators that drive processes.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence inside a simulation.
+
+    An event starts *pending*, is *triggered* exactly once with a value (or
+    an exception), and then runs its callbacks when the simulation processes
+    it.  Triggering twice is a bug and raises :class:`SimulationError`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered",
+                 "_processed")
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False   # value decided, queued for its timestamp
+        self._processed = False   # timestamp reached, callbacks ran
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event already fired (value available)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's timestamp has been reached by the clock."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` simulated seconds."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception after ``delay`` seconds."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def _resolve(self) -> None:
+        """Run callbacks; called by the simulation at the event's timestamp."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """Drives a generator; the process is an event that fires on return."""
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, sim: "Simulation", generator: ProcessGenerator,
+                 name: str = "process"):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name
+        # Bootstrap: resume the generator once the simulation starts.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value of the event that fired."""
+        while True:
+            try:
+                if event._exception is not None:
+                    target = self._generator.throw(event._exception)
+                else:
+                    target = self._generator.send(event._value)
+            except StopIteration as stop:
+                super().succeed(stop.value)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {type(target).__name__}, "
+                    "expected an Event"
+                )
+            if target._processed:
+                # The event's timestamp has already passed: resume in-line.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            return
+
+
+def all_of(sim: "Simulation", events: Iterable[Event]) -> Event:
+    """Return an event that fires once every event in ``events`` has fired.
+
+    The resulting value is the list of the individual event values in input
+    order.  An empty iterable yields an immediately-triggered event.
+    """
+    pending = list(events)
+    barrier = Event(sim)
+    remaining = len(pending)
+    if remaining == 0:
+        return barrier.succeed([])
+
+    values: list[Any] = [None] * remaining
+    counter = {"n": remaining}
+
+    def make_callback(index: int) -> Callable[[Event], None]:
+        def callback(event: Event) -> None:
+            if event._exception is not None:
+                if not barrier.triggered:
+                    barrier.fail(event._exception)
+                return
+            values[index] = event._value
+            counter["n"] -= 1
+            if counter["n"] == 0 and not barrier.triggered:
+                barrier.succeed(values)
+
+        return callback
+
+    for i, event in enumerate(pending):
+        if event._processed:
+            make_callback(i)(event)
+        else:
+            event.callbacks.append(make_callback(i))
+    return barrier
+
+
+class Simulation:
+    """The event loop: a clock plus a priority queue of pending events."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._processes_started = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    # -- public construction helpers ---------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event bound to this simulation."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: str = "process") -> Process:
+        """Start a process driven by ``generator``."""
+        self._processes_started += 1
+        return Process(self, generator, name=name)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        timestamp, _, event = heapq.heappop(self._queue)
+        if timestamp < self._now:
+            raise SimulationError("time went backwards")
+        self._now = timestamp
+        event._resolve()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final simulated time.
+        """
+        while self._queue:
+            timestamp = self._queue[0][0]
+            if until is not None and timestamp > until:
+                self._now = until
+                return self._now
+            self.step()
+        return self._now
+
+    def run_process(self, generator: ProcessGenerator,
+                    name: str = "main") -> Any:
+        """Convenience: start a process, run to completion, return its value.
+
+        Raises :class:`DeadlockError` if the queue drains before the process
+        finishes (some event was never triggered).
+        """
+        process = self.process(generator, name=name)
+        self.run()
+        if not process.triggered:
+            raise DeadlockError(
+                f"simulation drained before process {name!r} completed"
+            )
+        if process._exception is not None:
+            raise process._exception
+        return process.value

@@ -1,0 +1,76 @@
+"""Byte, time and rate units used throughout the reproduction.
+
+The paper mixes decimal units (storage vendors, network links: 1 MB =
+1e6 bytes) with samples-per-second throughputs.  Everything in this code
+base is stored in *base units* -- bytes and seconds -- and converted only at
+the edges.  These helpers make call sites read like the paper
+(``10 * GB``, ``fmt_rate(bw)``).
+"""
+
+from __future__ import annotations
+
+# Decimal byte units (as used for storage sizes and network bandwidth).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Binary units (page cache / RAM capacities).
+KIB = 1_024
+MIB = 1_024 ** 2
+GIB = 1_024 ** 3
+
+# Time units, in seconds.
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3_600.0
+
+#: 10 Gb/s uplink/downlink of the paper's Ceph cluster, in bytes/second.
+LINK_10GBIT = 1.25 * GB
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count the way the paper does (146.9GB, 594MB, 1.39TB)."""
+    if n < 0:
+        return "-" + fmt_bytes(-n)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if n >= unit:
+            value = n / unit
+            return f"{value:.2f}{name}" if value < 10 else f"{value:.1f}{name}"
+    return f"{n:.0f}B"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth, e.g. ``910.0 MB/s``."""
+    return f"{bytes_per_second / MB:.1f} MB/s"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration using the largest sensible unit."""
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.2f}h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:.2f}min"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= MS:
+        return f"{seconds / MS:.2f}ms"
+    return f"{seconds / US:.1f}us"
+
+
+def fmt_sps(samples_per_second: float) -> str:
+    """Render a throughput in samples per second."""
+    if samples_per_second >= 100:
+        return f"{samples_per_second:,.0f} SPS"
+    return f"{samples_per_second:.1f} SPS"
+
+
+def space_saving(original: float, compressed: float) -> float:
+    """Space-saving percentage as defined in paper Sec. 4.3.
+
+    0.0 means no change; 0.8 means the compressed copy is 5x smaller.
+    """
+    if original <= 0:
+        raise ValueError("original size must be positive")
+    return 1.0 - compressed / original

@@ -1,0 +1,90 @@
+"""The analytic model must agree with the DES within tolerance."""
+
+import pytest
+
+from repro.backends import (AnalyticModel, Environment, RunConfig,
+                            SimulatedBackend)
+from repro.errors import ProfilingError
+from repro.pipelines import all_pipelines, get_pipeline
+from repro.sim.storage import SSD_CEPH
+
+MODEL = AnalyticModel()
+BACKEND = SimulatedBackend()
+
+
+def test_cross_validation_against_des():
+    """Every (pipeline, strategy) estimate lands within 45% of the DES.
+
+    The analytic model ignores queueing transients, so it is a screening
+    tool, not a replacement -- but it must stay in the same ballpark.
+    """
+    config = RunConfig()
+    for pipeline in all_pipelines():
+        for plan in pipeline.split_points():
+            estimate = MODEL.estimate(plan, config).throughput
+            simulated = BACKEND.run(plan, config).throughput
+            ratio = estimate / simulated
+            assert 0.55 < ratio < 1.8, (
+                f"{pipeline.name}/{plan.strategy_name}: "
+                f"analytic {estimate:.0f} vs DES {simulated:.0f}")
+
+
+def test_rank_correlation_with_des():
+    """Within a pipeline, the analytic ranking matches the DES ranking
+    for the top strategy (what screening relies on)."""
+    config = RunConfig()
+    for pipeline in all_pipelines():
+        plans = pipeline.split_points()
+        analytic_best = max(
+            plans, key=lambda plan: MODEL.estimate(plan, config).throughput)
+        des_best = max(
+            plans, key=lambda plan: BACKEND.run(plan, config).throughput)
+        assert analytic_best.strategy_name == des_best.strategy_name
+
+
+def test_bottleneck_identification():
+    config = RunConfig()
+    nlp = get_pipeline("NLP")
+    assert MODEL.estimate(nlp.split_at("unprocessed"),
+                          config).bottleneck == "gil"
+    nilm = get_pipeline("NILM")
+    assert MODEL.estimate(nilm.split_at("aggregated"),
+                          config).bottleneck == "dispatch"
+    cv = get_pipeline("CV")
+    assert MODEL.estimate(
+        cv.split_at("unprocessed"), config).bottleneck in (
+            "metadata", "threads(cpu+io)")
+
+
+def test_offline_estimate_positive_and_ordered():
+    config = RunConfig()
+    cv = get_pipeline("CV")
+    decoded = MODEL.estimate(cv.split_at("decoded"), config)
+    unprocessed = MODEL.estimate(cv.split_at("unprocessed"), config)
+    assert unprocessed.offline_seconds == 0.0
+    assert decoded.offline_seconds > 0.0
+
+
+def test_compression_affects_estimate():
+    config = RunConfig(compression="GZIP")
+    cv = get_pipeline("CV")
+    plain = MODEL.estimate(cv.split_at("pixel-centered"), RunConfig())
+    compressed = MODEL.estimate(cv.split_at("pixel-centered"), config)
+    # Fig. 10a: compression helps the bloated pixel-centered strategy.
+    assert compressed.throughput > plain.throughput
+    assert compressed.storage_bytes < plain.storage_bytes
+
+
+def test_unprocessed_compression_rejected():
+    with pytest.raises(ProfilingError):
+        MODEL.estimate(get_pipeline("CV").split_at("unprocessed"),
+                       RunConfig(compression="GZIP"))
+
+
+def test_environment_swap_changes_estimates():
+    ssd_model = AnalyticModel(Environment(storage=SSD_CEPH))
+    cv = get_pipeline("CV")
+    config = RunConfig()
+    hdd = MODEL.estimate(cv.split_at("unprocessed"), config).throughput
+    ssd = ssd_model.estimate(cv.split_at("unprocessed"), config).throughput
+    assert ssd > 3.0 * hdd

@@ -1,0 +1,99 @@
+"""Tests for the in-process backend (real execution, miniature scale)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import InProcessBackend, RunConfig
+from repro.backends.inprocess import _pack, _unpack
+from repro.errors import CodecError, ProfilingError
+from repro.pipelines import get_pipeline
+
+
+@pytest.fixture(scope="module")
+def backend():
+    with InProcessBackend(sample_count=12, seed=1) as instance:
+        yield instance
+
+
+class TestPacking:
+    def test_tensor_round_trip(self):
+        array = np.arange(6, dtype=np.float32).reshape(2, 3)
+        np.testing.assert_array_equal(_unpack(_pack(array)), array)
+
+    def test_bytes_round_trip(self):
+        assert _unpack(_pack(b"raw")) == b"raw"
+
+    def test_str_round_trip(self):
+        assert _unpack(_pack("text")) == "text"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CodecError):
+            _pack(3.14)
+        with pytest.raises(CodecError):
+            _unpack(b"Zbogus")
+
+
+class TestExecution:
+    def test_all_samples_consumed_every_strategy(self, backend):
+        pipeline = get_pipeline("MP3")
+        for plan in pipeline.split_points():
+            result = backend.run(plan, RunConfig(threads=2))
+            assert result.epochs[0].samples == 12
+
+    def test_storage_is_real_bytes_on_disk(self, backend):
+        result = backend.run(get_pipeline("NILM").split_at("aggregated"),
+                             RunConfig(threads=2))
+        assert result.storage_bytes > 0
+
+    def test_nilm_aggregation_shrinks_storage(self, backend):
+        """The aggregated representation must be much smaller than the
+        decoded one -- with real bytes, not a size model."""
+        pipeline = get_pipeline("NILM")
+        decoded = backend.run(pipeline.split_at("decoded"),
+                              RunConfig(threads=2))
+        aggregated = backend.run(pipeline.split_at("aggregated"),
+                                 RunConfig(threads=2))
+        assert aggregated.storage_bytes < decoded.storage_bytes / 20
+
+    def test_nlp_embedding_blows_up_storage(self, backend):
+        pipeline = get_pipeline("NLP")
+        bpe = backend.run(pipeline.split_at("bpe-encoded"),
+                          RunConfig(threads=2))
+        embedded = backend.run(pipeline.split_at("embedded"),
+                               RunConfig(threads=2))
+        assert embedded.storage_bytes > 100 * bpe.storage_bytes
+
+    def test_compression_reduces_real_bytes(self, backend):
+        pipeline = get_pipeline("CV")
+        plain = backend.run(pipeline.split_at("pixel-centered"),
+                            RunConfig(threads=2))
+        compressed = backend.run(
+            pipeline.split_at("pixel-centered"),
+            RunConfig(threads=2, compression="GZIP"))
+        assert compressed.storage_bytes < plain.storage_bytes
+
+    def test_multi_epoch_app_cache(self, backend):
+        result = backend.run(
+            get_pipeline("FLAC").split_at("spectrogram-encoded"),
+            RunConfig(threads=2, epochs=2, cache_mode="application"))
+        assert len(result.epochs) == 2
+        assert result.epochs[1].served_from_app_cache
+
+    def test_unprocessed_compression_rejected(self, backend):
+        with pytest.raises(ProfilingError):
+            backend.run(get_pipeline("CV").split_at("unprocessed"),
+                        RunConfig(compression="GZIP"))
+
+    def test_offline_result_only_for_materialised(self, backend):
+        pipeline = get_pipeline("CV2-JPG")
+        assert backend.run(pipeline.split_at("unprocessed"),
+                           RunConfig(threads=2)).offline is None
+        assert backend.run(pipeline.split_at("decoded"),
+                           RunConfig(threads=2)).offline is not None
+
+    def test_cleanup_removes_workdir(self):
+        local = InProcessBackend(sample_count=2)
+        workdir = local.workdir
+        assert workdir.exists()
+        local.cleanup()
+        assert not workdir.exists()

@@ -1,0 +1,235 @@
+"""Tests for the discrete-event backend: mechanics and paper orderings."""
+
+import pytest
+
+from repro.backends import Environment, RunConfig, SimulatedBackend
+from repro.backends.simulated import partition_jobs
+from repro.errors import ProfilingError
+from repro.pipelines import get_pipeline
+from repro.sim.storage import SSD_CEPH
+
+BACKEND = SimulatedBackend()
+
+
+def _run(pipeline, strategy, **config):
+    plan = get_pipeline(pipeline).split_at(strategy)
+    return BACKEND.run(plan, RunConfig(**config))
+
+
+class TestPartitionJobs:
+    def test_all_samples_covered(self):
+        plans = partition_jobs(1000, 8, 64)
+        total = sum(job.samples for jobs in plans for job in jobs)
+        assert total == 1000
+
+    def test_thread_balance(self):
+        plans = partition_jobs(1001, 8, 64)
+        per_thread = [sum(job.samples for job in jobs) for jobs in plans]
+        assert max(per_thread) - min(per_thread) <= 1
+
+    def test_more_threads_than_samples(self):
+        plans = partition_jobs(3, 8, 64)
+        assert len(plans) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            partition_jobs(0, 8, 64)
+
+    def test_job_cap_respected(self):
+        plans = partition_jobs(10_000, 8, 100)
+        assert sum(len(jobs) for jobs in plans) <= 104
+
+
+class TestRunMechanics:
+    def test_unprocessed_has_no_offline_phase(self):
+        result = _run("CV", "unprocessed")
+        assert result.offline is None
+        assert result.preprocessing_seconds == 0.0
+
+    def test_materialised_strategies_pay_offline_time(self):
+        result = _run("CV", "resized")
+        assert result.offline is not None
+        assert result.offline.duration > 0
+        assert result.offline.bytes_written == pytest.approx(
+            result.storage_bytes, rel=1e-6)
+
+    def test_storage_matches_representation(self):
+        pipeline = get_pipeline("CV")
+        result = _run("CV", "decoded")
+        expected = pipeline.representation("decoded").total_bytes(
+            pipeline.sample_count)
+        assert result.storage_bytes == pytest.approx(expected, rel=1e-6)
+
+    def test_compression_shrinks_storage(self):
+        plain = _run("CV", "pixel-centered")
+        compressed = _run("CV", "pixel-centered", compression="GZIP")
+        assert compressed.storage_bytes < 0.3 * plain.storage_bytes
+
+    def test_unprocessed_compression_rejected(self):
+        with pytest.raises(ProfilingError):
+            _run("CV", "unprocessed", compression="GZIP")
+
+    def test_epochs_recorded(self):
+        result = _run("NILM", "aggregated", epochs=3, cache_mode="system")
+        assert [e.epoch for e in result.epochs] == [0, 1, 2]
+
+    def test_network_reads_match_storage_on_cold_epoch(self):
+        result = _run("MP3", "spectrogram-encoded")
+        assert result.epochs[0].bytes_from_storage == pytest.approx(
+            result.storage_bytes, rel=1e-6)
+
+    def test_deterministic(self):
+        first = _run("FLAC", "decoded")
+        second = _run("FLAC", "decoded")
+        assert first.throughput == pytest.approx(second.throughput)
+
+
+class TestPaperOrderings:
+    """The qualitative results that define the paper's story."""
+
+    def test_cv_resized_is_best_not_full_preprocessing(self):
+        """Sec. 4.1 obs. 2: resized beats pixel-centered by ~3x."""
+        resized = _run("CV", "resized").throughput
+        pixel = _run("CV", "pixel-centered").throughput
+        assert resized > 2.0 * pixel
+
+    def test_cv_concatenation_is_a_big_win(self):
+        """Table 4: concatenated ~9x unprocessed for CV."""
+        unprocessed = _run("CV", "unprocessed").throughput
+        concatenated = _run("CV", "concatenated").throughput
+        assert 5.0 < concatenated / unprocessed < 13.0
+
+    def test_nlp_bpe_beats_embedded_by_a_wide_margin(self):
+        """Sec. 4.1: the embedding step's 64x blow-up makes the fully
+        preprocessed NLP strategy far slower than bpe-encoded."""
+        bpe = _run("NLP", "bpe-encoded").throughput
+        embedded = _run("NLP", "embedded").throughput
+        assert bpe > 5.0 * embedded
+
+    def test_nlp_concatenation_useless_under_cpu_bottleneck(self):
+        unprocessed = _run("NLP", "unprocessed").throughput
+        concatenated = _run("NLP", "concatenated").throughput
+        assert concatenated == pytest.approx(unprocessed, rel=0.1)
+
+    def test_last_step_offline_wins_for_nilm_and_audio(self):
+        """NILM/MP3/FLAC: the last step is the most expensive, so full
+        offline preprocessing gives the best throughput."""
+        for pipeline in ("NILM", "MP3", "FLAC"):
+            strategies = get_pipeline(pipeline).strategy_names()
+            throughputs = [
+                _run(pipeline, strategy).throughput
+                for strategy in strategies
+            ]
+            assert throughputs[-1] == max(throughputs)
+
+    def test_never_best_to_not_preprocess_at_all(self):
+        """Paper conclusion: unprocessed is never the best strategy."""
+        for pipeline in ("CV", "CV2-JPG", "CV2-PNG", "NLP", "NILM",
+                         "MP3", "FLAC"):
+            strategies = get_pipeline(pipeline).strategy_names()
+            throughputs = {
+                strategy: _run(pipeline, strategy).throughput
+                for strategy in strategies
+            }
+            assert max(throughputs, key=throughputs.get) != "unprocessed"
+
+    def test_ssd_fixes_cv_random_access_but_not_sequential(self):
+        """Table 4: SSD lifts CV unprocessed ~6x; concatenated is
+        link-bound so SSD changes nothing."""
+        ssd = SimulatedBackend(Environment(storage=SSD_CEPH))
+        config = RunConfig()
+        cv = get_pipeline("CV")
+        hdd_unprocessed = _run("CV", "unprocessed").throughput
+        ssd_unprocessed = ssd.run(cv.split_at("unprocessed"),
+                                  config).throughput
+        assert 3.0 < ssd_unprocessed / hdd_unprocessed < 9.0
+        hdd_concat = _run("CV", "concatenated").throughput
+        ssd_concat = ssd.run(cv.split_at("concatenated"), config).throughput
+        assert ssd_concat == pytest.approx(hdd_concat, rel=0.1)
+
+    def test_ssd_does_not_fix_nlp(self):
+        """Table 4: NLP stays at ~6 SPS on SSD (CPU bottleneck)."""
+        ssd = SimulatedBackend(Environment(storage=SSD_CEPH))
+        result = ssd.run(get_pipeline("NLP").split_at("concatenated"),
+                         RunConfig())
+        assert result.throughput == pytest.approx(6.0, rel=0.35)
+
+
+class TestCaching:
+    def test_caching_helps_only_if_dataset_fits(self):
+        """Sec. 4.2 obs. 1: >80 GB representations see no benefit."""
+        big = _run("CV", "pixel-centered", epochs=2, cache_mode="system")
+        assert big.epochs[1].throughput == pytest.approx(
+            big.epochs[0].throughput, rel=0.05)
+        small = _run("CV2-JPG", "pixel-centered", epochs=2,
+                     cache_mode="system")
+        assert small.epochs[1].throughput > 2.0 * small.epochs[0].throughput
+
+    def test_caching_does_not_remove_cpu_bottlenecks(self):
+        """Sec. 4.2 obs. 2: NLP's early strategies stay at 6 SPS."""
+        result = _run("NLP", "concatenated", epochs=2, cache_mode="system")
+        assert result.epochs[1].throughput == pytest.approx(
+            result.epochs[0].throughput, rel=0.05)
+
+    def test_cache_mode_none_drops_between_epochs(self):
+        result = _run("CV2-JPG", "resized", epochs=2, cache_mode="none")
+        assert result.epochs[1].throughput == pytest.approx(
+            result.epochs[0].throughput, rel=0.05)
+
+    def test_app_cache_beats_sys_cache(self):
+        """Sec. 4.2 obs. 4 / Table 5: app-level caching skips
+        deserialization and wins."""
+        sys_cache = _run("CV2-JPG", "pixel-centered", epochs=2,
+                         cache_mode="system")
+        app_cache = _run("CV2-JPG", "pixel-centered", epochs=2,
+                         cache_mode="application")
+        assert (app_cache.epochs[1].throughput
+                > 2.0 * sys_cache.epochs[1].throughput)
+
+    def test_app_cache_fails_when_dataset_exceeds_ram(self):
+        """The paper's CV/NLP last strategies failed to run app-cached."""
+        result = _run("CV", "pixel-centered", epochs=2,
+                      cache_mode="application")
+        assert result.app_cache_failed
+        ok = _run("CV2-JPG", "pixel-centered", epochs=2,
+                  cache_mode="application")
+        assert not ok.app_cache_failed
+
+    def test_page_cache_hit_rate_reported(self):
+        result = _run("FLAC", "spectrogram-encoded", epochs=2,
+                      cache_mode="system")
+        assert result.epochs[1].cache_hit_rate > 0.99
+
+
+class TestThreading:
+    def test_native_pipelines_scale(self):
+        """CV concatenated gains substantially from 1 -> 8 threads."""
+        single = _run("CV", "concatenated", threads=1).throughput
+        eight = _run("CV", "concatenated", threads=8).throughput
+        assert 4.0 < eight / single <= 8.0
+
+    def test_gil_pipelines_do_not_scale(self):
+        """Fig. 12i: NILM decoded barely gains from threads (external
+        steps hold the GIL); contrast with native CV's 4-8x."""
+        single = _run("NILM", "decoded", threads=1).throughput
+        eight = _run("NILM", "decoded", threads=8).throughput
+        assert eight / single < 1.6
+
+    def test_dispatch_bound_strategies_plateau(self):
+        """NILM aggregated under system caching (the Fig. 12 condition):
+        tiny samples pin throughput near the dispatch limit however many
+        threads run (Sec. 4.4 obs. 1)."""
+        single = _run("NILM", "aggregated", threads=1, epochs=2,
+                      cache_mode="system").epochs[1].throughput
+        eight = _run("NILM", "aggregated", threads=8, epochs=2,
+                     cache_mode="system").epochs[1].throughput
+        assert eight / single < 2.5
+
+
+class TestShuffleConfig:
+    def test_shuffle_costs_throughput_slightly(self):
+        plain = _run("MP3", "spectrogram-encoded").throughput
+        shuffled = _run("MP3", "spectrogram-encoded",
+                        shuffle_buffer=10_000).throughput
+        assert shuffled < plain
+        assert shuffled > 0.8 * plain

@@ -1,0 +1,109 @@
+"""Tests for distributed preprocessing and trainer fan-out (Sec. 7)."""
+
+import pytest
+
+from repro.backends import RunConfig, SimulatedBackend
+from repro.core import distributed
+from repro.errors import ProfilingError
+from repro.pipelines import get_pipeline
+
+CONFIG = RunConfig()
+
+
+class TestDistributedOffline:
+    def test_cpu_bound_phase_scales_until_storage_binds(self):
+        """CV2-PNG's decode-heavy offline phase is CPU-bound with one
+        worker; adding workers helps until the shared storage read
+        becomes the new bottleneck (the hidden wall Sec. 7 warns about)."""
+        plan = get_pipeline("CV2-PNG").split_at("decoded")
+        one = distributed.estimate_distributed_offline(plan, CONFIG, 1)
+        four = distributed.estimate_distributed_offline(plan, CONFIG, 4)
+        sixteen = distributed.estimate_distributed_offline(plan, CONFIG, 16)
+        assert one.bottleneck == "worker-cpu"
+        assert four.bottleneck.startswith("storage")
+        assert 1.5 < one.duration / four.duration < 4.0
+        # Once storage binds, more workers change nothing.
+        assert sixteen.duration == pytest.approx(four.duration, rel=0.01)
+
+    def test_storage_bound_phase_stops_scaling(self):
+        """CV's offline phase is dominated by reading 1.3 M random files;
+        beyond a few workers the metadata service binds."""
+        plan = get_pipeline("CV").split_at("resized")
+        frame = distributed.offline_scaling_frame(plan, CONFIG,
+                                                  worker_counts=(1, 4, 16))
+        rows = {row["workers"]: row for row in frame.rows()}
+        assert rows[16]["bottleneck"] in ("metadata", "storage-read",
+                                          "storage-write")
+        # Speedup saturates: 16 workers nowhere near 16x.
+        assert rows[16]["speedup"] < 8.0
+
+    def test_write_bound_when_output_huge(self):
+        """NILM decoded inflates 39.6 GB to 262.5 GB: with enough
+        workers the write link binds (container source, so the metadata
+        service stays quiet)."""
+        plan = get_pipeline("NILM").split_at("decoded")
+        estimate = distributed.estimate_distributed_offline(plan, CONFIG,
+                                                            workers=16)
+        assert estimate.bottleneck == "storage-write"
+
+    def test_file_per_sample_source_binds_on_metadata(self):
+        """NLP embedded with many workers: opening 181 K source files
+        through the metadata service dominates everything else."""
+        plan = get_pipeline("NLP").split_at("embedded")
+        estimate = distributed.estimate_distributed_offline(plan, CONFIG,
+                                                            workers=64)
+        assert estimate.bottleneck == "metadata"
+
+    def test_validation(self):
+        plan = get_pipeline("CV").split_at("resized")
+        with pytest.raises(ProfilingError):
+            distributed.estimate_distributed_offline(plan, CONFIG, 0)
+        with pytest.raises(ProfilingError):
+            distributed.estimate_distributed_offline(
+                get_pipeline("CV").split_at("unprocessed"), CONFIG, 2)
+
+
+class TestFanOut:
+    def test_small_representation_fans_out_widely(self):
+        """NILM aggregated (0.012 MB/sample) serves many trainers before
+        the link saturates."""
+        plan = get_pipeline("NILM").split_at("aggregated")
+        estimate = distributed.estimate_fan_out(plan, CONFIG, trainers=8,
+                                                single_job_sps=9000)
+        assert not estimate.network_is_bottleneck
+        assert estimate.delivered_sps == 9000
+
+    def test_fat_representation_hits_the_link(self):
+        """CV pixel-centered (1.07 MB/sample): a handful of trainers
+        saturate the 910 MB/s link (paper Sec. 7's warning)."""
+        plan = get_pipeline("CV").split_at("pixel-centered")
+        single = distributed.estimate_fan_out(plan, CONFIG, 1, 620)
+        assert not single.network_is_bottleneck
+        eight = distributed.estimate_fan_out(plan, CONFIG, 8, 620)
+        assert eight.network_is_bottleneck
+        assert eight.delivered_sps < 620
+
+    def test_fan_out_frame_monotone(self):
+        plan = get_pipeline("CV").split_at("pixel-centered")
+        frame = distributed.fan_out_frame(plan, CONFIG, single_job_sps=620,
+                                          trainer_counts=(1, 2, 4, 8, 16))
+        delivered = frame["delivered_sps"]
+        assert all(earlier >= later
+                   for earlier, later in zip(delivered, delivered[1:]))
+
+    def test_validation(self):
+        plan = get_pipeline("CV").split_at("resized")
+        with pytest.raises(ProfilingError):
+            distributed.estimate_fan_out(plan, CONFIG, 0, 100)
+        with pytest.raises(ProfilingError):
+            distributed.estimate_fan_out(plan, CONFIG, 2, 0)
+
+
+class TestCrossValidation:
+    def test_fan_out_consistent_with_link_bound(self):
+        """The fan-out link bound matches aggregate_bw / (bytes * J)."""
+        plan = get_pipeline("MP3").split_at("spectrogram-encoded")
+        estimate = distributed.estimate_fan_out(plan, CONFIG, 4, 5000)
+        bytes_ps = plan.materialized.bytes_per_sample
+        expected = 910e6 / (bytes_ps * 4)
+        assert estimate.link_bound_sps == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,132 @@
+"""Tests for the mini data frame."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.frame import Frame
+from repro.errors import FrameError
+
+
+def _sample_frame():
+    return Frame.from_records([
+        {"name": "a", "value": 3.0, "group": "x"},
+        {"name": "b", "value": 1.0, "group": "y"},
+        {"name": "c", "value": 2.0, "group": "x"},
+    ])
+
+
+def test_from_records_and_access():
+    frame = _sample_frame()
+    assert len(frame) == 3
+    assert frame.columns == ["name", "value", "group"]
+    assert frame["value"] == [3.0, 1.0, 2.0]
+    assert frame.row(1) == {"name": "b", "value": 1.0, "group": "y"}
+    assert "value" in frame
+
+
+def test_missing_keys_become_none():
+    frame = Frame.from_records([{"a": 1}, {"b": 2}])
+    assert frame["a"] == [1, None]
+    assert frame["b"] == [None, 2]
+
+
+def test_from_columns_validates_lengths():
+    with pytest.raises(FrameError, match="ragged"):
+        Frame.from_columns({"a": [1, 2], "b": [1]})
+
+
+def test_append_extends_columns():
+    frame = Frame(["a"])
+    frame.append({"a": 1})
+    frame.append({"a": 2, "b": 9})
+    assert frame["b"] == [None, 9]
+
+
+def test_unknown_column_raises():
+    with pytest.raises(FrameError, match="no column"):
+        _sample_frame()["nope"]
+
+
+def test_row_out_of_range():
+    with pytest.raises(FrameError):
+        _sample_frame().row(5)
+
+
+def test_select_and_order():
+    frame = _sample_frame().select(["value", "name"])
+    assert frame.columns == ["value", "name"]
+    with pytest.raises(FrameError):
+        _sample_frame().select(["ghost"])
+
+
+def test_filter():
+    frame = _sample_frame().filter(lambda row: row["group"] == "x")
+    assert frame["name"] == ["a", "c"]
+
+
+def test_sort_by():
+    frame = _sample_frame().sort_by("value")
+    assert frame["name"] == ["b", "c", "a"]
+    descending = _sample_frame().sort_by("value", descending=True)
+    assert descending["name"] == ["a", "c", "b"]
+
+
+def test_sort_none_last():
+    frame = Frame.from_records([{"v": None}, {"v": 1}])
+    assert frame.sort_by("v")["v"] == [1, None]
+
+
+def test_group_by():
+    grouped = _sample_frame().group_by("group", {"value": sum})
+    as_dict = {row["group"]: row["value"] for row in grouped.rows()}
+    assert as_dict == {"x": 5.0, "y": 1.0}
+
+
+def test_with_column():
+    frame = _sample_frame().with_column("doubled",
+                                        lambda row: row["value"] * 2)
+    assert frame["doubled"] == [6.0, 2.0, 4.0]
+
+
+def test_min_max():
+    frame = _sample_frame()
+    assert frame.column_min("value") == 1.0
+    assert frame.column_max("value") == 3.0
+    with pytest.raises(FrameError):
+        Frame.from_records([{"v": None}]).column_min("v")
+
+
+def test_normalized_range():
+    frame = _sample_frame()
+    normalized = frame.normalized("value")
+    assert min(normalized) == 0.0
+    assert max(normalized) == 1.0
+
+
+def test_normalized_constant_column_is_zeros():
+    frame = Frame.from_records([{"v": 5}, {"v": 5}])
+    assert frame.normalized("v") == [0.0, 0.0]
+
+
+def test_markdown_and_csv():
+    frame = _sample_frame()
+    markdown = frame.to_markdown()
+    assert markdown.count("|") > 0
+    assert "name" in markdown.splitlines()[0]
+    csv_text = frame.to_csv()
+    assert csv_text.splitlines()[0] == "name,value,group"
+    assert len(csv_text.splitlines()) == 4
+
+
+def test_empty_frame_renders():
+    frame = Frame(["a", "b"])
+    assert len(frame) == 0
+    assert "a" in frame.to_markdown()
+
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_normalized_bounds_property(values):
+    frame = Frame.from_records([{"v": value} for value in values])
+    normalized = frame.normalized("v")
+    assert all(0.0 <= value <= 1.0 for value in normalized)

@@ -1,0 +1,105 @@
+"""Tests for shuffle analysis (Sec. 4.5) and training stalls (Fig. 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.backends import RunConfig
+from repro.core import shuffling, training
+from repro.errors import PipelineError, ProfilingError
+from repro.pipelines import get_pipeline
+from repro.units import MB
+
+
+class TestShuffling:
+    def test_total_cost_linear_in_samples(self):
+        small = shuffling.shuffle_overhead_seconds(1_000)
+        large = shuffling.shuffle_overhead_seconds(101_000)
+        delta = large - small
+        per_sample = delta / 100_000
+        # Constant per-sample term (the paper's core finding).
+        assert per_sample == pytest.approx(
+            shuffling.per_sample_shuffle_seconds(10**9), rel=0.01)
+
+    def test_per_sample_cost_amortizes(self):
+        """The paper: per-sample time falls as counts grow (buffer
+        allocation amortisation)."""
+        costs = [shuffling.per_sample_shuffle_seconds(count)
+                 for count in (1_000, 10_000, 100_000, 1_000_000)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_zero_and_negative_counts(self):
+        assert shuffling.shuffle_overhead_seconds(0) == 0.0
+        with pytest.raises(PipelineError):
+            shuffling.shuffle_overhead_seconds(-1)
+        with pytest.raises(PipelineError):
+            shuffling.per_sample_shuffle_seconds(0)
+
+    def test_buffer_capacity(self):
+        assert shuffling.buffer_capacity_samples(100 * MB, 1 * MB) == 100
+        with pytest.raises(PipelineError):
+            shuffling.buffer_capacity_samples(100, 0)
+
+    def test_entropy_monotone_in_buffer_size(self):
+        entropies = [shuffling.shuffle_entropy_bits(n)
+                     for n in (1, 10, 1000)]
+        assert entropies == sorted(entropies)
+        assert entropies[0] == 0.0
+
+    def test_recommendation_picks_smallest_representation(self):
+        """Sec. 4.5: shuffle after the online step with the smallest
+        output -- for the CV resized strategy that is the resized load
+        point, not the float32 pixel-centered output."""
+        plan = get_pipeline("CV").split_at("resized")
+        placement = shuffling.recommend_shuffle_position(plan,
+                                                         buffer_bytes=1e9)
+        assert placement.after_step == "load"
+        assert placement.buffer_samples > 3_000
+        # NILM aggregated: the final features are tiny.
+        plan = get_pipeline("NILM").split_at("decoded")
+        placement = shuffling.recommend_shuffle_position(plan, 1e9)
+        assert placement.after_step == "aggregate"
+
+    def test_cost_frame(self):
+        frame = shuffling.shuffle_cost_frame([100, 10_000])
+        assert len(frame) == 2
+        assert frame["per_sample_us"][0] > frame["per_sample_us"][1]
+
+    @given(st.integers(1, 10**7))
+    def test_per_sample_bounded_below_by_constant(self, count):
+        per_sample = shuffling.per_sample_shuffle_seconds(count)
+        assert per_sample >= 9.6e-6 - 1e-12
+
+
+class TestTraining:
+    def test_effective_throughput_is_min(self):
+        device = training.TrainingConsumer("X", 1000)
+        assert device.effective_throughput(500) == 500
+        assert device.effective_throughput(2000) == 1000
+
+    def test_stall_fraction(self):
+        device = training.TrainingConsumer("X", 1000)
+        assert device.stall_fraction(250) == pytest.approx(0.75)
+        assert device.stall_fraction(1500) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ProfilingError):
+            training.TrainingConsumer("X", 100).effective_throughput(-1)
+
+    def test_paper_fig3_claim(self):
+        """The tuned CV strategy (1789 SPS) unblocks A10/A30/V100; the
+        naive strategies (107, 576 SPS) starve every accelerator."""
+        unblocked = training.devices_unblocked_by(1789)
+        assert set(unblocked) == {"A10", "A30", "V100"}
+        assert training.devices_unblocked_by(576) == []
+        assert training.devices_unblocked_by(107) == []
+
+    def test_stall_analysis_frame(self):
+        frame = training.stall_analysis({"resized, once": 1789,
+                                         "all online": 107})
+        assert len(frame) == 2 * len(training.RESNET50_CONSUMERS)
+        v100_rows = frame.filter(
+            lambda row: row["device"] == "V100")
+        by_strategy = {row["strategy"]: row for row in v100_rows.rows()}
+        assert not by_strategy["resized, once"]["stalled"]
+        assert by_strategy["all online"]["stalled"]
+        assert by_strategy["all online"]["stall_pct"] > 90

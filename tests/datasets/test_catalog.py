@@ -1,0 +1,61 @@
+"""Tests for the Table 2 dataset catalog."""
+
+import pytest
+
+from repro.datasets.catalog import (CATALOG, SWEEP_SAMPLE_MB, get_dataset,
+                                    synthetic_sweep_spec, table2_frame)
+from repro.units import GB, MB
+
+
+def test_catalog_has_seven_datasets():
+    assert len(CATALOG) == 7
+
+
+#: Paper Table 2, transcribed.
+_TABLE2 = [
+    ("CV", "ILSVRC2012", 1_300_000, 146.90, 0.1130, "JPG"),
+    ("CV2-JPG", "Cube++ JPG", 4_890, 2.54, 0.5194, "JPG"),
+    ("CV2-PNG", "Cube++ PNG", 4_890, 85.17, 17.4171, "PNG"),
+    ("NLP", "OpenWebText", 181_000, 7.71, 0.0426, "TXT"),
+    ("NILM", "CREAM", 268_000, 39.56, 0.1476, "HDF5"),
+    ("MP3", "Commonvoice (en)", 13_000, 0.25, 0.0192, "MP3"),
+    ("FLAC", "Librispeech", 29_000, 6.61, 0.2279, "FLAC"),
+]
+
+
+@pytest.mark.parametrize(
+    "pipeline, name, count, size_gb, avg_mb, fmt", _TABLE2)
+def test_table2_rows(pipeline, name, count, size_gb, avg_mb, fmt):
+    spec = get_dataset(pipeline)
+    assert spec.name == name
+    assert spec.sample_count == count
+    assert spec.total_bytes / GB == pytest.approx(size_gb, rel=1e-6)
+    assert spec.avg_sample_mb == pytest.approx(avg_mb, rel=0.01)
+    assert spec.source_format == fmt
+
+
+def test_unknown_pipeline_rejected():
+    with pytest.raises(KeyError):
+        get_dataset("VIDEO")
+
+
+def test_table2_frame_renders():
+    frame = table2_frame()
+    assert len(frame) == 7
+    assert "Sample Count" in frame.columns
+    markdown = frame.to_markdown()
+    assert "ILSVRC2012" in markdown
+    assert "Librispeech" in markdown
+
+
+def test_synthetic_sweep_spec_counts():
+    spec = synthetic_sweep_spec(20.5)
+    assert spec.sample_count == 732
+    spec = synthetic_sweep_spec(0.01)
+    assert spec.sample_count == 1_500_000
+
+
+def test_sweep_points_are_halvings():
+    """The paper's sweep roughly halves at every point."""
+    for larger, smaller in zip(SWEEP_SAMPLE_MB, SWEEP_SAMPLE_MB[1:]):
+        assert larger / smaller == pytest.approx(2.0, rel=0.3)

@@ -1,0 +1,86 @@
+"""Tests for the synthetic sample generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (SyntheticSource, smooth_image, prose,
+                                      supported_pipelines)
+from repro.errors import PipelineError
+from repro.formats import codecs
+
+
+def test_supported_pipelines_cover_the_seven():
+    supported = supported_pipelines()
+    for name in ("CV", "CV2-JPG", "CV2-PNG", "NLP", "NILM", "MP3", "FLAC"):
+        assert name in supported
+
+
+def test_generation_is_deterministic():
+    first = list(SyntheticSource("CV", 3, seed=9).generate())
+    second = list(SyntheticSource("CV", 3, seed=9).generate())
+    assert first == second
+
+
+def test_different_seeds_differ():
+    a = list(SyntheticSource("NLP", 2, seed=1).generate())
+    b = list(SyntheticSource("NLP", 2, seed=2).generate())
+    assert a != b
+
+
+def test_samples_within_a_source_differ():
+    samples = list(SyntheticSource("MP3", 4, seed=0).generate())
+    assert len(set(samples)) == 4
+
+
+def test_unknown_pipeline_rejected():
+    with pytest.raises(PipelineError):
+        SyntheticSource("VIDEO", 1)
+
+
+def test_bad_count_rejected():
+    with pytest.raises(PipelineError):
+        SyntheticSource("CV", 0)
+
+
+@pytest.mark.parametrize("pipeline, decoder", [
+    ("CV", codecs.decode_jpg),
+    ("CV2-JPG", codecs.decode_jpg),
+    ("CV2-PNG", codecs.decode_png),
+    ("NILM", codecs.decode_hdf5),
+    ("MP3", codecs.decode_mp3),
+    ("FLAC", codecs.decode_flac),
+])
+def test_payloads_decode_with_their_codec(pipeline, decoder):
+    payload = next(SyntheticSource(pipeline, 1, seed=3).generate())
+    decoded = decoder(payload)
+    assert decoded.size > 0
+
+
+def test_nlp_payload_is_html_with_recoverable_text():
+    payload = next(SyntheticSource("NLP", 1, seed=4).generate())
+    assert payload.startswith(b"<!DOCTYPE html>")
+    text = codecs.decode_html(payload)
+    assert len(text.split()) > 50
+
+
+def test_cv2_png_payload_is_16bit():
+    payload = next(SyntheticSource("CV2-PNG", 1, seed=5).generate())
+    assert codecs.decode_png(payload).dtype == np.uint16
+
+
+def test_nilm_window_period_compatible():
+    payload = next(SyntheticSource("NILM", 1, seed=6).generate())
+    window = codecs.decode_hdf5(payload)
+    assert window.shape[0] == 2
+    assert window.shape[1] % 128 == 0
+
+
+def test_smooth_image_shape_and_range():
+    image = smooth_image(np.random.default_rng(0), 20, 30, 3)
+    assert image.shape == (20, 30, 3)
+    assert image.dtype == np.uint8
+
+
+def test_prose_is_wordy():
+    text = prose(np.random.default_rng(1), n_words=50)
+    assert len(text.split()) == 50

@@ -1,0 +1,129 @@
+"""Tests for the synthetic source-format codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import CodecError
+from repro.formats import codecs
+from repro.datasets.synthetic import smooth_image
+from repro.ops.audio import synth_waveform
+
+
+def test_jpg_round_trip_is_lossy_but_close():
+    image = smooth_image(np.random.default_rng(0))
+    decoded = codecs.decode_jpg(codecs.encode_jpg(image))
+    assert decoded.shape == image.shape
+    assert decoded.dtype == np.uint8
+    error = np.abs(decoded.astype(int) - image.astype(int))
+    assert error.max() <= (1 << codecs.JPG_DROPPED_BITS)
+    assert error.mean() > 0  # genuinely lossy
+
+
+def test_jpg_compresses_smooth_images():
+    image = smooth_image(np.random.default_rng(1))
+    encoded = codecs.encode_jpg(image)
+    assert len(encoded) < image.nbytes / 3
+
+
+def test_jpg_requires_uint8():
+    with pytest.raises(CodecError, match="uint8"):
+        codecs.encode_jpg(np.zeros((4, 4, 3), dtype=np.float32))
+
+
+def test_png_round_trip_lossless_uint8():
+    image = smooth_image(np.random.default_rng(2))
+    decoded = codecs.decode_png(codecs.encode_png(image))
+    np.testing.assert_array_equal(decoded, image)
+
+
+def test_png_round_trip_lossless_uint16():
+    image = smooth_image(np.random.default_rng(3), dtype=np.uint16)
+    decoded = codecs.decode_png(codecs.encode_png(image))
+    np.testing.assert_array_equal(decoded, image)
+    assert decoded.dtype == np.uint16
+
+
+def test_png_larger_than_jpg_for_same_content():
+    """Cube++ PNG is far larger than its JPG flavour (Table 2): lossless
+    16-bit PNGs vs lossy 8-bit JPGs."""
+    rng = np.random.default_rng(4)
+    image8 = smooth_image(rng)
+    image16 = (image8.astype(np.uint16) << 8)
+    assert len(codecs.encode_png(image8)) > len(codecs.encode_jpg(image8))
+    assert (len(codecs.encode_png(image16))
+            > 2 * len(codecs.encode_jpg(image8)))
+
+
+def test_mp3_round_trip_lossy_waveform():
+    waveform = synth_waveform(0.25, 16_000, np.random.default_rng(5))
+    decoded = codecs.decode_mp3(codecs.encode_mp3(waveform))
+    assert decoded.shape == waveform.shape
+    assert decoded.dtype == np.int16
+    # Mu-law holds ~6% relative error on speech-like signals.
+    scale = np.abs(waveform).max()
+    error = np.abs(decoded.astype(float) - waveform.astype(float))
+    assert error.mean() < 0.1 * scale
+
+
+def test_mp3_much_smaller_than_flac():
+    """The paper's decode blow-ups: MP3 ~12x, FLAC ~1.7x."""
+    waveform = synth_waveform(0.5, 16_000, np.random.default_rng(6))
+    mp3 = len(codecs.encode_mp3(waveform))
+    flac = len(codecs.encode_flac(waveform))
+    assert mp3 < flac
+    assert flac < waveform.nbytes  # lossless still compresses
+
+
+def test_flac_round_trip_lossless():
+    waveform = synth_waveform(0.3, 16_000, np.random.default_rng(7))
+    decoded = codecs.decode_flac(codecs.encode_flac(waveform))
+    np.testing.assert_array_equal(decoded, waveform)
+
+
+def test_hdf5_round_trip_float64():
+    signal = np.random.default_rng(8).standard_normal((2, 256))
+    decoded = codecs.decode_hdf5(codecs.encode_hdf5(signal))
+    np.testing.assert_array_equal(decoded, signal)
+    assert decoded.dtype == np.float64
+
+
+def test_hdf5_requires_float64():
+    with pytest.raises(CodecError, match="float64"):
+        codecs.encode_hdf5(np.zeros(4, dtype=np.float32))
+
+
+def test_html_round_trip_recovers_visible_text():
+    text = "training bottlenecks hide in preprocessing pipelines"
+    decoded = codecs.decode_html(codecs.encode_html(text))
+    assert decoded == text
+
+
+def test_html_strips_scripts_and_styles():
+    encoded = codecs.encode_html("real content")
+    assert b"script" in encoded  # boilerplate present in the page
+    assert "analytics" not in codecs.decode_html(encoded)
+
+
+def test_wrong_magic_rejected_everywhere():
+    for decode in (codecs.decode_jpg, codecs.decode_png, codecs.decode_mp3,
+                   codecs.decode_flac, codecs.decode_hdf5):
+        with pytest.raises(CodecError):
+            decode(b"bogus-payload")
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(dtype=np.int16, shape=st.integers(2, 400),
+              elements=st.integers(-30000, 30000)))
+def test_flac_lossless_property(waveform):
+    decoded = codecs.decode_flac(codecs.encode_flac(waveform))
+    np.testing.assert_array_equal(decoded, waveform)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(dtype=np.uint16, shape=(7, 9, 3),
+              elements=st.integers(0, 65535)))
+def test_png_lossless_property(image):
+    decoded = codecs.decode_png(codecs.encode_png(image))
+    np.testing.assert_array_equal(decoded, image)

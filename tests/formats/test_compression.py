@@ -1,0 +1,57 @@
+"""Tests for GZIP/ZLIB codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodecError
+from repro.formats.compression import (CODECS, GZIP, ZLIB,
+                                       compression_names, get_codec)
+
+
+def test_registry_contains_paper_codecs():
+    assert set(CODECS) == {"GZIP", "ZLIB"}
+    assert compression_names() == [None, "GZIP", "ZLIB"]
+
+
+def test_get_codec_lookup():
+    assert get_codec(None) is None
+    assert get_codec("GZIP") is GZIP
+    assert get_codec("zlib") is ZLIB  # case-insensitive
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(CodecError, match="unknown"):
+        get_codec("LZ4")
+
+
+def test_gzip_round_trip_and_determinism():
+    data = b"compressible " * 500
+    once = GZIP.compress(data)
+    twice = GZIP.compress(data)
+    assert once == twice  # mtime pinned
+    assert GZIP.decompress(once) == data
+    assert len(once) < len(data)
+
+
+def test_zlib_round_trip():
+    data = b"another compressible payload " * 300
+    assert ZLIB.decompress(ZLIB.compress(data)) == data
+
+
+def test_zlib_is_smaller_framing_than_gzip():
+    """Same DEFLATE stream, lighter container (RFC 1950 vs 1952)."""
+    data = b"x" * 10_000
+    assert len(ZLIB.compress(data)) < len(GZIP.compress(data))
+
+
+def test_costs_reflect_paper_asymmetry():
+    """Compression is ~10x slower than decompression (Fig. 10's offline
+    inflation vs modest online decode costs)."""
+    for codec in (GZIP, ZLIB):
+        assert codec.costs.decompress_bw > 8 * codec.costs.compress_bw
+
+
+@given(st.binary(max_size=5000))
+def test_round_trip_property(data):
+    for codec in (GZIP, ZLIB):
+        assert codec.decompress(codec.compress(data)) == data

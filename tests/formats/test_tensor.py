@@ -1,0 +1,79 @@
+"""Tests for the tensor wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.errors import CodecError
+from repro.formats.tensor import (deserialize_tensor, header_bytes,
+                                  serialize_tensor)
+
+
+def test_round_trip_simple():
+    array = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+    restored = deserialize_tensor(serialize_tensor(array))
+    np.testing.assert_array_equal(restored, array)
+    assert restored.dtype == array.dtype
+
+
+def test_round_trip_zero_dim():
+    array = np.float64(3.5) * np.ones((), dtype=np.float64)
+    restored = deserialize_tensor(serialize_tensor(array))
+    assert restored.shape == ()
+    assert restored == pytest.approx(3.5)
+
+
+def test_round_trip_empty_tensor():
+    array = np.zeros((0, 768), dtype=np.float32)
+    restored = deserialize_tensor(serialize_tensor(array))
+    assert restored.shape == (0, 768)
+
+
+def test_non_contiguous_input_serialized_correctly():
+    array = np.arange(100, dtype=np.int32).reshape(10, 10)[:, ::2]
+    restored = deserialize_tensor(serialize_tensor(array))
+    np.testing.assert_array_equal(restored, array)
+
+
+def test_header_size_accounting():
+    array = np.zeros((5, 6, 7), dtype=np.uint8)
+    wire = serialize_tensor(array)
+    assert len(wire) == header_bytes(3) + array.nbytes
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(CodecError, match="unsupported dtype"):
+        serialize_tensor(np.zeros(3, dtype=np.complex64))
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CodecError, match="magic"):
+        deserialize_tensor(b"XXxxxxxxxxxxxxxxxxxx")
+
+
+def test_truncated_data_rejected():
+    wire = serialize_tensor(np.zeros((4, 4), dtype=np.float32))
+    with pytest.raises(CodecError):
+        deserialize_tensor(wire[:-3])
+
+
+def test_payload_shape_mismatch_rejected():
+    wire = bytearray(serialize_tensor(np.zeros(4, dtype=np.uint8)))
+    with pytest.raises(CodecError, match="payload size"):
+        deserialize_tensor(bytes(wire) + b"extra")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    array=st.sampled_from(["uint8", "int16", "int32", "int64",
+                           "float32", "float64", "uint16"]).flatmap(
+        lambda dtype: arrays(dtype=np.dtype(dtype),
+                             shape=array_shapes(max_dims=4, max_side=8),
+                             elements=st.integers(0, 100))))
+def test_round_trip_property(array):
+    restored = deserialize_tensor(serialize_tensor(array))
+    np.testing.assert_array_equal(restored, array)
+    assert restored.dtype == array.dtype
+    assert restored.shape == array.shape

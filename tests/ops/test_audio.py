@@ -1,0 +1,124 @@
+"""Tests for the audio operators (waveform synth, STFT, mel bank)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PipelineError
+from repro.ops import audio as ops
+
+
+class TestSynthWaveform:
+    def test_shape_and_dtype(self):
+        waveform = ops.synth_waveform(0.5, 16_000, np.random.default_rng(0))
+        assert waveform.shape == (8_000,)
+        assert waveform.dtype == np.int16
+
+    def test_amplitude_bounded(self):
+        waveform = ops.synth_waveform(0.2, 16_000, np.random.default_rng(1))
+        assert np.abs(waveform).max() <= np.iinfo(np.int16).max
+
+    def test_has_harmonic_structure(self):
+        """The dominant frequency must sit in the speech F0 band."""
+        rate = 16_000
+        waveform = ops.synth_waveform(1.0, rate, np.random.default_rng(2))
+        spectrum = np.abs(np.fft.rfft(waveform.astype(np.float64)))
+        dominant_hz = np.argmax(spectrum[1:]) + 1  # skip DC
+        assert 60 <= dominant_hz <= 1600  # F0 or a strong harmonic
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(PipelineError):
+            ops.synth_waveform(0.0, 16_000, np.random.default_rng(0))
+
+
+class TestFrameCount:
+    def test_matches_paper_formula(self):
+        """(l - 20 ms + 10 ms) / 10 ms frames for an l-second clip."""
+        rate = 16_000
+        n = int(2.0 * rate)
+        assert ops.frame_count(n, rate) == 199  # (2000-20+10)/10 = 199
+
+    def test_too_short_yields_zero(self):
+        assert ops.frame_count(10, 16_000) == 0
+
+
+class TestSTFT:
+    def test_shape(self):
+        rate = 16_000
+        waveform = ops.synth_waveform(0.5, rate, np.random.default_rng(3))
+        magnitudes = ops.stft_magnitude(waveform, rate)
+        window = int(0.020 * rate)
+        assert magnitudes.shape == (ops.frame_count(waveform.size, rate),
+                                    window // 2 + 1)
+        assert magnitudes.dtype == np.float32
+
+    def test_pure_tone_peaks_at_its_bin(self):
+        rate = 16_000
+        t = np.arange(rate, dtype=np.float64) / rate
+        tone_hz = 1_000
+        waveform = (10_000 * np.sin(2 * np.pi * tone_hz * t)).astype(np.int16)
+        magnitudes = ops.stft_magnitude(waveform, rate)
+        window = int(0.020 * rate)
+        peak_bin = int(np.argmax(magnitudes.mean(axis=0)))
+        expected_bin = round(tone_hz * window / rate)
+        assert abs(peak_bin - expected_bin) <= 1
+
+    def test_non_mono_rejected(self):
+        with pytest.raises(PipelineError):
+            ops.stft_magnitude(np.zeros((2, 100), dtype=np.int16), 16_000)
+
+
+class TestMelScale:
+    def test_round_trip(self):
+        freqs = np.array([100.0, 440.0, 4000.0])
+        np.testing.assert_allclose(ops.mel_to_hz(ops.hz_to_mel(freqs)),
+                                   freqs, rtol=1e-9)
+
+    def test_monotonic(self):
+        mels = ops.hz_to_mel(np.linspace(0, 8000, 50))
+        assert (np.diff(mels) > 0).all()
+
+
+class TestMelFilterbank:
+    def test_shape_and_coverage(self):
+        bank = ops.mel_filterbank(80, 161, 16_000)
+        assert bank.shape == (161, 80)
+        assert bank.min() >= 0.0
+        # Every mel bin must collect energy from somewhere.
+        assert (bank.sum(axis=0) > 0).all()
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(PipelineError):
+            ops.mel_filterbank(0, 100, 16_000)
+
+
+class TestSpectrogramEncode:
+    def test_output_is_frames_by_80(self):
+        """The paper's spectrogram-encoded tensor: frames x 80 float32."""
+        rate = 16_000
+        waveform = ops.synth_waveform(0.6, rate, np.random.default_rng(4))
+        spec = ops.spectrogram_encode(waveform, rate)
+        assert spec.shape == (ops.frame_count(waveform.size, rate), 80)
+        assert spec.dtype == np.float32
+
+    def test_nonnegative(self):
+        rate = 16_000
+        waveform = ops.synth_waveform(0.3, rate, np.random.default_rng(5))
+        assert ops.spectrogram_encode(waveform, rate).min() >= 0.0
+
+    def test_louder_signal_more_energy(self):
+        rate = 16_000
+        quiet = (ops.synth_waveform(0.3, rate, np.random.default_rng(6))
+                 // 8).astype(np.int16)
+        loud = ops.synth_waveform(0.3, rate, np.random.default_rng(6))
+        assert (ops.spectrogram_encode(loud, rate).sum()
+                > ops.spectrogram_encode(quiet, rate).sum())
+
+    @settings(max_examples=15, deadline=None)
+    @given(duration_ms=st.integers(40, 400))
+    def test_frames_scale_with_duration(self, duration_ms):
+        rate = 8_000
+        waveform = ops.synth_waveform(duration_ms / 1000.0, rate,
+                                      np.random.default_rng(7))
+        spec = ops.spectrogram_encode(waveform, rate)
+        assert spec.shape[0] == ops.frame_count(waveform.size, rate)

@@ -1,0 +1,139 @@
+"""Tests for the CV image operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PipelineError
+from repro.ops import image as ops
+
+
+def _image(h=10, w=12, c=3, dtype=np.uint8, seed=0):
+    rng = np.random.default_rng(seed)
+    info = np.iinfo(dtype)
+    return rng.integers(0, info.max, size=(h, w, c)).astype(dtype)
+
+
+class TestResize:
+    def test_shape_and_dtype(self):
+        resized = ops.resize_bilinear(_image(), 5, 7)
+        assert resized.shape == (5, 7, 3)
+        assert resized.dtype == np.uint8
+
+    def test_identity_resize_preserves_pixels(self):
+        image = _image(6, 6)
+        np.testing.assert_array_equal(
+            ops.resize_bilinear(image, 6, 6), image)
+
+    def test_constant_image_stays_constant(self):
+        image = np.full((9, 9, 3), 77, dtype=np.uint8)
+        resized = ops.resize_bilinear(image, 3, 15)
+        assert (resized == 77).all()
+
+    def test_upscale_interpolates_between_values(self):
+        image = np.zeros((1, 2, 1), dtype=np.uint8)
+        image[0, 1, 0] = 100
+        resized = ops.resize_bilinear(image, 1, 4)
+        values = resized[0, :, 0].tolist()
+        assert values[0] <= values[1] <= values[2] <= values[3]
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(PipelineError):
+            ops.resize_bilinear(_image(), 0, 5)
+
+    def test_non_hwc_rejected(self):
+        with pytest.raises(PipelineError):
+            ops.resize_bilinear(np.zeros((5, 5)), 2, 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(h=st.integers(1, 20), w=st.integers(1, 20),
+           th=st.integers(1, 30), tw=st.integers(1, 30))
+    def test_output_range_bounded_by_input_range(self, h, w, th, tw):
+        image = _image(h, w)
+        resized = ops.resize_bilinear(image, th, tw)
+        assert resized.min() >= image.min()
+        assert resized.max() <= image.max()
+
+
+class TestPixelCenter:
+    def test_maps_to_minus_one_one(self):
+        image = _image()
+        centred = ops.pixel_center(image)
+        assert centred.dtype == np.float32
+        assert centred.min() >= -1.0
+        assert centred.max() <= 1.0
+
+    def test_midpoint_maps_to_zero(self):
+        image = np.full((2, 2, 3), 128, dtype=np.uint8)
+        assert ops.pixel_center(image) == pytest.approx(0.0)
+
+    def test_quadruples_storage(self):
+        """uint8 -> float32: the 4x blow-up behind the paper's
+        pixel-centered strategy losing to resized (Sec. 4.1 obs. 2)."""
+        image = _image()
+        assert ops.pixel_center(image).nbytes == 4 * image.nbytes
+
+    def test_float_input_rejected(self):
+        with pytest.raises(PipelineError):
+            ops.pixel_center(np.zeros((2, 2, 3), dtype=np.float32))
+
+
+class TestRandomCrop:
+    def test_shape(self):
+        cropped = ops.random_crop(_image(10, 10), 4, 6,
+                                  np.random.default_rng(0))
+        assert cropped.shape == (4, 6, 3)
+
+    def test_is_a_window_of_the_source(self):
+        image = np.arange(100, dtype=np.uint8).reshape(10, 10, 1)
+        cropped = ops.random_crop(image, 3, 3, np.random.default_rng(1))
+        # Every cropped row must appear contiguously in the image.
+        first = int(cropped[0, 0, 0])
+        row, col = divmod(first, 10)
+        np.testing.assert_array_equal(
+            cropped, image[row:row + 3, col:col + 3])
+
+    def test_nondeterministic_across_draws(self):
+        image = _image(50, 50)
+        rng = np.random.default_rng(2)
+        crops = {ops.random_crop(image, 8, 8, rng).tobytes()
+                 for _ in range(10)}
+        assert len(crops) > 1
+
+    def test_oversized_window_rejected(self):
+        with pytest.raises(PipelineError):
+            ops.random_crop(_image(4, 4), 8, 8, np.random.default_rng(0))
+
+
+class TestGreyscale:
+    def test_single_channel_output(self):
+        grey = ops.greyscale(_image())
+        assert grey.shape == (10, 12, 1)
+        assert grey.dtype == np.uint8
+
+    def test_cuts_storage_by_three(self):
+        """The Sec. 4.6 selling point of the greyscale insertion."""
+        image = _image()
+        assert ops.greyscale(image).nbytes * 3 == image.nbytes
+
+    def test_grey_input_passthrough(self):
+        grey = _image(c=1)
+        np.testing.assert_array_equal(ops.greyscale(grey), grey)
+
+    def test_luma_weights(self):
+        pure_green = np.zeros((1, 1, 3), dtype=np.uint8)
+        pure_green[..., 1] = 255
+        assert ops.greyscale(pure_green)[0, 0, 0] == round(0.587 * 255)
+
+
+class TestCenterCrop:
+    def test_center_window(self):
+        image = np.arange(25, dtype=np.uint8).reshape(5, 5, 1)
+        cropped = ops.center_crop(image, 3, 3)
+        np.testing.assert_array_equal(cropped, image[1:4, 1:4])
+
+    def test_deterministic(self):
+        image = _image(9, 9)
+        first = ops.center_crop(image, 4, 4)
+        second = ops.center_crop(image, 4, 4)
+        np.testing.assert_array_equal(first, second)

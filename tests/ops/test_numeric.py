@@ -1,0 +1,70 @@
+"""Tests for the Fig. 13 RMS implementation pair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import PipelineError
+from repro.ops.numeric import (DEFAULT_PERIOD, rms_framework, rms_vectorized)
+
+
+def test_vectorized_known_values():
+    series = np.concatenate([np.full(500, 2.0), np.full(500, 4.0)])
+    np.testing.assert_allclose(rms_vectorized(series), [2.0, 4.0])
+
+
+def test_framework_known_values():
+    series = np.concatenate([np.full(500, 2.0), np.full(500, 4.0)])
+    np.testing.assert_allclose(rms_framework(series), [2.0, 4.0])
+
+
+def test_default_period_matches_paper():
+    """The paper applies RMS with a period of 500."""
+    assert DEFAULT_PERIOD == 500
+
+
+def test_implementations_agree_exactly():
+    """PRESTO's Fig. 13 advice only holds if both implementations are
+    interchangeable: they must agree to float precision."""
+    rng = np.random.default_rng(0)
+    series = rng.standard_normal(500 * 64)
+    np.testing.assert_allclose(rms_vectorized(series),
+                               rms_framework(series), rtol=1e-12)
+
+
+def test_indivisible_length_rejected():
+    for fn in (rms_vectorized, rms_framework):
+        with pytest.raises(PipelineError):
+            fn(np.zeros(501))
+
+
+def test_non_1d_rejected():
+    for fn in (rms_vectorized, rms_framework):
+        with pytest.raises(PipelineError):
+            fn(np.zeros((10, 50)))
+
+
+def test_bad_period_rejected():
+    with pytest.raises(PipelineError):
+        rms_vectorized(np.zeros(500), period=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(dtype=np.float64, shape=st.integers(1, 8).map(lambda k: 100 * k),
+              elements=st.floats(-1e6, 1e6)))
+def test_agreement_property(series):
+    np.testing.assert_allclose(rms_vectorized(series, period=100),
+                               rms_framework(series, period=100),
+                               rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(dtype=np.float64, shape=st.just(1000),
+              elements=st.floats(-1e3, 1e3)))
+def test_rms_bounds_property(series):
+    """Each RMS value lies between 0 and the max |value| of its segment."""
+    values = rms_vectorized(series, period=100)
+    segments = series.reshape(-1, 100)
+    assert (values >= 0).all()
+    assert (values <= np.abs(segments).max(axis=1) + 1e-12).all()

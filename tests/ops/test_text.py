@@ -1,0 +1,117 @@
+"""Tests for the NLP text operators (extraction, BPE, embedding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ops import text as ops
+
+CORPUS = [
+    "the training pipeline reads the dataset",
+    "the dataset feeds the training process",
+    "preprocessing the dataset takes time and storage",
+    "pipelines trade storage for throughput",
+]
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return ops.train_bpe(CORPUS, n_merges=80)
+
+
+class TestExtractText:
+    def test_strips_tags(self):
+        assert ops.extract_text("<p>hello <b>world</b></p>") == "hello world"
+
+    def test_strips_scripts_entirely(self):
+        html = "<script>var x = 'secret';</script><p>visible</p>"
+        extracted = ops.extract_text(html)
+        assert "secret" not in extracted
+        assert "visible" in extracted
+
+    def test_strips_styles(self):
+        html = "<style>.x { color: red; }</style>content"
+        assert ops.extract_text(html) == "content"
+
+    def test_collapses_whitespace(self):
+        assert ops.extract_text("a   \n\n  b") == "a b"
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert ops.tokenize_words("The Quick fox!") == ["the", "quick", "fox"]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert ops.tokenize_words("it's 42") == ["it's", "42"]
+
+
+class TestBPE:
+    def test_training_learns_merges(self, vocab):
+        assert len(vocab.merges) > 0
+        assert vocab.vocab_size > 30
+
+    def test_frequent_words_become_few_tokens(self, vocab):
+        ids_frequent = ops.bpe_encode("the", vocab)
+        ids_rare = ops.bpe_encode("xylophone", vocab)
+        assert len(ids_frequent) < len(ids_rare)
+
+    def test_round_trip(self, vocab):
+        text = "the training pipeline reads the dataset"
+        decoded = ops.bpe_decode(ops.bpe_encode(text, vocab), vocab)
+        assert decoded == text
+
+    def test_round_trip_unseen_words(self, vocab):
+        decoded = ops.bpe_decode(ops.bpe_encode("zebra quagga", vocab), vocab)
+        assert decoded == "zebra quagga"
+
+    def test_encode_dtype_is_int32(self, vocab):
+        """The paper: each word is encoded into an int32 via BPE."""
+        assert ops.bpe_encode("storage", vocab).dtype == np.int32
+
+    def test_empty_text(self, vocab):
+        assert ops.bpe_encode("", vocab).size == 0
+        assert ops.bpe_decode(np.array([], dtype=np.int32), vocab) == ""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(
+        "the dataset training pipeline storage throughput epoch".split()),
+        min_size=1, max_size=12))
+    def test_round_trip_property(self, vocab, words):
+        text = " ".join(words)
+        assert ops.bpe_decode(ops.bpe_encode(text, vocab), vocab) == text
+
+
+class TestEmbedding:
+    def test_shape_is_n_by_768(self, vocab):
+        """The paper's word2vec output: an n x 768 float32 tensor."""
+        table = ops.EmbeddingTable()
+        ids = ops.bpe_encode("storage trade offs", vocab)
+        embedded = table.embed(ids)
+        assert embedded.shape == (len(ids), 768)
+        assert embedded.dtype == np.float32
+
+    def test_deterministic_per_id(self):
+        table_a = ops.EmbeddingTable(seed=3)
+        table_b = ops.EmbeddingTable(seed=3)
+        np.testing.assert_array_equal(table_a.vector(42), table_b.vector(42))
+
+    def test_different_ids_differ(self):
+        table = ops.EmbeddingTable()
+        assert not np.array_equal(table.vector(1), table.vector(2))
+
+    def test_empty_sequence(self):
+        assert ops.EmbeddingTable(dim=16).embed(
+            np.array([], dtype=np.int32)).shape == (0, 16)
+
+    def test_storage_blowup_matches_paper_magnitude(self, vocab):
+        """int32 token -> 768 float32: the 64x-class blow-up behind the
+        embedded strategy's 491 GB."""
+        ids = ops.bpe_encode("the dataset feeds the training process", vocab)
+        embedded = ops.EmbeddingTable().embed(ids)
+        assert embedded.nbytes == ids.size * 768 * 4
+        assert embedded.nbytes > 500 * ids.nbytes
+
+    def test_bad_dim_rejected(self):
+        from repro.errors import PipelineError
+        with pytest.raises(PipelineError):
+            ops.EmbeddingTable(dim=0)

@@ -1,0 +1,180 @@
+"""Tests for the tf.data-style runtime (PipelineDataset)."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PipelineError
+from repro.pipeline.dataset import PipelineDataset
+from repro.pipeline.runtime import AppCacheOverflowError
+
+
+def test_from_items_and_materialize():
+    dataset = PipelineDataset.from_items([1, 2, 3])
+    assert dataset.materialize() == [1, 2, 3]
+    assert dataset.count() == 3
+
+
+def test_reiteration_restarts_source():
+    dataset = PipelineDataset.from_items([1, 2])
+    assert dataset.materialize() == [1, 2]
+    assert dataset.materialize() == [1, 2]
+
+
+def test_map_applies_function():
+    dataset = PipelineDataset.from_items([1, 2, 3]).map(lambda x: x * 10)
+    assert dataset.materialize() == [10, 20, 30]
+
+
+def test_parallel_map_preserves_order():
+    items = list(range(100))
+
+    def slow_even(x):
+        if x % 2 == 0:
+            time.sleep(0.001)
+        return x * 2
+
+    dataset = PipelineDataset.from_items(items).map(slow_even,
+                                                    num_parallel_calls=8)
+    assert dataset.materialize() == [x * 2 for x in items]
+
+
+def test_parallel_map_actually_uses_threads():
+    seen_threads = set()
+
+    def record_thread(x):
+        seen_threads.add(threading.current_thread().name)
+        time.sleep(0.002)
+        return x
+
+    PipelineDataset.from_items(range(32)).map(
+        record_thread, num_parallel_calls=4).materialize()
+    assert len(seen_threads) > 1
+
+
+def test_map_exception_propagates():
+    def boom(x):
+        raise ValueError("bad sample")
+
+    dataset = PipelineDataset.from_items([1]).map(boom,
+                                                  num_parallel_calls=2)
+    with pytest.raises(ValueError, match="bad sample"):
+        dataset.materialize()
+
+
+def test_batching():
+    dataset = PipelineDataset.from_items(range(7)).batch(3)
+    assert dataset.materialize() == [[0, 1, 2], [3, 4, 5], [6]]
+
+
+def test_batching_drop_remainder():
+    dataset = PipelineDataset.from_items(range(7)).batch(3,
+                                                         drop_remainder=True)
+    assert dataset.materialize() == [[0, 1, 2], [3, 4, 5]]
+
+
+def test_cache_replays_without_upstream_work():
+    calls = []
+
+    def tracked(x):
+        calls.append(x)
+        return x
+
+    dataset = PipelineDataset.from_items([1, 2, 3]).map(tracked).cache()
+    assert dataset.materialize() == [1, 2, 3]
+    assert dataset.materialize() == [1, 2, 3]
+    assert calls == [1, 2, 3]  # second epoch never touched the map
+
+
+def test_cache_overflow_mirrors_paper_oom():
+    """Datasets exceeding the cache budget fail like the paper's CV/NLP
+    app-cache runs."""
+    dataset = PipelineDataset.from_items(
+        [b"x" * 100] * 10).cache(capacity_bytes=500)
+    with pytest.raises(AppCacheOverflowError):
+        dataset.materialize()
+
+
+def test_shuffle_is_permutation():
+    items = list(range(50))
+    shuffled = PipelineDataset.from_items(items).shuffle(
+        buffer_size=16, seed=3).materialize()
+    assert sorted(shuffled) == items
+    assert shuffled != items  # astronomically unlikely to be identity
+
+
+def test_shuffle_deterministic_for_seed():
+    items = list(range(30))
+    first = PipelineDataset.from_items(items).shuffle(8, seed=5).materialize()
+    second = PipelineDataset.from_items(items).shuffle(8, seed=5).materialize()
+    assert first == second
+
+
+def test_shuffle_different_seeds_differ():
+    items = list(range(30))
+    a = PipelineDataset.from_items(items).shuffle(8, seed=1).materialize()
+    b = PipelineDataset.from_items(items).shuffle(8, seed=2).materialize()
+    assert a != b
+
+
+def test_shuffle_buffer_bounds_displacement():
+    """Buffer shuffling can delay an element arbitrarily (it may sit in
+    the buffer), but can never emit one before it has streamed in: the
+    value at output position i is at most i + buffer_size."""
+    items = list(range(100))
+    buffer_size = 10
+    shuffled = PipelineDataset.from_items(items).shuffle(
+        buffer_size, seed=7).materialize()
+    for position, value in enumerate(shuffled):
+        assert value <= position + buffer_size
+
+
+def test_prefetch_preserves_order_and_content():
+    dataset = PipelineDataset.from_items(range(200)).prefetch(4)
+    assert dataset.materialize() == list(range(200))
+
+
+def test_prefetch_propagates_errors():
+    def factory():
+        yield 1
+        raise RuntimeError("source died")
+
+    dataset = PipelineDataset.from_generator(factory).prefetch(2)
+    with pytest.raises(RuntimeError, match="source died"):
+        dataset.materialize()
+
+
+def test_invalid_parameters_rejected():
+    dataset = PipelineDataset.from_items([1])
+    with pytest.raises(PipelineError):
+        dataset.map(lambda x: x, num_parallel_calls=0).materialize()
+    with pytest.raises(PipelineError):
+        dataset.shuffle(0).materialize()
+    with pytest.raises(PipelineError):
+        dataset.batch(0).materialize()
+    with pytest.raises(PipelineError):
+        dataset.prefetch(0).materialize()
+
+
+def test_composed_pipeline():
+    dataset = (PipelineDataset.from_items(range(20))
+               .map(lambda x: x + 1, num_parallel_calls=4)
+               .cache()
+               .batch(5)
+               .prefetch(2))
+    batches = dataset.materialize()
+    assert [item for batch in batches for item in batch] == list(range(1, 21))
+
+
+@settings(max_examples=30, deadline=None)
+@given(items=st.lists(st.integers(), max_size=60),
+       buffer_size=st.integers(1, 20), batch=st.integers(1, 7))
+def test_shuffle_batch_property(items, buffer_size, batch):
+    """Shuffle+batch never loses or duplicates elements."""
+    dataset = (PipelineDataset.from_items(items)
+               .shuffle(buffer_size, seed=11)
+               .batch(batch))
+    flattened = [item for group in dataset for item in group]
+    assert sorted(flattened) == sorted(items)

@@ -1,0 +1,133 @@
+"""Tests for PipelineSpec / Representation / StepSpec / SplitPlan."""
+
+import pytest
+
+from repro.errors import (NonDeterministicSplitError, PipelineError,
+                          StepNotFoundError)
+from repro.pipelines.base import (EXTERNAL, NATIVE, PipelineSpec,
+                                  Representation, StepSpec)
+
+
+def _tiny_pipeline():
+    reps = [
+        Representation("raw", 100.0, n_files=10, record_format=False),
+        Representation("mid", 400.0),
+        Representation("final", 50.0),
+    ]
+    steps = [
+        StepSpec("grow", cpu_seconds=0.001),
+        StepSpec("shrink", cpu_seconds=0.002, impl=EXTERNAL),
+    ]
+    return PipelineSpec("tiny", reps, steps, sample_count=10)
+
+
+def test_construction_validates_lengths():
+    with pytest.raises(PipelineError, match="representations"):
+        PipelineSpec("bad", [Representation("a", 1.0)],
+                     [StepSpec("s", 0.0)], sample_count=1)
+
+
+def test_duplicate_step_names_rejected():
+    reps = [Representation(str(i), 1.0) for i in range(3)]
+    steps = [StepSpec("dup", 0.0), StepSpec("dup", 0.0)]
+    with pytest.raises(PipelineError, match="duplicate"):
+        PipelineSpec("bad", reps, steps, sample_count=1)
+
+
+def test_empty_dataset_rejected():
+    with pytest.raises(PipelineError):
+        PipelineSpec("bad", [Representation("a", 1.0)], [], sample_count=0)
+
+
+def test_step_impl_validated():
+    with pytest.raises(PipelineError, match="impl"):
+        StepSpec("s", 0.0, impl="gpu")
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(PipelineError):
+        StepSpec("s", -1.0)
+
+
+def test_step_and_representation_lookup():
+    pipeline = _tiny_pipeline()
+    assert pipeline.step("grow").cpu_seconds == 0.001
+    assert pipeline.representation("mid").bytes_per_sample == 400.0
+    with pytest.raises(StepNotFoundError):
+        pipeline.step("nope")
+    with pytest.raises(StepNotFoundError):
+        pipeline.representation("nope")
+
+
+def test_split_points_and_names():
+    pipeline = _tiny_pipeline()
+    assert pipeline.strategy_names() == ["raw", "mid", "final"]
+    plan = pipeline.split_at("mid")
+    assert [s.name for s in plan.offline_steps] == ["grow"]
+    assert [s.name for s in plan.online_steps] == ["shrink"]
+    assert not plan.is_unprocessed
+    assert pipeline.split_at(0).is_unprocessed
+
+
+def test_split_completeness():
+    """Offline + online steps always reassemble the full chain."""
+    pipeline = _tiny_pipeline()
+    for plan in pipeline.split_points():
+        names = ([s.name for s in plan.offline_steps]
+                 + [s.name for s in plan.online_steps])
+        assert names == pipeline.step_names()
+
+
+def test_nondeterministic_step_blocks_later_splits():
+    reps = [Representation(str(i), 1.0) for i in range(4)]
+    steps = [
+        StepSpec("a", 0.0),
+        StepSpec("augment", 0.0, deterministic=False),
+        StepSpec("b", 0.0),
+    ]
+    pipeline = PipelineSpec("p", reps, steps, sample_count=5)
+    assert pipeline.max_offline_index() == 1
+    assert pipeline.strategy_names() == ["0", "1"]
+    with pytest.raises(NonDeterministicSplitError):
+        pipeline.split_at(2)
+
+
+def test_split_out_of_range():
+    with pytest.raises(PipelineError):
+        _tiny_pipeline().split_at(99)
+
+
+def test_with_step_inserted():
+    pipeline = _tiny_pipeline()
+    new_rep = Representation("greyed", 30.0)
+    modified = pipeline.with_step_inserted(
+        1, StepSpec("grey", 0.0005), new_rep)
+    assert modified.step_names() == ["grow", "grey", "shrink"]
+    assert [r.name for r in modified.representations] == [
+        "raw", "mid", "greyed", "final"]
+    # Original untouched.
+    assert pipeline.step_names() == ["grow", "shrink"]
+
+
+def test_with_representation_override():
+    modified = _tiny_pipeline().with_representation("mid",
+                                                    bytes_per_sample=999.0)
+    assert modified.representation("mid").bytes_per_sample == 999.0
+    with pytest.raises(StepNotFoundError):
+        _tiny_pipeline().with_representation("nope", bytes_per_sample=1.0)
+
+
+def test_with_sample_count():
+    assert _tiny_pipeline().with_sample_count(3).sample_count == 3
+
+
+def test_compressed_bytes_per_sample():
+    rep = Representation("r", 1000.0, compressibility={"GZIP": 0.8})
+    assert rep.compressed_bytes_per_sample("GZIP") == pytest.approx(200.0)
+    assert rep.compressed_bytes_per_sample("ZLIB") == pytest.approx(1000.0)
+    assert rep.compressed_bytes_per_sample(None) == pytest.approx(1000.0)
+
+
+def test_total_bytes():
+    rep = Representation("r", 10.0)
+    assert rep.total_bytes(100) == pytest.approx(1000.0)

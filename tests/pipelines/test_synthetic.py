@@ -1,0 +1,57 @@
+"""Tests for the synthetic sweep pipelines (Figs. 7/9/11/13)."""
+
+import pytest
+
+from repro.pipelines.synthetic import (SWEEP_TOTAL_BYTES,
+                                       build_read_sweep_pipeline,
+                                       build_rms_sweep_pipeline,
+                                       sweep_sample_sizes)
+from repro.units import GB, MB
+
+
+def test_sweep_axis_matches_paper():
+    assert sweep_sample_sizes() == (20.5, 10.2, 5.1, 2.6, 1.3, 0.64, 0.32,
+                                    0.16, 0.08, 0.04, 0.02, 0.01)
+
+
+def test_total_volume_constant_across_sweep():
+    """The paper keeps 15 GB while sample sizes vary."""
+    for sample_mb in sweep_sample_sizes():
+        pipeline = build_read_sweep_pipeline(sample_mb)
+        total = pipeline.source.total_bytes(pipeline.sample_count)
+        assert total == pytest.approx(SWEEP_TOTAL_BYTES, rel=0.002)
+
+
+def test_sample_counts_match_paper_extremes():
+    """732 samples at 20.5 MB, ~1.5 M at 0.01 MB (paper Sec. 4.1)."""
+    assert build_read_sweep_pipeline(20.5).sample_count == 732
+    assert build_read_sweep_pipeline(0.01).sample_count == 1_500_000
+
+
+def test_read_sweep_has_no_steps():
+    pipeline = build_read_sweep_pipeline(1.3)
+    assert pipeline.steps == ()
+    assert pipeline.strategy_names() == [pipeline.source.name]
+    assert pipeline.source.record_format
+
+
+def test_rms_sweep_implementations():
+    numpy_pipe = build_rms_sweep_pipeline(1.3, "numpy")
+    native_pipe = build_rms_sweep_pipeline(1.3, "native")
+    assert numpy_pipe.step("rms").holds_gil
+    assert not native_pipe.step("rms").holds_gil
+    # NumPy is ~19x cheaper per byte (Fig. 13 discussion).
+    ratio = (native_pipe.step("rms").cpu_seconds
+             / numpy_pipe.step("rms").cpu_seconds)
+    assert ratio == pytest.approx(19.2, rel=0.05)
+
+
+def test_rms_cost_scales_with_sample_size():
+    small = build_rms_sweep_pipeline(0.5, "numpy").step("rms").cpu_seconds
+    large = build_rms_sweep_pipeline(5.0, "numpy").step("rms").cpu_seconds
+    assert large == pytest.approx(10 * small, rel=1e-6)
+
+
+def test_bad_impl_rejected():
+    with pytest.raises(ValueError):
+        build_rms_sweep_pipeline(1.0, "gpu")

@@ -1,0 +1,63 @@
+"""Tests for the dstat sampler."""
+
+import pytest
+
+from repro.sim.cluster import StorageCluster
+from repro.sim.cpu import Machine
+from repro.sim.dstat import Dstat
+from repro.sim.events import Simulation
+from repro.sim.storage import HDD_CEPH
+from repro.units import MB
+
+
+def _run_with_dstat(total_mb=910, interval=0.5):
+    sim = Simulation()
+    machine = Machine(sim)
+    cluster = StorageCluster(sim, HDD_CEPH, memory_link=machine.memory_link)
+    dstat = Dstat(sim, cluster, machine, interval=interval)
+
+    def workload():
+        for index in range(10):
+            yield from cluster.read(("k", index), total_mb / 10 * MB)
+        dstat.stop()
+
+    sim.run_process(workload(), name="workload")
+    sim.run()  # let the sampler drain
+    return dstat
+
+
+def test_summary_accounts_all_bytes():
+    dstat = _run_with_dstat()
+    summary = dstat.summary()
+    assert summary.bytes_read == pytest.approx(910 * MB, rel=1e-6)
+    assert summary.avg_read_bw > 0
+    assert summary.duration > 0
+
+
+def test_samples_recorded():
+    dstat = _run_with_dstat()
+    assert len(dstat.samples) >= 2
+    times = [sample.time for sample in dstat.samples]
+    assert times == sorted(times)
+
+
+def test_average_matches_theory():
+    """910 MB over a 219 MB/s stream: the average must be ~219 MB/s."""
+    dstat = _run_with_dstat()
+    assert dstat.summary().avg_read_bw == pytest.approx(219 * MB, rel=0.05)
+
+
+def test_stop_terminates_sampler():
+    dstat = _run_with_dstat()
+    # The simulation drained: no further events pending.
+    assert dstat._stopped
+
+
+def test_adaptive_interval_limits_samples():
+    dstat = _run_with_dstat(total_mb=910, interval=0.001)
+    assert len(dstat.samples) <= dstat.max_samples
+
+
+def test_describe_renders():
+    summary = _run_with_dstat().summary()
+    assert "MB/s" in summary.describe()

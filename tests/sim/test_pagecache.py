@@ -1,0 +1,114 @@
+"""Tests for the LRU page cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageError
+from repro.sim.pagecache import PageCache
+
+
+def test_insert_and_lookup():
+    cache = PageCache(100)
+    assert not cache.lookup("a")
+    cache.insert("a", 40)
+    assert cache.lookup("a")
+    assert cache.used_bytes == 40
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_eviction_is_lru():
+    cache = PageCache(100)
+    cache.insert("a", 40)
+    cache.insert("b", 40)
+    cache.lookup("a")          # refresh a; b is now least recent
+    cache.insert("c", 40)      # evicts b
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+    assert cache.evictions == 1
+
+
+def test_oversized_object_not_admitted():
+    cache = PageCache(100)
+    cache.insert("huge", 200)
+    assert len(cache) == 0
+    assert cache.used_bytes == 0
+
+
+def test_reinsert_updates_size():
+    cache = PageCache(100)
+    cache.insert("a", 30)
+    cache.insert("a", 50)
+    assert cache.used_bytes == 50
+    assert len(cache) == 1
+
+
+def test_drop_clears_contents_keeps_stats():
+    cache = PageCache(100)
+    cache.insert("a", 10)
+    cache.lookup("a")
+    cache.drop()
+    assert len(cache) == 0
+    assert cache.hits == 1
+    cache.reset_stats()
+    assert cache.hits == 0
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(StorageError):
+        PageCache(-1)
+    cache = PageCache(10)
+    with pytest.raises(StorageError):
+        cache.insert("a", -5)
+
+
+def test_scan_thrashing_no_second_epoch_hits():
+    """A dataset slightly larger than the cache gets zero re-read hits.
+
+    This is the mechanism behind paper Sec. 4.2 obs. 1: strategies whose
+    storage consumption exceeds RAM see no caching benefit at all.
+    """
+    cache = PageCache(100)
+    chunks = [(f"chunk-{i}", 10) for i in range(11)]  # 110 bytes total
+    for key, size in chunks:
+        assert not cache.lookup(key)
+        cache.insert(key, size)
+    # Epoch 2 re-reads sequentially, inserting on every miss (as the
+    # kernel does): each miss evicts exactly the chunk needed next.
+    hits = 0
+    for key, size in chunks:
+        if cache.lookup(key):
+            hits += 1
+        else:
+            cache.insert(key, size)
+    assert hits == 0
+
+
+def test_fitting_dataset_hits_fully_on_second_epoch():
+    cache = PageCache(100)
+    chunks = [(f"chunk-{i}", 10) for i in range(10)]  # exactly fits
+    for key, size in chunks:
+        cache.lookup(key)
+        cache.insert(key, size)
+    hits = sum(cache.lookup(key) for key, _ in chunks)
+    assert hits == 10
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.floats(1.0, 50.0)),
+                max_size=200))
+def test_invariants_hold_under_random_workload(operations):
+    """Used bytes equals the sum of live entries and never exceeds capacity."""
+    cache = PageCache(120)
+    live = {}
+    for key, size in operations:
+        cache.lookup(key)
+        cache.insert(key, size)
+        live[key] = size
+    assert cache.used_bytes <= cache.capacity_bytes
+    total_live = sum(cache._entries.values())
+    assert cache.used_bytes == pytest.approx(total_live)
+    # Every cached entry must have the size of its most recent insert.
+    for key, size in cache._entries.items():
+        assert live[key] == pytest.approx(size)

@@ -1,0 +1,86 @@
+"""Tests for the presto CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_pipelines_command(capsys):
+    assert main(["pipelines"]) == 0
+    out = capsys.readouterr().out
+    assert "CV" in out
+    assert "FLAC" in out
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "ILSVRC2012" in out
+    assert "CREAM" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "MP3"]) == 0
+    out = capsys.readouterr().out
+    assert "Recommended strategy" in out
+    assert "spectrogram-encoded" in out
+
+
+def test_profile_on_ssd(capsys):
+    assert main(["profile", "MP3", "--storage", "ceph-ssd"]) == 0
+    assert "Recommended" in capsys.readouterr().out
+
+
+def test_tune_command(capsys):
+    assert main(["tune", "NILM", "--wt", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "best =" in out
+    assert "aggregated" in out
+
+
+def test_bottleneck_command(capsys):
+    assert main(["bottleneck", "NLP"]) == 0
+    out = capsys.readouterr().out
+    assert "bound by" in out
+
+
+def test_fio_command(capsys):
+    assert main(["fio"]) == 0
+    out = capsys.readouterr().out
+    assert "MB/s" in out
+
+
+def test_cost_command(capsys):
+    assert main(["cost", "MP3", "--epochs", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "total_usd" in out
+    assert "dollar cost" in out
+
+
+def test_amortize_command(capsys):
+    assert main(["amortize", "FLAC", "--horizons", "1", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "winner" in out
+    assert "total_hours" in out
+
+
+def test_fanout_command(capsys):
+    assert main(["fanout", "NILM", "--trainers", "1", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered_sps" in out
+
+
+def test_fanout_with_explicit_strategy(capsys):
+    assert main(["fanout", "CV", "--strategy", "pixel-centered",
+                 "--trainers", "1", "8"]) == 0
+    assert "network_bound" in capsys.readouterr().out
+
+
+def test_unknown_pipeline_exits():
+    with pytest.raises(SystemExit):
+        main(["profile", "VIDEO"])
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,58 @@
+"""Tests for unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_byte_constants():
+    assert units.MB == 10**6
+    assert units.GB == 10**9
+    assert units.GIB == 2**30
+    assert units.LINK_10GBIT == 1.25e9
+
+
+def test_fmt_bytes_paper_style():
+    assert units.fmt_bytes(146.9 * units.GB) == "146.9GB"
+    assert units.fmt_bytes(594 * units.MB) == "594.0MB"
+    assert units.fmt_bytes(1.39 * units.TB) == "1.39TB"
+    assert units.fmt_bytes(512) == "512B"
+    assert units.fmt_bytes(-2 * units.KB) == "-2.00KB"
+
+
+def test_fmt_rate():
+    assert units.fmt_rate(910 * units.MB) == "910.0 MB/s"
+
+
+def test_fmt_duration():
+    assert units.fmt_duration(2 * units.HOUR) == "2.00h"
+    assert units.fmt_duration(90) == "1.50min"
+    assert units.fmt_duration(2.5) == "2.50s"
+    assert units.fmt_duration(0.005) == "5.00ms"
+    assert units.fmt_duration(2e-6) == "2.0us"
+
+
+def test_fmt_sps():
+    assert units.fmt_sps(9053) == "9,053 SPS"
+    assert units.fmt_sps(5.9) == "5.9 SPS"
+
+
+def test_space_saving_examples():
+    """The paper's own example: 5 GB -> 1 GB is 80% saving."""
+    assert units.space_saving(5e9, 1e9) == pytest.approx(0.8)
+    assert units.space_saving(5e9, 5e9) == 0.0
+
+
+def test_space_saving_invalid():
+    with pytest.raises(ValueError):
+        units.space_saving(0, 1)
+
+
+@given(st.floats(1.0, 1e15), st.floats(0.0, 1e15))
+def test_space_saving_bounds(original, compressed):
+    saving = units.space_saving(original, compressed)
+    assert saving <= 1.0
+    # Growth (negative saving) is allowed and unbounded below.
+    if compressed <= original:
+        assert 0.0 <= saving <= 1.0
