@@ -1,0 +1,19 @@
+# Convenience targets for the PRESTO reproduction.
+#
+#   make test    tier-1 test suite (unit + benchmark harness)
+#   make smoke   parallel-sweep determinism smoke (tools/sweep_smoke.py)
+#   make sweep   full-catalog profile of the seven paper pipelines
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test smoke sweep
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/sweep_smoke.py --jobs 2
+
+sweep:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli sweep --jobs 2

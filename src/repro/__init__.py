@@ -14,6 +14,14 @@ Quickstart::
     profiles = profiler.profile_pipeline(get_pipeline("CV"))
     analysis = StrategyAnalysis(profiles)
     print(analysis.summary())
+
+Full-catalog sweeps fan out and memoize via the exec engine::
+
+    from repro import ProfileCache, SimulatedBackend, SweepEngine
+
+    engine = SweepEngine(SimulatedBackend(), executor=4,
+                         cache=ProfileCache("~/.cache/presto"))
+    result = engine.sweep()          # all seven paper pipelines
 """
 
 from repro.backends import (AnalyticModel, Environment, InProcessBackend,
@@ -21,6 +29,7 @@ from repro.backends import (AnalyticModel, Environment, InProcessBackend,
 from repro.core import (Frame, ObjectiveWeights, Strategy, StrategyAnalysis,
                         StrategyProfiler, enumerate_strategies)
 from repro.core.autotune import AutoTuner
+from repro.exec import ProfileCache, SweepEngine, SweepResult
 from repro.pipelines import PipelineSpec, all_pipelines, get_pipeline
 
 __version__ = "1.0.0"
@@ -33,11 +42,14 @@ __all__ = [
     "InProcessBackend",
     "ObjectiveWeights",
     "PipelineSpec",
+    "ProfileCache",
     "RunConfig",
     "SimulatedBackend",
     "Strategy",
     "StrategyAnalysis",
     "StrategyProfiler",
+    "SweepEngine",
+    "SweepResult",
     "all_pipelines",
     "enumerate_strategies",
     "get_pipeline",

@@ -3,14 +3,21 @@
 Subcommands::
 
     presto pipelines                  list the profiled pipelines
+    presto datasets                   Table 2 dataset metadata
     presto profile CV                 profile all strategies of a pipeline
+    presto sweep --jobs 4             profile every paper pipeline at once
     presto tune CV --wp 1 --wt 1      auto-tune with objective weights
     presto bottleneck NLP             per-strategy bottleneck report
     presto fio                        Table 3 storage probe
-    presto datasets                   Table 2 dataset metadata
+    presto cost CV                    dollar cost per strategy
+    presto amortize CV                offline-time break-even horizons
+    presto fanout CV                  per-trainer throughput under fan-out
 
 All commands run on the simulated backend (deterministic, full scale);
 ``profile --backend inprocess`` switches to real miniature execution.
+``profile``, ``tune`` and ``sweep`` accept ``--jobs N`` to fan profiling
+out over a worker pool and ``--cache DIR`` to memoize profiles on disk;
+progress and cache statistics go to stderr, results to stdout.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ from repro.core.autotune import AutoTuner
 from repro.core.profiler import StrategyProfiler
 from repro.core.report import bottleneck_report
 from repro.datasets.catalog import table2_frame
+from repro.errors import ReproError
+from repro.exec import ProfileCache, ProgressPrinter, SweepEngine
 from repro.pipelines.registry import PAPER_PIPELINES, get_pipeline
 from repro.sim.fio import run_fio
 from repro.sim.storage import DEVICE_PROFILES
@@ -47,12 +56,29 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--epochs", type=int, default=1)
     profile.add_argument("--compression", choices=["GZIP", "ZLIB"],
                          default=None)
-    profile.add_argument("--cache", choices=["none", "system", "application"],
-                         default="none")
+    profile.add_argument("--cache-mode",
+                         choices=["none", "system", "application"],
+                         default="none",
+                         help="epoch-to-epoch data caching behaviour")
     profile.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
                          default="ceph-hdd")
     profile.add_argument("--backend", choices=["simulated", "inprocess"],
                          default="simulated")
+    _add_engine_options(profile)
+
+    sweep = sub.add_parser(
+        "sweep", help="profile every paper pipeline in one parallel run")
+    sweep.add_argument("--pipelines", nargs="+",
+                       choices=sorted(PAPER_PIPELINES),
+                       default=list(PAPER_PIPELINES),
+                       help="subset of pipelines (default: all seven)")
+    sweep.add_argument("--threads", type=int, default=8)
+    sweep.add_argument("--epochs", type=int, default=1)
+    sweep.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
+                       default="ceph-hdd")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress on stderr")
+    _add_engine_options(sweep)
 
     tune = sub.add_parser("tune", help="auto-tune a pipeline")
     tune.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
@@ -63,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--wt", type=float, default=1.0,
                       help="throughput weight")
     tune.add_argument("--threads", type=int, nargs="+", default=[8])
+    _add_engine_options(tune)
 
     bottleneck = sub.add_parser("bottleneck",
                                 help="per-strategy bottleneck report")
@@ -95,6 +122,33 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """The sweep-engine knobs shared by profile/tune/sweep."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel profiling workers (default: 1)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="persist memoized profiles in DIR")
+
+
+def _profile_cache(args) -> Optional[ProfileCache]:
+    if not args.cache:
+        return None
+    # ``--cache`` used to select the epoch caching behaviour; that knob
+    # is now ``--cache-mode``.  Its old values double as plausible
+    # directory names, so reject them loudly instead of silently
+    # memoizing profiles into a directory called "application".
+    if args.cache in ("none", "system", "application"):
+        raise ReproError(
+            f"--cache now names a profile-cache directory; use "
+            f"--cache-mode {args.cache} for epoch caching behaviour")
+    return ProfileCache(args.cache)
+
+
+def _report_cache(cache: Optional[ProfileCache]) -> None:
+    if cache is not None:
+        print(f"cache: {cache.stats.describe()}", file=sys.stderr)
+
+
 def _cmd_pipelines() -> int:
     for name in PAPER_PIPELINES:
         pipeline = get_pipeline(name)
@@ -115,24 +169,53 @@ def _cmd_profile(args) -> int:
     else:
         backend = SimulatedBackend(environment)
     config = RunConfig(threads=args.threads, epochs=args.epochs,
-                       compression=args.compression, cache_mode=args.cache)
-    profiler = StrategyProfiler(backend)
+                       compression=args.compression,
+                       cache_mode=args.cache_mode)
+    cache = _profile_cache(args)
+    profiler = StrategyProfiler(backend, jobs=args.jobs, cache=cache)
     profiles = profiler.profile_pipeline(get_pipeline(args.pipeline),
                                          config=config)
     analysis = StrategyAnalysis(profiles)
     print(analysis.summary())
+    _report_cache(cache)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    environment = Environment(storage=DEVICE_PROFILES[args.storage])
+    cache = _profile_cache(args)
+    engine = SweepEngine(SimulatedBackend(environment), executor=args.jobs,
+                         cache=cache)
+    if not args.quiet:
+        engine.add_listener(ProgressPrinter(sys.stderr))
+    config = RunConfig(threads=args.threads, epochs=args.epochs)
+    result = engine.sweep([get_pipeline(name) for name in args.pipelines],
+                          config=config)
+    first = True
+    for name, profiles in result.profiles.items():
+        if not first:
+            print()
+        first = False
+        print(f"## {name}")
+        print(StrategyAnalysis(profiles).summary())
+    print(f"sweep: {result.job_count} strategies across "
+          f"{len(result.pipelines)} pipeline(s) in {result.elapsed:.2f}s",
+          file=sys.stderr)
+    _report_cache(cache)
     return 0
 
 
 def _cmd_tune(args) -> int:
     weights = ObjectiveWeights(preprocessing=args.wp, storage=args.ws,
                                throughput=args.wt)
-    tuner = AutoTuner(SimulatedBackend())
+    cache = _profile_cache(args)
+    tuner = AutoTuner(SimulatedBackend(), jobs=args.jobs, cache=cache)
     report = tuner.tune(get_pipeline(args.pipeline), weights=weights,
                         threads=tuple(args.threads))
     print(report.frame().to_markdown())
     print()
     print(report.describe())
+    _report_cache(cache)
     return 0
 
 
@@ -191,12 +274,26 @@ def _cmd_fanout(args) -> int:
     return 0
 
 
+def main_entry() -> None:
+    """Console-script entry point (``presto`` after installation)."""
+    sys.exit(main())
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"presto: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     handlers = {
         "pipelines": lambda: _cmd_pipelines(),
         "datasets": lambda: _cmd_datasets(),
         "profile": lambda: _cmd_profile(args),
+        "sweep": lambda: _cmd_sweep(args),
         "tune": lambda: _cmd_tune(args),
         "bottleneck": lambda: _cmd_bottleneck(args),
         "fio": lambda: _cmd_fio(args),

@@ -51,13 +51,21 @@ class TuningReport:
 
 
 class AutoTuner:
-    """Grid search with analytic pre-screening."""
+    """Grid search with analytic pre-screening.
+
+    ``jobs`` and ``cache`` are forwarded to the profiler's sweep engine:
+    survivors of the analytic screen profile in parallel, and repeated
+    tuning sessions reuse memoized profiles.
+    """
 
     def __init__(self, backend: Backend,
                  environment: Optional[Environment] = None,
-                 runs_total: int = 1):
+                 runs_total: int = 1,
+                 jobs: Optional[int] = None,
+                 cache=None):
         self.backend = backend
-        self.profiler = StrategyProfiler(backend, runs_total=runs_total)
+        self.profiler = StrategyProfiler(backend, runs_total=runs_total,
+                                         jobs=jobs, cache=cache)
         self.analytic = AnalyticModel(environment
                                       or getattr(backend, "environment",
                                                  None)

@@ -4,6 +4,11 @@ Runs strategies on a backend, repeats runs (``runs_total``), optionally
 profiles only a subset of the dataset (``sample_count``) and aggregates
 the paper's three key metrics -- preprocessing time, storage consumption
 and throughput -- into result records / a :class:`~repro.core.frame.Frame`.
+
+Execution is delegated to the :class:`~repro.exec.engine.SweepEngine`, so
+profiling can fan out over worker pools (``jobs``) and memoize results in
+a content-addressed :class:`~repro.exec.cache.ProfileCache` (``cache``)
+without any caller changes.
 """
 
 from __future__ import annotations
@@ -78,13 +83,25 @@ class StrategyProfile:
 
 
 class StrategyProfiler:
-    """Profiles strategies on a backend and collects result frames."""
+    """Profiles strategies on a backend and collects result frames.
 
-    def __init__(self, backend: Backend, runs_total: int = 1):
+    ``jobs`` fans profiling out over a worker pool (``None``/1 keeps the
+    serial reference behaviour), ``cache`` memoizes results across calls;
+    both are forwarded to the underlying sweep engine.  An explicit
+    ``engine`` overrides both.
+    """
+
+    def __init__(self, backend: Backend, runs_total: int = 1,
+                 jobs: Optional[int] = None, cache=None, engine=None):
         if runs_total < 1:
             raise ProfilingError("runs_total must be >= 1")
         self.backend = backend
         self.runs_total = runs_total
+        if engine is None:
+            from repro.exec.engine import SweepEngine
+            engine = SweepEngine(backend, executor=jobs, cache=cache,
+                                 runs_total=runs_total)
+        self.engine = engine
 
     def profile_strategy(self, strategy: Strategy,
                          sample_count: Optional[int] = None,
@@ -95,37 +112,23 @@ class StrategyProfiler:
         cheap first looks (it recommends full-dataset profiling because
         some bottlenecks only appear once caches fill -- Sec. 3.1).
         """
-        plan = strategy.plan
-        if sample_count is not None:
-            pipeline = plan.pipeline.with_sample_count(sample_count)
-            plan = pipeline.split_at(plan.split_index)
-            strategy = Strategy(plan, strategy.config)
-        profile = StrategyProfile(strategy=strategy)
-        for _ in range(self.runs_total):
-            profile.runs.append(self.backend.run(plan, strategy.config))
-        return profile
+        return self.engine.profile([strategy],
+                                   sample_count=sample_count)[0]
 
     def profile_pipeline(self, pipeline: PipelineSpec,
                          config: Optional[RunConfig] = None,
                          sample_count: Optional[int] = None,
                          ) -> list[StrategyProfile]:
         """Profile every legal split of ``pipeline`` under one config."""
-        config = config or RunConfig()
-        profiles = []
-        for plan in pipeline.split_points():
-            if plan.is_unprocessed and config.compression:
-                continue
-            profiles.append(self.profile_strategy(
-                Strategy(plan, config), sample_count=sample_count))
-        return profiles
+        return self.engine.profile_pipeline(pipeline, config=config,
+                                            sample_count=sample_count)
 
     def profile_grid(self, strategies: Sequence[Strategy],
                      sample_count: Optional[int] = None,
                      ) -> list[StrategyProfile]:
         """Profile an explicit strategy grid (see
         :func:`repro.core.strategy.enumerate_strategies`)."""
-        return [self.profile_strategy(strategy, sample_count=sample_count)
-                for strategy in strategies]
+        return self.engine.profile(strategies, sample_count=sample_count)
 
     @staticmethod
     def to_frame(profiles: Sequence[StrategyProfile]) -> Frame:

@@ -52,6 +52,14 @@ class ProfilingError(ReproError):
     """A profiling run could not be completed."""
 
 
+class SweepError(ProfilingError):
+    """The sweep engine was configured or used incorrectly."""
+
+
+class CacheError(ReproError):
+    """A profile-cache entry could not be read or written."""
+
+
 class CodecError(ReproError):
     """Encoding or decoding a payload failed."""
 

@@ -1,0 +1,237 @@
+"""The profile cache: content-addressed memoization of profiling runs.
+
+Exhaustive strategy sweeps re-profile identical (pipeline, strategy,
+environment, backend) combinations constantly -- every ``presto`` command
+that touches the same pipeline starts from scratch.  :class:`ProfileCache`
+stores the raw :class:`~repro.backends.base.StrategyRunResult` records of
+each job under its :func:`~repro.exec.fingerprint.job_fingerprint` key, in
+memory and optionally on disk (one JSON file per entry), with hit/miss
+accounting so sweeps can report how much work memoization saved.
+
+Cached entries store *runs*, not profiles: a
+:class:`~repro.core.profiler.StrategyProfile` holds a live
+:class:`~repro.core.strategy.Strategy` (whose pipeline spec carries
+unpicklable step callables), so on a hit the cache rebuilds the profile
+around the caller's own strategy object and only the measured records are
+deserialized.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.backends.base import (Environment, EpochResult, OfflineResult,
+                                 RunConfig, StrategyRunResult)
+from repro.core.profiler import StrategyProfile
+from repro.core.strategy import Strategy
+from repro.errors import CacheError
+from repro.sim.storage import DeviceProfile
+
+#: Bump when the on-disk payload layout changes; older files then miss.
+PAYLOAD_VERSION = 1
+
+
+# -- run (de)serialization ---------------------------------------------------
+
+def encode_run(run: StrategyRunResult) -> dict[str, Any]:
+    """Flatten one run result into JSON-serializable primitives."""
+    return {
+        "pipeline": run.pipeline,
+        "strategy": run.strategy,
+        "config": {
+            "threads": run.config.threads,
+            "epochs": run.config.epochs,
+            "compression": run.config.compression,
+            "cache_mode": run.config.cache_mode,
+            "shards": run.config.shards,
+            "shuffle_buffer": run.config.shuffle_buffer,
+            "max_jobs": run.config.max_jobs,
+        },
+        "environment": {
+            "cores": run.environment.cores,
+            "ram_bytes": run.environment.ram_bytes,
+            "memory_bw": run.environment.memory_bw,
+            "memory_stream_bw": run.environment.memory_stream_bw,
+            "storage": {
+                "name": run.environment.storage.name,
+                "stream_bw": run.environment.storage.stream_bw,
+                "aggregate_bw": run.environment.storage.aggregate_bw,
+                "write_bw": run.environment.storage.write_bw,
+                "open_latency": run.environment.storage.open_latency,
+                "pipeline_open_latency":
+                    run.environment.storage.pipeline_open_latency,
+                "metadata_slots": run.environment.storage.metadata_slots,
+                "block_latency": run.environment.storage.block_latency,
+            },
+        },
+        "storage_bytes": run.storage_bytes,
+        "offline": None if run.offline is None else {
+            "duration": run.offline.duration,
+            "bytes_read": run.offline.bytes_read,
+            "bytes_written": run.offline.bytes_written,
+            "compression_seconds": run.offline.compression_seconds,
+        },
+        "epochs": [
+            {
+                "epoch": epoch.epoch,
+                "duration": epoch.duration,
+                "samples": epoch.samples,
+                "bytes_from_storage": epoch.bytes_from_storage,
+                "bytes_from_cache": epoch.bytes_from_cache,
+                "cache_hit_rate": epoch.cache_hit_rate,
+                "served_from_app_cache": epoch.served_from_app_cache,
+            }
+            for epoch in run.epochs
+        ],
+        "app_cache_failed": run.app_cache_failed,
+    }
+
+
+def decode_run(payload: dict[str, Any]) -> StrategyRunResult:
+    """Rebuild a run result from :func:`encode_run` output."""
+    env = payload["environment"]
+    offline = payload["offline"]
+    return StrategyRunResult(
+        pipeline=payload["pipeline"],
+        strategy=payload["strategy"],
+        config=RunConfig(**payload["config"]),
+        environment=Environment(
+            storage=DeviceProfile(**env["storage"]),
+            cores=env["cores"],
+            ram_bytes=env["ram_bytes"],
+            memory_bw=env["memory_bw"],
+            memory_stream_bw=env["memory_stream_bw"],
+        ),
+        storage_bytes=payload["storage_bytes"],
+        offline=None if offline is None else OfflineResult(**offline),
+        epochs=[EpochResult(**epoch) for epoch in payload["epochs"]],
+        app_cache_failed=payload["app_cache_failed"],
+    )
+
+
+# -- the cache ---------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting over the lifetime of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.hits} hits / {self.lookups} lookups "
+                f"({self.hit_rate:.0%}), {self.stores} stored")
+
+
+class ProfileCache:
+    """Content-addressed store of profiling runs.
+
+    ``directory=None`` keeps entries in memory only (one process);
+    pointing it at a directory persists every entry as
+    ``<fingerprint>.json`` so later invocations -- including other
+    processes -- start warm.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None):
+        self._memory: dict[str, list[StrategyRunResult]] = {}
+        self.stats = CacheStats()
+        self.directory: Optional[Path] = None
+        if directory is not None:
+            self.directory = Path(directory).expanduser()
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise CacheError(
+                    f"cannot create cache directory "
+                    f"{self.directory}: {exc}") from exc
+
+    # -- lookup / store ----------------------------------------------------
+
+    def lookup(self, key: str,
+               strategy: Strategy) -> Optional[StrategyProfile]:
+        """Return the cached profile for ``key`` rebuilt around
+        ``strategy``, or None on a miss (recorded in :attr:`stats`)."""
+        runs = self._memory.get(key)
+        if runs is None and self.directory is not None:
+            runs = self._load(key)
+            if runs is not None:
+                self._memory[key] = runs
+        if runs is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return StrategyProfile(strategy=strategy, runs=list(runs))
+
+    def store(self, key: str, profile: StrategyProfile) -> None:
+        """Memoize ``profile``'s runs under ``key`` (and on disk if
+        persistent)."""
+        self._memory[key] = list(profile.runs)
+        self.stats.stores += 1
+        if self.directory is not None:
+            self._dump(key, profile.runs)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return (self.directory is not None
+                and (self.directory / f"{key}.json").exists())
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk); stats are kept."""
+        self._memory.clear()
+        if self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+
+    # -- disk persistence --------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def _dump(self, key: str, runs: list[StrategyRunResult]) -> None:
+        payload = {
+            "version": PAYLOAD_VERSION,
+            "fingerprint": key,
+            "runs": [encode_run(run) for run in runs],
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise CacheError(
+                f"cannot persist cache entry {key[:12]}...: {exc}") from exc
+
+    def _load(self, key: str) -> Optional[list[StrategyRunResult]]:
+        """Read one disk entry; unreadable/corrupt/stale entries are
+        treated as misses (the next store overwrites them) so a damaged
+        file never permanently wedges the cache."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != PAYLOAD_VERSION:
+                return None
+            return [decode_run(run) for run in payload["runs"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None

@@ -1,0 +1,65 @@
+"""Progress events emitted by the sweep engine.
+
+Long sweeps (hundreds of strategies across pipelines) need observable
+progress.  The engine emits :class:`SweepEvent` records to registered
+listeners -- plain callables -- at sweep start/end and per job, flagging
+cache hits so callers can see memoization at work.  :class:`ProgressPrinter`
+is the stock listener the CLI attaches to stderr.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+#: Event kinds, in emission order over a sweep's lifetime.
+SWEEP_START = "sweep-start"
+JOB_DONE = "job-done"
+CACHE_HIT = "cache-hit"
+SWEEP_END = "sweep-end"
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One observable step of a sweep."""
+
+    kind: str
+    #: 1-based index of the job this event refers to (0 for sweep-level).
+    index: int = 0
+    #: Total job count of the sweep.
+    total: int = 0
+    pipeline: str = ""
+    strategy: str = ""
+    uid: str = ""
+    #: True when the job was served from the profile cache.
+    cached: bool = False
+    #: Wall-clock seconds (per job, or whole sweep for ``sweep-end``).
+    elapsed: float = 0.0
+    message: str = ""
+
+
+#: Listener signature: receives every event, returns nothing.
+SweepListener = Callable[[SweepEvent], None]
+
+
+class ProgressPrinter:
+    """Stock listener: one human-readable line per event to a stream."""
+
+    def __init__(self, stream: TextIO = sys.stderr):
+        self.stream = stream
+
+    def __call__(self, event: SweepEvent) -> None:
+        if event.kind == SWEEP_START:
+            line = f"sweep: {event.total} profiling job(s)"
+        elif event.kind in (JOB_DONE, CACHE_HIT):
+            tag = "cached" if event.cached else f"{event.elapsed:.2f}s"
+            line = (f"[{event.index}/{event.total}] "
+                    f"{event.pipeline}/{event.strategy} {tag}")
+        elif event.kind == SWEEP_END:
+            line = f"sweep: done in {event.elapsed:.2f}s"
+        else:
+            line = f"{event.kind}: {event.message}"
+        if event.message and event.kind != SWEEP_END:
+            line += f" ({event.message})"
+        print(line, file=self.stream)

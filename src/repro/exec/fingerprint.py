@@ -1,0 +1,131 @@
+"""Content-addressed fingerprints for profiling jobs.
+
+A profile is a pure function of four inputs: the pipeline specification,
+the strategy knobs (split point + :class:`~repro.backends.base.RunConfig`),
+the hardware environment, and the backend that executes the run.  The
+:class:`~repro.exec.cache.ProfileCache` therefore keys entries by a
+SHA-256 digest over a canonical JSON description of exactly those four
+inputs -- change any calibrated constant of a pipeline, swap the storage
+device, or switch backends and the fingerprint (hence the cache entry)
+changes with it.
+
+Step callables (``StepSpec.fn``) are deliberately excluded from the
+description: they carry no tunable state of their own (the calibrated
+``cpu_seconds`` cost is what the simulator charges), and including
+function identities would make fingerprints differ across interpreter
+runs.  Only their presence is recorded, so adding or removing a real
+implementation still invalidates cached in-process results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Optional
+
+from repro.backends.base import Backend, Environment, RunConfig
+from repro.core.strategy import Strategy
+from repro.pipelines.base import PipelineSpec
+
+#: Bump when the description schema changes so stale disk caches miss.
+SCHEMA_VERSION = 1
+
+
+def describe_pipeline(pipeline: PipelineSpec) -> dict[str, Any]:
+    """Canonical description of everything that shapes a pipeline's cost."""
+    return {
+        "name": pipeline.name,
+        "sample_count": pipeline.sample_count,
+        "representations": [
+            {
+                "name": rep.name,
+                "bytes_per_sample": rep.bytes_per_sample,
+                "dtype": rep.dtype,
+                "n_files": rep.n_files,
+                "record_format": rep.record_format,
+                "compressibility": dict(sorted(rep.compressibility.items())),
+                "deser_penalty": rep.deser_penalty,
+                "open_latency_factor": rep.open_latency_factor,
+            }
+            for rep in pipeline.representations
+        ],
+        "steps": [
+            {
+                "name": step.name,
+                "cpu_seconds": step.cpu_seconds,
+                "impl": step.impl,
+                "deterministic": step.deterministic,
+                "has_fn": step.fn is not None,
+            }
+            for step in pipeline.steps
+        ],
+    }
+
+
+def describe_config(config: RunConfig) -> dict[str, Any]:
+    return {
+        "threads": config.threads,
+        "epochs": config.epochs,
+        "compression": config.compression,
+        "cache_mode": config.cache_mode,
+        "shards": config.shards,
+        "shuffle_buffer": config.shuffle_buffer,
+        "max_jobs": config.max_jobs,
+    }
+
+
+def describe_environment(environment: Environment) -> dict[str, Any]:
+    storage = environment.storage
+    return {
+        "cores": environment.cores,
+        "ram_bytes": environment.ram_bytes,
+        "memory_bw": environment.memory_bw,
+        "memory_stream_bw": environment.memory_stream_bw,
+        "storage": {
+            "name": storage.name,
+            "stream_bw": storage.stream_bw,
+            "aggregate_bw": storage.aggregate_bw,
+            "write_bw": storage.write_bw,
+            "open_latency": storage.open_latency,
+            "pipeline_open_latency": storage.pipeline_open_latency,
+            "metadata_slots": storage.metadata_slots,
+            "block_latency": storage.block_latency,
+        },
+    }
+
+
+def describe_backend(backend: Backend) -> dict[str, Any]:
+    """Backend identity: class name plus any cost-relevant knobs it carries.
+
+    The environment is described separately, so only backend-private state
+    (the in-process backend's miniature dataset size and RNG seed) appears
+    here.
+    """
+    description: dict[str, Any] = {"type": type(backend).__name__}
+    for knob in ("sample_count", "seed"):
+        value = getattr(backend, knob, None)
+        if value is not None:
+            description[knob] = value
+    return description
+
+
+def job_fingerprint(strategy: Strategy,
+                    environment: Environment,
+                    backend: Backend,
+                    runs_total: int = 1,
+                    extra: Optional[dict[str, Any]] = None) -> str:
+    """SHA-256 digest keying one (pipeline, strategy, environment, backend)
+    profiling job.  ``extra`` folds in caller-specific knobs."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "pipeline": describe_pipeline(strategy.plan.pipeline),
+        "split_index": strategy.plan.split_index,
+        "config": describe_config(strategy.config),
+        "environment": describe_environment(environment),
+        "backend": describe_backend(backend),
+        "runs_total": runs_total,
+    }
+    if extra:
+        payload["extra"] = extra
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

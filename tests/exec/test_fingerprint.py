@@ -1,0 +1,74 @@
+"""Tests for content-addressed job fingerprints."""
+
+from repro.backends import Environment, InProcessBackend, RunConfig, \
+    SimulatedBackend
+from repro.core.strategy import Strategy
+from repro.exec.fingerprint import (describe_backend, describe_pipeline,
+                                    job_fingerprint)
+from repro.pipelines import get_pipeline
+from repro.sim.storage import DEVICE_PROFILES
+
+BACKEND = SimulatedBackend()
+ENV = Environment()
+
+
+def _strategy(pipeline="MP3", split="decoded", **config):
+    return Strategy(get_pipeline(pipeline).split_at(split),
+                    RunConfig(**config))
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        a = job_fingerprint(_strategy(), ENV, BACKEND)
+        b = job_fingerprint(_strategy(), ENV, BACKEND)
+        assert a == b
+
+    def test_config_changes_key(self):
+        base = job_fingerprint(_strategy(threads=8), ENV, BACKEND)
+        other = job_fingerprint(_strategy(threads=4), ENV, BACKEND)
+        assert base != other
+
+    def test_split_changes_key(self):
+        assert (job_fingerprint(_strategy(split="decoded"), ENV, BACKEND)
+                != job_fingerprint(_strategy(split="unprocessed"),
+                                   ENV, BACKEND))
+
+    def test_environment_changes_key(self):
+        """Moving to different storage hardware must invalidate."""
+        ssd = Environment(storage=DEVICE_PROFILES["ceph-ssd"])
+        assert (job_fingerprint(_strategy(), ENV, BACKEND)
+                != job_fingerprint(_strategy(), ssd, BACKEND))
+
+    def test_backend_changes_key(self):
+        inproc = InProcessBackend()
+        assert (job_fingerprint(_strategy(), ENV, BACKEND)
+                != job_fingerprint(_strategy(), ENV, inproc))
+
+    def test_pipeline_mutation_changes_key(self):
+        pipeline = get_pipeline("MP3")
+        mutated = pipeline.with_representation("decoded",
+                                               bytes_per_sample=1.0)
+        a = Strategy(pipeline.split_at("decoded"), RunConfig())
+        b = Strategy(mutated.split_at("decoded"), RunConfig())
+        assert (job_fingerprint(a, ENV, BACKEND)
+                != job_fingerprint(b, ENV, BACKEND))
+
+    def test_runs_total_changes_key(self):
+        assert (job_fingerprint(_strategy(), ENV, BACKEND, runs_total=1)
+                != job_fingerprint(_strategy(), ENV, BACKEND, runs_total=3))
+
+
+class TestDescriptions:
+    def test_pipeline_description_is_json_safe(self):
+        import json
+        json.dumps(describe_pipeline(get_pipeline("CV")), sort_keys=True)
+
+    def test_registry_rebuild_matches(self):
+        """The portability check the process pool relies on."""
+        assert (describe_pipeline(get_pipeline("NLP"))
+                == describe_pipeline(get_pipeline("NLP")))
+
+    def test_backend_description_carries_knobs(self):
+        description = describe_backend(InProcessBackend(seed=7))
+        assert description["type"] == "InProcessBackend"
+        assert description["seed"] == 7

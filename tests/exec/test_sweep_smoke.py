@@ -1,0 +1,25 @@
+"""Tier-1 wiring for the sweep determinism smoke tool.
+
+Runs ``tools/sweep_smoke.py`` exactly as CI and ``make smoke`` do: a
+serial reference sweep, a ``--jobs 2`` parallel sweep that must be
+byte-identical, and a warm-cache rerun that must hit >= 90%.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_sweep_smoke_tool_passes():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "sweep_smoke.py"),
+         "--jobs", "2"],
+        capture_output=True, text=True, timeout=600,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, (
+        f"smoke tool failed\nstdout:\n{result.stdout}\n"
+        f"stderr:\n{result.stderr}")
+    assert "sweep smoke OK" in result.stdout

@@ -76,6 +76,73 @@ def test_fanout_with_explicit_strategy(capsys):
     assert "network_bound" in capsys.readouterr().out
 
 
+def test_profile_with_jobs_and_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "profiles")
+    assert main(["profile", "MP3", "--jobs", "2",
+                 "--cache", cache_dir]) == 0
+    first = capsys.readouterr()
+    assert "Recommended strategy" in first.out
+    assert "0 hits / 3 lookups" in first.err
+
+    assert main(["profile", "MP3", "--jobs", "2",
+                 "--cache", cache_dir]) == 0
+    second = capsys.readouterr()
+    assert second.out == first.out
+    assert "3 hits / 3 lookups (100%)" in second.err
+
+
+def test_profile_cache_mode_flag(capsys):
+    assert main(["profile", "MP3", "--epochs", "2",
+                 "--cache-mode", "system"]) == 0
+    assert "Recommended strategy" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--pipelines", "MP3", "NILM"]) == 0
+    captured = capsys.readouterr()
+    assert "## MP3" in captured.out
+    assert "## NILM" in captured.out
+    assert captured.out.count("Recommended strategy") == 2
+    assert "profiling job(s)" in captured.err
+    assert "sweep: 6 strategies across 2 pipeline(s)" in captured.err
+
+
+def test_sweep_parallel_output_matches_serial(capsys):
+    assert main(["sweep", "--quiet", "--pipelines", "FLAC"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["sweep", "--quiet", "--jobs", "2",
+                 "--pipelines", "FLAC"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_sweep_cache_reports_hits(tmp_path, capsys):
+    cache_dir = str(tmp_path / "sweep-cache")
+    assert main(["sweep", "--quiet", "--pipelines", "MP3",
+                 "--cache", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "--quiet", "--pipelines", "MP3",
+                 "--cache", cache_dir]) == 0
+    assert "3 hits / 3 lookups (100%)" in capsys.readouterr().err
+
+
+def test_tune_with_jobs(capsys):
+    assert main(["tune", "NILM", "--jobs", "2", "--wt", "1"]) == 0
+    assert "best =" in capsys.readouterr().out
+
+
+def test_cache_rejects_old_cache_mode_values(capsys):
+    """--cache used to be the epoch-caching knob; old values must fail
+    loudly instead of becoming directory names."""
+    assert main(["profile", "MP3", "--cache", "application"]) == 2
+    err = capsys.readouterr().err
+    assert "--cache-mode application" in err
+
+
+def test_cli_reports_engine_errors_cleanly(capsys):
+    assert main(["sweep", "--jobs", "0", "--pipelines", "MP3"]) == 2
+    assert "presto: error:" in capsys.readouterr().err
+
+
 def test_unknown_pipeline_exits():
     with pytest.raises(SystemExit):
         main(["profile", "VIDEO"])

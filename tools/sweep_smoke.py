@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Determinism smoke test for the parallel sweep engine.
+
+Runs ``presto sweep`` three times on the simulated backend -- serial
+reference, parallel (``--jobs N``), and parallel against a warm profile
+cache -- and fails when:
+
+* the parallel analysis output is not byte-identical to the serial run
+  (nondeterminism in the engine or an executor), or
+* the cached rerun is not byte-identical, or
+* the cached rerun reports a cache hit rate below 90%.
+
+Invocation (also wired into the tier-1 suite via
+``tests/exec/test_sweep_smoke.py`` and ``make smoke``)::
+
+    PYTHONPATH=src python tools/sweep_smoke.py [--jobs 2]
+        [--pipelines CV NLP ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import difflib
+import io
+import re
+import sys
+import tempfile
+from typing import Optional, Sequence
+
+
+def _run_sweep(argv: list[str]) -> tuple[str, str]:
+    """Run ``presto sweep`` in-process; return (stdout, stderr)."""
+    from repro.cli import main
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = main(["sweep", *argv])
+    if code != 0:
+        raise SystemExit(f"presto sweep {' '.join(argv)} exited {code}")
+    return out.getvalue(), err.getvalue()
+
+
+def _diff(expected: str, actual: str) -> str:
+    return "".join(difflib.unified_diff(
+        expected.splitlines(keepends=True), actual.splitlines(keepends=True),
+        fromfile="serial", tofile="parallel"))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when parallel sweeps diverge from serial ones")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="parallel worker count (default: 2)")
+    parser.add_argument("--pipelines", nargs="+", default=None,
+                        help="subset of pipelines (default: all seven)")
+    args = parser.parse_args(argv)
+
+    selector = ["--pipelines", *args.pipelines] if args.pipelines else []
+    serial_out, _ = _run_sweep(["--quiet", *selector])
+    parallel_out, _ = _run_sweep(
+        ["--quiet", "--jobs", str(args.jobs), *selector])
+    if parallel_out != serial_out:
+        print("FAIL: parallel sweep output diverges from serial run:",
+              file=sys.stderr)
+        print(_diff(serial_out, parallel_out), file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="presto-smoke-") as cache_dir:
+        _run_sweep(["--quiet", "--jobs", str(args.jobs),
+                    "--cache", cache_dir, *selector])
+        cached_out, cached_err = _run_sweep(
+            ["--quiet", "--jobs", str(args.jobs),
+             "--cache", cache_dir, *selector])
+    if cached_out != serial_out:
+        print("FAIL: cached sweep output diverges from serial run:",
+              file=sys.stderr)
+        print(_diff(serial_out, cached_out), file=sys.stderr)
+        return 1
+    match = re.search(r"cache: (\d+) hits / (\d+) lookups", cached_err)
+    if not match:
+        print("FAIL: cached sweep reported no cache statistics",
+              file=sys.stderr)
+        return 1
+    hits, lookups = int(match.group(1)), int(match.group(2))
+    if lookups == 0 or hits / lookups < 0.9:
+        print(f"FAIL: cache hit rate {hits}/{lookups} below 90%",
+              file=sys.stderr)
+        return 1
+
+    print(f"sweep smoke OK: --jobs {args.jobs} byte-identical to serial; "
+          f"warm cache served {hits}/{lookups} lookups")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
