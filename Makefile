@@ -1,13 +1,18 @@
 # Convenience targets for the PRESTO reproduction.
 #
-#   make test    tier-1 test suite (unit + benchmark harness)
-#   make smoke   parallel-sweep determinism smoke (tools/sweep_smoke.py)
-#   make sweep   full-catalog profile of the seven paper pipelines
+#   make test      tier-1 test suite (unit + benchmark harness)
+#   make smoke     parallel-sweep determinism smoke (tools/sweep_smoke.py)
+#   make sweep     full-catalog profile of the seven paper pipelines
+#   make golden    regenerate the golden CLI outputs (eyeball the diff!)
+#   make coverage  diagnosis-subsystem line coverage with a floor
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test smoke sweep
+#: Minimum line coverage (percent) of src/repro/diagnosis/.
+COVERAGE_FLOOR ?= 80
+
+.PHONY: test smoke sweep golden coverage
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -17,3 +22,9 @@ smoke:
 
 sweep:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli sweep --jobs 2
+
+golden:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/golden --update-golden -q
+
+coverage:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --floor $(COVERAGE_FLOOR)

@@ -1,0 +1,13 @@
+"""Root pytest configuration.
+
+Defines the ``--update-golden`` flag used by the golden regression
+suite (tests/golden/): when passed, golden JSON files are regenerated
+from current output instead of diffed against it.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/data/*.json from current output "
+             "instead of diffing against it")

@@ -29,6 +29,7 @@ from repro.backends import (AnalyticModel, Environment, InProcessBackend,
 from repro.core import (Frame, ObjectiveWeights, Strategy, StrategyAnalysis,
                         StrategyProfiler, enumerate_strategies)
 from repro.core.autotune import AutoTuner
+from repro.diagnosis import BottleneckDoctor
 from repro.exec import ProfileCache, SweepEngine, SweepResult
 from repro.pipelines import PipelineSpec, all_pipelines, get_pipeline
 
@@ -37,6 +38,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalyticModel",
     "AutoTuner",
+    "BottleneckDoctor",
     "Environment",
     "Frame",
     "InProcessBackend",

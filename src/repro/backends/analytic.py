@@ -68,11 +68,20 @@ class AnalyticModel:
     def __init__(self, environment: Optional[Environment] = None):
         self.environment = environment or Environment()
 
-    def estimate(self, plan: SplitPlan,
-                 config: RunConfig) -> StrategyEstimate:
-        if plan.is_unprocessed and config.compression:
-            raise ProfilingError(
-                "compression on the unprocessed strategy is not meaningful")
+    def sample_time_components(self, plan: SplitPlan,
+                               config: RunConfig) -> dict[str, float]:
+        """Per-sample sequential time, broken down by phase.
+
+        The keys (``open``, ``read``, ``decompress``, ``deserialize``,
+        ``native_cpu``, ``external_cpu``, ``shuffle``, ``overhead``,
+        ``dispatch``) name the model's own phases -- they are *not* the
+        simulator's trace categories; ``_MODEL_CATEGORY`` in
+        :mod:`repro.diagnosis.attribution` maps them onto attribution
+        buckets.  The values sum -- in insertion order -- to the
+        per-thread time per sample that :meth:`estimate` pipelines into
+        ``thread_bound``.  The diagnosis layer uses this as the
+        attribution fallback for backends that measure no traces.
+        """
         env = self.environment
         storage = env.storage
         pipeline = plan.pipeline
@@ -83,31 +92,54 @@ class AnalyticModel:
         disk_bytes = (raw_bytes if plan.is_unprocessed
                       else stored.compressed_bytes_per_sample(
                           config.compression))
-
-        # -- per-thread sequential time per sample -------------------------
         stream_bw = min(storage.stream_bw, storage.aggregate_bw / threads)
         opens_per_sample = ((stored.n_files / pipeline.sample_count)
                             if stored.n_files is not None else 0.0)
         open_concurrency = min(threads, storage.metadata_slots)
-        open_time = (opens_per_sample * storage.pipeline_open_latency
+        return {
+            "open": (opens_per_sample * storage.pipeline_open_latency
                      * stored.open_latency_factor
-                     * threads / max(open_concurrency, 1))
-        read_time = disk_bytes / stream_bw
-        decompress_time = (raw_bytes / codec.costs.decompress_bw
-                           if codec else 0.0)
-        deser_time = (cal.DESER_FIXED
-                      + raw_bytes * stored.deser_penalty
-                      / cal.DESER_BW_PER_THREAD
-                      if stored.record_format else 0.0)
-        native_cpu = sum(step.cpu_seconds for step in plan.online_steps
-                         if not step.holds_gil)
-        external_cpu = sum(step.cpu_seconds for step in plan.online_steps
-                           if step.holds_gil)
-        shuffle_time = (cal.SHUFFLE_PER_SAMPLE if config.shuffle_buffer
-                        else 0.0)
-        t_thread = (open_time + read_time + decompress_time + deser_time
-                    + native_cpu + external_cpu + shuffle_time
-                    + cal.runtime_overhead(raw_bytes) + cal.DISPATCH_COST)
+                     * threads / max(open_concurrency, 1)),
+            "read": disk_bytes / stream_bw,
+            "decompress": (raw_bytes / codec.costs.decompress_bw
+                           if codec else 0.0),
+            "deserialize": (cal.DESER_FIXED
+                            + raw_bytes * stored.deser_penalty
+                            / cal.DESER_BW_PER_THREAD
+                            if stored.record_format else 0.0),
+            "native_cpu": sum(step.cpu_seconds
+                              for step in plan.online_steps
+                              if not step.holds_gil),
+            "external_cpu": sum(step.cpu_seconds
+                                for step in plan.online_steps
+                                if step.holds_gil),
+            "shuffle": (cal.SHUFFLE_PER_SAMPLE if config.shuffle_buffer
+                        else 0.0),
+            "overhead": cal.runtime_overhead(raw_bytes),
+            "dispatch": cal.DISPATCH_COST,
+        }
+
+    def estimate(self, plan: SplitPlan,
+                 config: RunConfig) -> StrategyEstimate:
+        if plan.is_unprocessed and config.compression:
+            raise ProfilingError(
+                "compression on the unprocessed strategy is not meaningful")
+        env = self.environment
+        storage = env.storage
+        pipeline = plan.pipeline
+        threads = min(config.threads, pipeline.sample_count)
+        stored = plan.materialized
+        raw_bytes = stored.bytes_per_sample
+        disk_bytes = (raw_bytes if plan.is_unprocessed
+                      else stored.compressed_bytes_per_sample(
+                          config.compression))
+
+        # -- per-thread sequential time per sample -------------------------
+        components = self.sample_time_components(plan, config)
+        opens_per_sample = ((stored.n_files / pipeline.sample_count)
+                            if stored.n_files is not None else 0.0)
+        external_cpu = components["external_cpu"]
+        t_thread = sum(components.values())
         thread_bound = threads / t_thread
 
         # -- serialized and shared caps -------------------------------------

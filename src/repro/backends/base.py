@@ -9,6 +9,7 @@ from repro import calibration as cal
 from repro.errors import ProfilingError
 from repro.pipelines.base import SplitPlan
 from repro.sim.storage import DeviceProfile, HDD_CEPH
+from repro.sim.trace import ResourceTrace
 
 #: Cache modes (paper Sec. 4.2).
 CACHE_NONE = "none"            # page cache dropped between epochs
@@ -75,6 +76,9 @@ class EpochResult:
     bytes_from_cache: float
     cache_hit_rate: float
     served_from_app_cache: bool = False
+    #: Per-resource elapsed-time attribution (simulated backend only;
+    #: backends that cannot measure it leave this None).
+    trace: Optional[ResourceTrace] = None
 
     @property
     def throughput(self) -> float:

@@ -34,6 +34,7 @@ from repro.pipelines.base import Representation, SplitPlan, StepSpec
 from repro.sim.cluster import StorageCluster
 from repro.sim.cpu import Machine
 from repro.sim.events import Event, Simulation, all_of
+from repro.sim.trace import ResourceTrace, timed, timed_wait
 
 
 @dataclass
@@ -73,10 +74,19 @@ def partition_jobs(sample_count: int, threads: int,
 
 
 class SimulatedBackend:
-    """Deterministic full-scale strategy execution on the DES."""
+    """Deterministic full-scale strategy execution on the DES.
 
-    def __init__(self, environment: Optional[Environment] = None):
+    ``collect_traces`` attaches a per-epoch
+    :class:`~repro.sim.trace.ResourceTrace` to every
+    :class:`~repro.backends.base.EpochResult` (elapsed-time attribution
+    for the diagnosis layer).  Tracing only reads the simulation clock,
+    so traced and untraced runs are event-for-event identical.
+    """
+
+    def __init__(self, environment: Optional[Environment] = None,
+                 collect_traces: bool = True):
         self.environment = environment or Environment()
+        self.collect_traces = collect_traces
 
     # -- public entry point -----------------------------------------------
 
@@ -224,6 +234,9 @@ class SimulatedBackend:
         start_read = cluster.read_link.bytes_moved
         start_cache = cluster.cache_bytes_read
         machine.page_cache.reset_stats()
+        job_plans = partition_jobs(count, config.threads, config.max_jobs)
+        trace = (ResourceTrace(threads=len(job_plans))
+                 if self.collect_traces else None)
 
         def worker(jobs: list[_JobPlan]) -> Generator[Event, None, None]:
             if config.shuffle_buffer and jobs and jobs[0].thread_id == 0:
@@ -233,11 +246,15 @@ class SimulatedBackend:
                 if from_app_cache:
                     # Served entirely from the tensor cache: memory read,
                     # non-deterministic steps, light iterator hand-off.
-                    yield from machine.read_memory(k * app_tensor_bytes_ps)
+                    yield from timed(sim, trace, "memory",
+                                     machine.read_memory(
+                                         k * app_tensor_bytes_ps))
                     for step in nondet_steps:
-                        yield from self._charge_step(machine, step, k)
-                    yield from machine.dispatch.hold_scaled(
-                        cal.APP_CACHE_ITER_COST, k)
+                        yield from self._charge_step(machine, step, k,
+                                                     sim=sim, trace=trace)
+                    yield from timed(sim, trace, "dispatch",
+                                     machine.dispatch.hold_scaled(
+                                         cal.APP_CACHE_ITER_COST, k))
                     continue
                 opens = opens_per_sample * k
                 chunk_key = (stored.name, config.compression,
@@ -246,38 +263,49 @@ class SimulatedBackend:
                 disk_bytes = k * stored_bytes_ps
                 if cached:
                     cluster.cache_bytes_read += disk_bytes
-                    yield from machine.read_memory(disk_bytes)
+                    yield from timed(sim, trace, "memory",
+                                     machine.read_memory(disk_bytes))
                 else:
                     if opens > 0:
-                        yield from cluster.metadata.use(
-                            opens * self._open_latency()
-                            * stored.open_latency_factor)
-                    yield cluster.read_link.transfer(disk_bytes)
+                        yield from timed(sim, trace, "open",
+                                         cluster.metadata.use(
+                                             opens * self._open_latency()
+                                             * stored.open_latency_factor))
+                    yield from timed_wait(
+                        sim, trace, "read",
+                        cluster.read_link.transfer(disk_bytes))
                     machine.page_cache.insert(chunk_key, disk_bytes)
                 yield sim.timeout(
                     k * cal.runtime_overhead(stored.bytes_per_sample))
                 if codec is not None:
-                    yield from machine.compute_native(
-                        k * stored.bytes_per_sample
-                        / codec.costs.decompress_bw)
+                    yield from timed(sim, trace, "decode",
+                                     machine.compute_native(
+                                         k * stored.bytes_per_sample
+                                         / codec.costs.decompress_bw))
                 if stored.record_format:
-                    yield from machine.compute_native(k * (
-                        cal.DESER_FIXED
-                        + stored.bytes_per_sample * stored.deser_penalty
-                        / cal.DESER_BW_PER_THREAD))
+                    yield from timed(sim, trace, "decode",
+                                     machine.compute_native(k * (
+                                         cal.DESER_FIXED
+                                         + stored.bytes_per_sample
+                                         * stored.deser_penalty
+                                         / cal.DESER_BW_PER_THREAD)))
                 for step in online_steps:
-                    yield from self._charge_step(machine, step, k)
+                    yield from self._charge_step(machine, step, k,
+                                                 sim=sim, trace=trace)
                 if config.shuffle_buffer:
-                    yield from machine.compute_native(
-                        k * cal.SHUFFLE_PER_SAMPLE)
+                    yield from timed(sim, trace, "shuffle",
+                                     machine.compute_native(
+                                         k * cal.SHUFFLE_PER_SAMPLE))
                 if populate_app_cache:
-                    yield from machine.read_memory(k * app_tensor_bytes_ps)
-                yield from machine.dispatch.hold_scaled(
-                    machine.dispatch_cost, k)
+                    yield from timed(sim, trace, "memory",
+                                     machine.read_memory(
+                                         k * app_tensor_bytes_ps))
+                yield from timed(sim, trace, "dispatch",
+                                 machine.dispatch.hold_scaled(
+                                     machine.dispatch_cost, k))
 
-        self._run_threads(sim, [worker(jobs) for jobs in partition_jobs(
-            count, config.threads, config.max_jobs)])
-        return EpochResult(
+        self._run_threads(sim, [worker(jobs) for jobs in job_plans])
+        epoch_result = EpochResult(
             epoch=epoch,
             duration=sim.now - start,
             samples=count,
@@ -285,7 +313,14 @@ class SimulatedBackend:
             bytes_from_cache=cluster.cache_bytes_read - start_cache,
             cache_hit_rate=machine.page_cache.hit_rate,
             served_from_app_cache=from_app_cache,
+            trace=trace,
         )
+        if trace is not None:
+            trace.duration = epoch_result.duration
+            trace.bytes_from_storage = epoch_result.bytes_from_storage
+            trace.bytes_from_cache = epoch_result.bytes_from_cache
+            trace.cache_hit_rate = epoch_result.cache_hit_rate
+        return epoch_result
 
     # -- helpers ------------------------------------------------------------
 
@@ -306,14 +341,22 @@ class SimulatedBackend:
         return opens if opens > 1e-3 else 0.0
 
     @staticmethod
-    def _charge_step(machine: Machine, step: StepSpec, samples: int
+    def _charge_step(machine: Machine, step: StepSpec, samples: int,
+                     sim: Optional[Simulation] = None,
+                     trace: Optional[ResourceTrace] = None,
                      ) -> Generator[Event, None, None]:
         if step.cpu_seconds <= 0:
             return
         if step.holds_gil:
-            yield from machine.gil.hold_scaled(step.cpu_seconds, samples)
+            work = machine.gil.hold_scaled(step.cpu_seconds, samples)
+            category = "gil"
         else:
-            yield from machine.compute_native(samples * step.cpu_seconds)
+            work = machine.compute_native(samples * step.cpu_seconds)
+            category = "cpu"
+        if sim is None or trace is None:
+            yield from work
+        else:
+            yield from timed(sim, trace, category, work)
 
     @staticmethod
     def _app_cache_tensor_bytes(plan: SplitPlan) -> float:

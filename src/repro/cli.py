@@ -8,6 +8,7 @@ Subcommands::
     presto sweep --jobs 4             profile every paper pipeline at once
     presto tune CV --wp 1 --wt 1      auto-tune with objective weights
     presto bottleneck NLP             per-strategy bottleneck report
+    presto diagnose CV --verify-top 2 resource attribution + rewrites
     presto fio                        Table 3 storage probe
     presto cost CV                    dollar cost per strategy
     presto amortize CV                offline-time break-even horizons
@@ -33,9 +34,11 @@ from repro.core.autotune import AutoTuner
 from repro.core.profiler import StrategyProfiler
 from repro.core.report import bottleneck_report
 from repro.datasets.catalog import table2_frame
+from repro.diagnosis import BottleneckDoctor, verification_report
 from repro.errors import ReproError
 from repro.exec import ProfileCache, ProgressPrinter, SweepEngine
-from repro.pipelines.registry import PAPER_PIPELINES, get_pipeline
+from repro.pipelines.registry import (PAPER_PIPELINES, get_pipeline,
+                                      registered_names)
 from repro.sim.fio import run_fio
 from repro.sim.storage import DEVICE_PROFILES
 from repro.units import MB
@@ -95,6 +98,22 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="per-strategy bottleneck report")
     bottleneck.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
     bottleneck.add_argument("--threads", type=int, default=8)
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="attribute epoch time to resources and recommend rewrites")
+    diagnose.add_argument("pipeline", choices=sorted(registered_names()))
+    diagnose.add_argument("--threads", type=int, default=8)
+    diagnose.add_argument("--epochs", type=int, default=1)
+    diagnose.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
+                          default="ceph-hdd")
+    diagnose.add_argument("--sample-count", type=int, default=None,
+                          metavar="N",
+                          help="diagnose an N-sample subset (cheap look)")
+    diagnose.add_argument("--verify-top", type=int, default=0, metavar="N",
+                          help="re-run the top N verifiable rewrites and "
+                               "report predicted-vs-measured error")
+    _add_engine_options(diagnose)
 
     fio = sub.add_parser("fio", help="run the Table 3 storage probe")
     fio.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
@@ -225,6 +244,25 @@ def _cmd_bottleneck(args) -> int:
     return 0
 
 
+def _cmd_diagnose(args) -> int:
+    environment = Environment(storage=DEVICE_PROFILES[args.storage])
+    cache = _profile_cache(args)
+    doctor = BottleneckDoctor(SimulatedBackend(environment),
+                              jobs=args.jobs, cache=cache)
+    config = RunConfig(threads=args.threads, epochs=args.epochs)
+    diagnosis = doctor.diagnose(get_pipeline(args.pipeline), config=config,
+                                sample_count=args.sample_count)
+    print(f"## diagnosis: {args.pipeline} ({args.threads} threads, "
+          f"{args.storage})")
+    print(diagnosis.to_markdown())
+    if args.verify_top:
+        verified = doctor.verify(diagnosis, top=args.verify_top)
+        print()
+        print(verification_report(verified))
+    _report_cache(cache)
+    return 0
+
+
 def _cmd_fio(args) -> int:
     profile = DEVICE_PROFILES[args.storage]
     print(f"fio profile of {profile.name}:")
@@ -296,6 +334,7 @@ def _dispatch(args) -> int:
         "sweep": lambda: _cmd_sweep(args),
         "tune": lambda: _cmd_tune(args),
         "bottleneck": lambda: _cmd_bottleneck(args),
+        "diagnose": lambda: _cmd_diagnose(args),
         "fio": lambda: _cmd_fio(args),
         "cost": lambda: _cmd_cost(args),
         "amortize": lambda: _cmd_amortize(args),

@@ -61,10 +61,21 @@ class StrategyProfile:
         """Mean last-epoch throughput (caching experiments)."""
         return mean(run.cached_throughput for run in self.runs)
 
-    def to_record(self) -> dict:
-        """Flatten into a result-frame row."""
+    @property
+    def trace(self):
+        """The first-epoch resource trace, or None when not measured."""
         run = self.result
-        return {
+        return run.epochs[0].trace if run.epochs else None
+
+    def to_record(self) -> dict:
+        """Flatten into a result-frame row.
+
+        When the backend measured a resource trace, the row grows the
+        diagnosis columns: the four attribution fractions plus the
+        binding resource (``bound``).
+        """
+        run = self.result
+        record = {
             "pipeline": run.pipeline,
             "strategy": run.strategy,
             "uid": self.strategy.uid,
@@ -80,6 +91,17 @@ class StrategyProfile:
             "cache_hit_rate": run.epochs[-1].cache_hit_rate,
             "app_cache_failed": run.app_cache_failed,
         }
+        trace = self.trace
+        if trace is not None:
+            shares = trace.fractions()
+            record.update({
+                "cpu_frac": round(shares["cpu"], 4),
+                "storage_frac": round(shares["storage"], 4),
+                "decode_frac": round(shares["decode"], 4),
+                "stall_frac": round(shares["stall"], 4),
+                "bound": trace.dominant(),
+            })
+        return record
 
 
 class StrategyProfiler:

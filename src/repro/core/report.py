@@ -66,6 +66,21 @@ def bottleneck_report(pipeline: PipelineSpec,
     return "\n".join(lines)
 
 
+def attribution_table(profiles: Sequence[StrategyProfile]) -> Frame:
+    """Diagnosis columns: attribution fractions per strategy.
+
+    Rows come straight from :meth:`StrategyProfile.to_record`, which
+    carries ``cpu_frac``/``storage_frac``/``decode_frac``/``stall_frac``
+    and ``bound`` whenever the backend measured a resource trace.
+    """
+    defaults = {"cpu_frac": None, "storage_frac": None, "decode_frac": None,
+                "stall_frac": None, "bound": None}
+    return Frame.from_records([
+        {**defaults, **profile.to_record()} for profile in profiles
+    ]).select(["strategy", "throughput_sps", "cpu_frac", "storage_frac",
+               "decode_frac", "stall_frac", "bound"])
+
+
 def profile_summary(profile: StrategyProfile) -> str:
     """One-paragraph human summary of a single strategy profile."""
     run = profile.result

@@ -1,0 +1,39 @@
+"""Bottleneck diagnosis: resource attribution + rewrite recommendation.
+
+The sweep engine answers *which strategy is fastest*; this package
+answers the paper's title question -- **where is my training
+bottleneck?** -- and, following Plumber (Kuchnik et al., MLSys 2022)
+and the data-stall analysis of Mohan et al. (VLDB 2021), *what to do
+about it*:
+
+* :mod:`repro.diagnosis.attribution` -- fractions of epoch thread-time
+  bound on CPU, storage reads, decode work and stall, measured from the
+  simulator's :class:`~repro.sim.trace.ResourceTrace` (analytic-model
+  fallback for traceless backends).
+* :mod:`repro.diagnosis.rewrites` -- ranked, actionable rewrites
+  (prefetch insertion, cache relocation, parallelism, codec switches,
+  split movement) with anchored predicted speedups.
+* :mod:`repro.diagnosis.doctor` -- :class:`BottleneckDoctor`, which
+  profiles, attributes, recommends, and verifies top recommendations by
+  re-running them through the existing backends.
+"""
+
+from repro.diagnosis.attribution import (CATEGORIES, ResourceAttribution,
+                                         attribute)
+from repro.diagnosis.doctor import (BottleneckDoctor, PipelineDiagnosis,
+                                    StrategyDiagnosis, VerifiedRewrite,
+                                    verification_report)
+from repro.diagnosis.rewrites import Rewrite, propose_rewrites
+
+__all__ = [
+    "BottleneckDoctor",
+    "CATEGORIES",
+    "PipelineDiagnosis",
+    "ResourceAttribution",
+    "Rewrite",
+    "StrategyDiagnosis",
+    "VerifiedRewrite",
+    "attribute",
+    "propose_rewrites",
+    "verification_report",
+]

@@ -1,0 +1,120 @@
+"""Resource attribution: which resource ate the epoch?
+
+Turns a measured :class:`~repro.sim.trace.ResourceTrace` (or, for
+backends that cannot trace, the analytic model's per-sample time
+components) into a :class:`ResourceAttribution` -- the fraction of epoch
+thread-time bound on **cpu**, **storage** reads, **decode** work and
+**stall** (serialized hand-offs, shuffling, load imbalance).  The four
+fractions are non-negative and sum to exactly 1.0; this contract is what
+the property-test layer pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.backends.analytic import AnalyticModel
+from repro.backends.base import Environment
+from repro.core.profiler import StrategyProfile
+from repro.errors import DiagnosisError
+from repro.sim.trace import ResourceTrace
+
+#: Attribution categories, in presentation order.
+CATEGORIES = ("cpu", "storage", "decode", "stall")
+
+#: Mapping from the analytic model's per-sample components to categories.
+_MODEL_CATEGORY = {
+    "open": "storage",
+    "read": "storage",
+    "decompress": "decode",
+    "deserialize": "decode",
+    "native_cpu": "cpu",
+    "external_cpu": "cpu",
+    "shuffle": "stall",
+    "overhead": "stall",
+    "dispatch": "stall",
+}
+
+
+@dataclass(frozen=True)
+class ResourceAttribution:
+    """Fractions of epoch thread-time per resource; sum to 1.0."""
+
+    cpu: float
+    storage: float
+    decode: float
+    stall: float
+    #: ``"trace"`` when measured by the simulator, ``"model"`` when
+    #: estimated analytically (e.g. for in-process profiles).
+    source: str = "trace"
+
+    def __post_init__(self):
+        for category in CATEGORIES:
+            value = getattr(self, category)
+            if value < -1e-9:
+                raise DiagnosisError(
+                    f"negative attribution fraction {category}={value}")
+        if abs(self.total - 1.0) > 1e-6:
+            raise DiagnosisError(
+                f"attribution fractions must sum to 1.0, got {self.total}")
+
+    @property
+    def total(self) -> float:
+        return self.cpu + self.storage + self.decode + self.stall
+
+    @property
+    def dominant(self) -> str:
+        """The binding category (ties resolved in CATEGORIES order)."""
+        return max(CATEGORIES, key=lambda c: getattr(self, c))
+
+    def as_dict(self) -> dict[str, float]:
+        return {category: getattr(self, category)
+                for category in CATEGORIES}
+
+    def describe(self) -> str:
+        shares = ", ".join(f"{category} {getattr(self, category):.0%}"
+                           for category in CATEGORIES)
+        return f"bound on {self.dominant} ({shares})"
+
+
+def from_trace(trace: ResourceTrace) -> ResourceAttribution:
+    """Attribution measured from a simulated epoch's resource trace."""
+    shares = trace.fractions()
+    return ResourceAttribution(cpu=shares["cpu"], storage=shares["storage"],
+                               decode=shares["decode"],
+                               stall=shares["stall"], source="trace")
+
+
+def from_model(profile: StrategyProfile,
+               environment: Optional[Environment] = None,
+               model: Optional[AnalyticModel] = None) -> ResourceAttribution:
+    """Analytic fallback for profiles without measured traces."""
+    model = model or AnalyticModel(environment)
+    strategy = profile.strategy
+    components = model.sample_time_components(strategy.plan, strategy.config)
+    totals = {category: 0.0 for category in CATEGORIES}
+    for name, seconds in components.items():
+        # Components the mapping does not know about count as stall:
+        # stall is by definition the unattributed remainder, so a new
+        # model component degrades gracefully instead of raising.
+        totals[_MODEL_CATEGORY.get(name, "stall")] += seconds
+    budget = sum(totals.values())
+    if budget <= 0:
+        return ResourceAttribution(0.0, 0.0, 0.0, 1.0, source="model")
+    cpu, storage, decode = (totals["cpu"] / budget,
+                            totals["storage"] / budget,
+                            totals["decode"] / budget)
+    return ResourceAttribution(cpu=cpu, storage=storage, decode=decode,
+                               stall=1.0 - (cpu + storage + decode),
+                               source="model")
+
+
+def attribute(profile: StrategyProfile,
+              environment: Optional[Environment] = None,
+              model: Optional[AnalyticModel] = None) -> ResourceAttribution:
+    """Attribution for one profile: measured if possible, modeled if not."""
+    trace = profile.trace
+    if trace is not None:
+        return from_trace(trace)
+    return from_model(profile, environment=environment, model=model)

@@ -1,0 +1,307 @@
+"""Actionable pipeline rewrites with predicted speedups.
+
+Given one profiled strategy and its resource attribution, propose the
+rewrites Plumber-style tuners apply automatically (Kuchnik et al.,
+MLSys 2022) and the paper's own levers (Sec. 4.2-4.4): raise executor
+parallelism, switch the storage codec, retain the page cache across
+epochs, relocate the application-level ``CacheNode`` behind the hot
+deterministic ops, move the offline/online split forward, and insert a
+``PrefetchNode`` to overlap producer stalls.
+
+Every rewrite carries a *predicted* throughput.  Config-expressible
+rewrites (``target == "config"``) also carry the rewritten
+:class:`~repro.core.strategy.Strategy`, so the doctor can re-run them
+through any backend and report predicted-vs-measured error; graph-level
+rewrites (``target == "graph"``) are advisory node-placement changes
+for the real dataset runtime (:mod:`repro.pipeline`).
+
+Predictions are *anchored*: the analytic model supplies the ratio
+between the rewritten and current strategy, and the measured throughput
+scales that ratio -- so a model bias common to both sides cancels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro import calibration as cal
+from repro.backends.analytic import AnalyticModel
+from repro.backends.base import CACHE_APPLICATION, CACHE_NONE, CACHE_SYSTEM, \
+    Environment, RunConfig
+from repro.core.profiler import StrategyProfile
+from repro.core.strategy import Strategy
+from repro.diagnosis.attribution import ResourceAttribution
+from repro.errors import ProfilingError
+
+#: Config rewrites below this predicted ratio are not worth proposing.
+MIN_CONFIG_SPEEDUP = 1.02
+
+#: Fraction of stall time a prefetch node is assumed to overlap away.
+PREFETCH_OVERLAP = 0.5
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One recommended change, with its predicted effect."""
+
+    kind: str
+    description: str
+    predicted_speedup: float
+    predicted_sps: float
+    baseline_sps: float
+    #: ``"config"`` (re-runnable through a backend) or ``"graph"``
+    #: (node-placement advice for the dataset runtime).
+    target: str = "config"
+    #: The rewritten strategy, present iff the rewrite is verifiable.
+    strategy: Optional[Strategy] = None
+    #: Which measured metric verifies the prediction: the cold
+    #: first-epoch ``throughput`` or the warm last-epoch ``cached``.
+    metric: str = "throughput"
+
+    @property
+    def verifiable(self) -> bool:
+        return self.strategy is not None
+
+    def describe(self) -> str:
+        return (f"{self.kind}: {self.description} -- predicted "
+                f"{self.predicted_speedup:.2f}x "
+                f"({self.predicted_sps:.0f} SPS)")
+
+
+def propose_rewrites(profile: StrategyProfile,
+                     attribution: ResourceAttribution,
+                     environment: Optional[Environment] = None,
+                     model: Optional[AnalyticModel] = None) -> list[Rewrite]:
+    """Ranked rewrites for one profiled strategy (best first, never
+    empty: the prefetch advisory always applies)."""
+    environment = environment or Environment()
+    model = model or AnalyticModel(environment)
+    proposer = _Proposer(profile, attribution, environment, model)
+    rewrites = proposer.propose()
+    rewrites.sort(key=lambda rewrite: (-rewrite.predicted_speedup,
+                                       rewrite.kind))
+    return rewrites
+
+
+class _Proposer:
+    def __init__(self, profile: StrategyProfile,
+                 attribution: ResourceAttribution,
+                 environment: Environment, model: AnalyticModel):
+        self.profile = profile
+        self.attribution = attribution
+        self.environment = environment
+        self.model = model
+        self.strategy = profile.strategy
+        self.plan = self.strategy.plan
+        self.config = self.strategy.config
+        self.pipeline = self.plan.pipeline
+        self.measured = profile.throughput
+        self._est_current: Optional[float] = None
+
+    def propose(self) -> list[Rewrite]:
+        rewrites = [self._insert_prefetch()]
+        for candidate in (self._raise_parallelism(),
+                          self._switch_codec(),
+                          self._system_cache(),
+                          self._relocate_cache(),
+                          self._materialize_further()):
+            if candidate is not None:
+                rewrites.append(candidate)
+        return rewrites
+
+    # -- anchored config predictions ---------------------------------------
+
+    def _config_ratio(self, new_plan, new_config) -> Optional[float]:
+        """Model-predicted throughput ratio of (new / current)."""
+        if self._est_current is None:
+            try:
+                self._est_current = self.model.estimate(
+                    self.plan, self.config).throughput
+            except ProfilingError:
+                self._est_current = 0.0
+        try:
+            est_new = self.model.estimate(new_plan, new_config).throughput
+        except ProfilingError:
+            return None
+        if self._est_current <= 0 or self.measured <= 0:
+            return None
+        return est_new / self._est_current
+
+    def _config_rewrite(self, kind: str, description: str, new_plan,
+                        new_config, metric: str = "throughput",
+                        predicted_sps: Optional[float] = None,
+                        ) -> Optional[Rewrite]:
+        if predicted_sps is None:
+            ratio = self._config_ratio(new_plan, new_config)
+            if ratio is None:
+                return None
+            predicted_sps = self.measured * ratio
+        if self.measured <= 0:
+            return None
+        speedup = predicted_sps / self.measured
+        if speedup < MIN_CONFIG_SPEEDUP:
+            return None
+        return Rewrite(kind=kind, description=description,
+                       predicted_speedup=speedup,
+                       predicted_sps=predicted_sps,
+                       baseline_sps=self.measured,
+                       target="config",
+                       strategy=Strategy(new_plan, new_config),
+                       metric=metric)
+
+    # -- the rules ----------------------------------------------------------
+
+    def _insert_prefetch(self) -> Rewrite:
+        """Overlap producer stalls with a bounded background queue."""
+        stall = self.attribution.stall
+        speedup = 1.0 / (1.0 - PREFETCH_OVERLAP * min(stall, 0.95))
+        buffer_size = 2 * self.config.threads
+        return Rewrite(
+            kind="insert-prefetch",
+            description=(f"insert PrefetchNode(buffer={buffer_size}) before "
+                         f"the training consumer to overlap the "
+                         f"{stall:.0%} stall share"),
+            predicted_speedup=speedup,
+            predicted_sps=self.measured * speedup,
+            baseline_sps=self.measured,
+            target="graph")
+
+    def _raise_parallelism(self) -> Optional[Rewrite]:
+        """More reader threads, up to the core count."""
+        cores = self.environment.cores
+        if self.config.threads >= cores:
+            return None
+        new_config = replace(self.config, threads=cores)
+        return self._config_rewrite(
+            "raise-parallelism",
+            f"raise executor parallelism from {self.config.threads} to "
+            f"{cores} reader threads (one per core)",
+            self.plan, new_config)
+
+    def _switch_codec(self) -> Optional[Rewrite]:
+        """Compress the materialised representation (paper Sec. 4.3)."""
+        if self.config.compression is not None or self.plan.is_unprocessed:
+            return None
+        stored = self.plan.materialized
+        codecs = {name: stored.saving(name) for name in ("GZIP", "ZLIB")}
+        best = max(codecs, key=codecs.get)
+        if codecs[best] <= 0:
+            return None
+        new_config = replace(self.config, compression=best)
+        return self._config_rewrite(
+            "switch-codec",
+            f"store {stored.name!r} {best}-compressed "
+            f"({codecs[best]:.0%} smaller), trading decompression CPU "
+            f"for storage reads",
+            self.plan, new_config)
+
+    def _system_cache(self) -> Optional[Rewrite]:
+        """Retain the page cache across epochs (paper Sec. 4.2 obs. 1)."""
+        if self.config.cache_mode != CACHE_NONE:
+            return None
+        stored_bytes = self.profile.storage_bytes
+        page_cache = (cal.PAGE_CACHE_FRACTION
+                      * self.environment.ram_bytes)
+        if stored_bytes > page_cache:
+            return None
+        predicted = self._predict_warm_from_memory()
+        if predicted is None:
+            return None
+        new_config = replace(self.config, cache_mode=CACHE_SYSTEM,
+                             epochs=max(2, self.config.epochs))
+        return self._config_rewrite(
+            "system-cache",
+            f"retain the OS page cache across epochs (the "
+            f"{stored_bytes / 1e9:.1f} GB working set fits in RAM); "
+            f"epochs after the first read from memory",
+            self.plan, new_config, metric="cached",
+            predicted_sps=predicted)
+
+    def _relocate_cache(self) -> Optional[Rewrite]:
+        """Move the app-level CacheNode behind the hot deterministic ops."""
+        if self.config.cache_mode == CACHE_APPLICATION:
+            return None
+        pipeline = self.pipeline
+        cache_index = pipeline.max_offline_index()
+        tensor_bytes = (pipeline.representations[cache_index].bytes_per_sample
+                        * pipeline.sample_count)
+        if tensor_bytes > self.environment.ram_bytes:
+            return None
+        predicted = self._predict_app_cache()
+        if predicted is None:
+            return None
+        anchor = (pipeline.representations[cache_index].name
+                  if cache_index > 0 else "the source")
+        new_config = replace(self.config, cache_mode=CACHE_APPLICATION,
+                             epochs=max(2, self.config.epochs))
+        return self._config_rewrite(
+            "relocate-cache",
+            f"place CacheNode after {anchor!r} (the last deterministic "
+            f"representation) so epochs after the first serve final "
+            f"tensors from RAM",
+            self.plan, new_config, metric="cached",
+            predicted_sps=predicted)
+
+    def _materialize_further(self) -> Optional[Rewrite]:
+        """Move the offline/online split one representation forward."""
+        next_index = self.plan.split_index + 1
+        if next_index > self.pipeline.max_offline_index():
+            return None
+        new_plan = self.pipeline.split_at(next_index)
+        moved = self.pipeline.steps[self.plan.split_index].name
+        return self._config_rewrite(
+            "materialize-further",
+            f"materialise {new_plan.strategy_name!r} instead: run step "
+            f"{moved!r} once offline rather than every epoch",
+            new_plan, self.config)
+
+    # -- warm-epoch predictors ----------------------------------------------
+
+    def _memory_rate(self) -> float:
+        threads = max(min(self.config.threads,
+                          self.pipeline.sample_count), 1)
+        return min(self.environment.memory_stream_bw,
+                   self.environment.memory_bw / threads)
+
+    def _predict_warm_from_memory(self) -> Optional[float]:
+        """Warm-epoch throughput once storage reads hit the page cache.
+
+        Trace-based what-if: replace the measured open+read thread-time
+        with a memory-bus transfer of the same bytes, keep everything
+        else, and re-divide by the thread width.
+        """
+        trace = self.profile.trace
+        samples = self.pipeline.sample_count
+        if trace is None or trace.total_thread_seconds <= 0:
+            storage = min(self.attribution.storage, 0.9)
+            return (self.measured / (1.0 - storage)
+                    if self.measured > 0 else None)
+        mem_seconds = trace.bytes_from_storage / self._memory_rate()
+        new_total = (trace.total_thread_seconds - trace.open_seconds
+                     - trace.read_seconds + mem_seconds)
+        # The per-sample hand-off stays serialized however fast reads
+        # become, so the warm epoch can never beat the dispatch bound.
+        duration = max(new_total / trace.threads,
+                       samples * cal.DISPATCH_COST)
+        return samples / duration if duration > 0 else None
+
+    def _predict_app_cache(self) -> Optional[float]:
+        """Warm-epoch throughput with final tensors cached in RAM."""
+        pipeline = self.pipeline
+        samples = pipeline.sample_count
+        threads = max(min(self.config.threads, samples), 1)
+        tensor_bytes = pipeline.representations[
+            pipeline.max_offline_index()].bytes_per_sample
+        nondet = [step for step in self.plan.online_steps
+                  if not step.deterministic]
+        native = sum(step.cpu_seconds for step in nondet
+                     if not step.holds_gil)
+        external = sum(step.cpu_seconds for step in nondet
+                       if step.holds_gil)
+        per_sample = (tensor_bytes / self._memory_rate() + native
+                      + external + cal.APP_CACHE_ITER_COST)
+        duration = max(samples * per_sample / threads,
+                       samples * cal.APP_CACHE_ITER_COST,  # dispatch serial
+                       samples * external)                 # GIL serial
+        return samples / duration if duration > 0 else None

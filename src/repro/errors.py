@@ -60,6 +60,10 @@ class CacheError(ReproError):
     """A profile-cache entry could not be read or written."""
 
 
+class DiagnosisError(ReproError):
+    """The bottleneck doctor was asked something it cannot answer."""
+
+
 class CodecError(ReproError):
     """Encoding or decoding a payload failed."""
 

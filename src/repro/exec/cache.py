@@ -18,8 +18,10 @@ deserialized.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
@@ -30,9 +32,18 @@ from repro.core.profiler import StrategyProfile
 from repro.core.strategy import Strategy
 from repro.errors import CacheError
 from repro.sim.storage import DeviceProfile
+from repro.sim.trace import ResourceTrace
 
 #: Bump when the on-disk payload layout changes; older files then miss.
-PAYLOAD_VERSION = 1
+#: v2: epochs carry optional ResourceTrace attribution payloads.
+PAYLOAD_VERSION = 2
+
+#: Monotonic suffix distinguishing concurrent temp files of one process.
+_TMP_COUNTER = itertools.count()
+
+#: Temp files older than this are crash litter, safe for clear() to
+#: sweep; younger ones may belong to a live writer in another process.
+STALE_TMP_SECONDS = 60.0
 
 
 # -- run (de)serialization ---------------------------------------------------
@@ -84,6 +95,8 @@ def encode_run(run: StrategyRunResult) -> dict[str, Any]:
                 "bytes_from_cache": epoch.bytes_from_cache,
                 "cache_hit_rate": epoch.cache_hit_rate,
                 "served_from_app_cache": epoch.served_from_app_cache,
+                "trace": (None if epoch.trace is None
+                          else epoch.trace.to_dict()),
             }
             for epoch in run.epochs
         ],
@@ -108,9 +121,17 @@ def decode_run(payload: dict[str, Any]) -> StrategyRunResult:
         ),
         storage_bytes=payload["storage_bytes"],
         offline=None if offline is None else OfflineResult(**offline),
-        epochs=[EpochResult(**epoch) for epoch in payload["epochs"]],
+        epochs=[_decode_epoch(epoch) for epoch in payload["epochs"]],
         app_cache_failed=payload["app_cache_failed"],
     )
+
+
+def _decode_epoch(payload: dict[str, Any]) -> EpochResult:
+    trace = payload.get("trace")
+    rest = {key: value for key, value in payload.items() if key != "trace"}
+    return EpochResult(
+        **rest,
+        trace=None if trace is None else ResourceTrace.from_dict(trace))
 
 
 # -- the cache ---------------------------------------------------------------
@@ -194,11 +215,27 @@ class ProfileCache:
                 and (self.directory / f"{key}.json").exists())
 
     def clear(self) -> None:
-        """Drop every entry (memory and disk); stats are kept."""
+        """Drop every entry (memory and disk); stats are kept.
+
+        ``*.tmp`` files left by a writer that crashed mid-dump are
+        swept too -- but only once they are old enough that no live
+        writer in another process can still be about to rename them.
+        """
         self._memory.clear()
-        if self.directory is not None:
-            for path in self.directory.glob("*.json"):
+        if self.directory is None:
+            return
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for path in self.directory.glob("*.json"):
+            try:
                 path.unlink()
+            except FileNotFoundError:
+                pass  # a concurrent clear() got there first
+        for path in self.directory.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+            except (FileNotFoundError, OSError):
+                pass
 
     # -- disk persistence --------------------------------------------------
 
@@ -213,11 +250,24 @@ class ProfileCache:
             "runs": [encode_run(run) for run in runs],
         }
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
+        # Atomic publish: write to a temp file unique to this process
+        # *and* this write, then rename over the destination.  A shared
+        # temp name (the old ``<key>.tmp``) races when two processes
+        # store the same fingerprint concurrently: writer A can rename
+        # B's half-written file, or crash with FileNotFoundError after
+        # B's rename consumed the temp they both used.  Entries are
+        # content-addressed, so concurrent renames of *distinct* temp
+        # files are benign -- last writer wins with identical payload.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
         try:
             tmp.write_text(json.dumps(payload))
             os.replace(tmp, path)
         except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
             raise CacheError(
                 f"cannot persist cache entry {key[:12]}...: {exc}") from exc
 

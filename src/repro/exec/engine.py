@@ -123,7 +123,8 @@ class SweepEngine:
                  executor: ExecutorSpec = None,
                  cache: Optional[ProfileCache] = None,
                  runs_total: int = 1,
-                 listeners: Iterable[SweepListener] = ()):
+                 listeners: Iterable[SweepListener] = (),
+                 trace_hook=None):
         if runs_total < 1:
             raise SweepError("runs_total must be >= 1")
         self.backend = backend
@@ -131,6 +132,11 @@ class SweepEngine:
         self.cache = cache
         self.runs_total = runs_total
         self.listeners: list[SweepListener] = list(listeners)
+        #: Called as ``trace_hook(strategy, epoch_trace)`` for every
+        #: traced epoch a sweep produces (executed jobs *and* cache
+        #: hits), so diagnosis layers can collect resource traces
+        #: without re-running anything.
+        self.trace_hook = trace_hook
         self.environment = getattr(backend, "environment", None) \
             or Environment()
 
@@ -147,6 +153,15 @@ class SweepEngine:
     def _emit(self, event: SweepEvent) -> None:
         for listener in self.listeners:
             listener(event)
+
+    def _emit_traces(self, strategy: Strategy,
+                     profile: StrategyProfile) -> None:
+        if self.trace_hook is None:
+            return
+        for run in profile.runs:
+            for epoch in run.epochs:
+                if epoch.trace is not None:
+                    self.trace_hook(strategy, epoch.trace)
 
     # -- profiling ---------------------------------------------------------
 
@@ -173,6 +188,7 @@ class SweepEngine:
                       if self.cache is not None and key is not None else None)
             if cached is not None:
                 profiles[index] = cached
+                self._emit_traces(strategy, cached)
                 self._emit(SweepEvent(
                     kind=CACHE_HIT, index=index + 1, total=total,
                     pipeline=strategy.pipeline_name, strategy=strategy.name,
@@ -196,6 +212,7 @@ class SweepEngine:
                 if self.cache is not None and key is not None:
                     self.cache.store(key, profile)
                 profiles[index] = profile
+                self._emit_traces(strategy, profile)
                 self._emit(SweepEvent(
                     kind=JOB_DONE, index=index + 1, total=total,
                     pipeline=strategy.pipeline_name, strategy=strategy.name,

@@ -33,6 +33,11 @@ _BUILDERS: dict[str, Callable[[], PipelineSpec]] = {
 PAPER_PIPELINES = ("CV", "CV2-JPG", "CV2-PNG", "NLP", "NILM", "MP3", "FLAC")
 
 
+def registered_names() -> tuple[str, ...]:
+    """Every registered pipeline name (paper seven + Sec. 4.6 variants)."""
+    return tuple(_BUILDERS)
+
+
 def get_pipeline(name: str) -> PipelineSpec:
     """Build a fresh spec for ``name``."""
     try:

@@ -15,11 +15,14 @@ deterministic discrete-event simulation:
 * :mod:`repro.sim.fio` / :mod:`repro.sim.sysbench` -- probe tools mirroring
   the paper's Table 3 and memory-bandwidth measurements.
 * :mod:`repro.sim.dstat` -- time-series counters captured during runs.
+* :mod:`repro.sim.trace` -- unified per-epoch resource traces (elapsed
+  thread-time attribution consumed by :mod:`repro.diagnosis`).
 """
 
 from repro.sim.events import Event, Process, Simulation, Timeout
 from repro.sim.resources import Lock, Resource
 from repro.sim.bandwidth import SharedBandwidth
+from repro.sim.trace import ResourceTrace
 
 __all__ = [
     "Event",
@@ -28,5 +31,6 @@ __all__ = [
     "Timeout",
     "Lock",
     "Resource",
+    "ResourceTrace",
     "SharedBandwidth",
 ]

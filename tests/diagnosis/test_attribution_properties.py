@@ -1,0 +1,134 @@
+"""Property-based tests for diagnosis attribution.
+
+Invariants (ISSUE 2): attribution fractions are non-negative, sum to
+~1.0, are invariant under uniformly scaled traces, and respond
+monotonically when one resource's share of a fixed time budget grows.
+
+Uses hypothesis when available (derandomized, so two consecutive runs
+explore identical examples); otherwise falls back to a fixed-seed
+random sweep with the same checks.
+"""
+
+import random
+
+import pytest
+
+from repro.diagnosis.attribution import (CATEGORIES, ResourceAttribution,
+                                         from_trace)
+from repro.errors import DiagnosisError
+from repro.sim.trace import ResourceTrace
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is optional
+    HAVE_HYPOTHESIS = False
+
+N_EXAMPLES = 80
+
+
+def draw_trace(rng: random.Random) -> ResourceTrace:
+    """A random trace whose budget covers its bracketed categories."""
+    threads = rng.randint(1, 16)
+    parts = [rng.uniform(0.0, 100.0) for _ in range(8)]
+    budget = sum(parts) * rng.uniform(1.0, 1.5)  # headroom becomes stall
+    return ResourceTrace(
+        duration=budget / threads, threads=threads,
+        open_seconds=parts[0], read_seconds=parts[1],
+        memory_seconds=parts[2], decode_seconds=parts[3],
+        cpu_seconds=parts[4], gil_seconds=parts[5],
+        dispatch_seconds=parts[6], shuffle_seconds=parts[7])
+
+
+def check_invariants(trace: ResourceTrace) -> ResourceAttribution:
+    attribution = from_trace(trace)
+    shares = attribution.as_dict()
+    assert set(shares) == set(CATEGORIES)
+    assert all(value >= 0.0 for value in shares.values()), shares
+    assert sum(shares.values()) == pytest.approx(1.0, abs=1e-9)
+    assert attribution.dominant in CATEGORIES
+    return attribution
+
+
+def check_scale_invariance(trace: ResourceTrace, factor: float) -> None:
+    original = from_trace(trace).as_dict()
+    scaled = from_trace(trace.scaled(factor)).as_dict()
+    for category in CATEGORIES:
+        assert scaled[category] == pytest.approx(
+            original[category], abs=1e-9)
+
+
+def check_monotone_storage(trace: ResourceTrace, extra: float) -> None:
+    """More read time inside the same budget => storage share grows."""
+    headroom = trace.stall_seconds
+    grown = ResourceTrace(**{
+        **trace.to_dict(),
+        "read_seconds": trace.read_seconds + min(extra, headroom),
+    })
+    before = from_trace(trace)
+    after = from_trace(grown)
+    assert after.storage >= before.storage - 1e-12
+    assert after.stall <= before.stall + 1e-12
+    # The untouched shares keep their values (same total budget).
+    assert after.cpu == pytest.approx(before.cpu, abs=1e-9)
+    assert after.decode == pytest.approx(before.decode, abs=1e-9)
+
+
+if HAVE_HYPOTHESIS:
+    trace_strategy = st.builds(
+        draw_trace,
+        st.integers(min_value=0, max_value=2**32 - 1).map(random.Random))
+
+    @given(trace_strategy)
+    @settings(max_examples=N_EXAMPLES, derandomize=True, deadline=None)
+    def test_fractions_are_a_distribution(trace):
+        check_invariants(trace)
+
+    @given(trace_strategy,
+           st.floats(min_value=1e-3, max_value=1e3,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=N_EXAMPLES, derandomize=True, deadline=None)
+    def test_scaled_traces_attribute_identically(trace, factor):
+        check_scale_invariance(trace, factor)
+
+    @given(trace_strategy,
+           st.floats(min_value=0.0, max_value=100.0,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=N_EXAMPLES, derandomize=True, deadline=None)
+    def test_storage_share_monotone_in_read_time(trace, extra):
+        check_monotone_storage(trace, extra)
+
+else:  # pragma: no cover - exercised only without hypothesis
+    def test_fractions_are_a_distribution():
+        rng = random.Random(0xD1A6)
+        for _ in range(N_EXAMPLES):
+            check_invariants(draw_trace(rng))
+
+    def test_scaled_traces_attribute_identically():
+        rng = random.Random(0x5CA1)
+        for _ in range(N_EXAMPLES):
+            check_scale_invariance(draw_trace(rng),
+                                   rng.uniform(1e-3, 1e3))
+
+    def test_storage_share_monotone_in_read_time():
+        rng = random.Random(0x0401)
+        for _ in range(N_EXAMPLES):
+            check_monotone_storage(draw_trace(rng), rng.uniform(0, 100))
+
+
+class TestValidation:
+    def test_rejects_negative_fractions(self):
+        with pytest.raises(DiagnosisError):
+            ResourceAttribution(cpu=-0.1, storage=0.5, decode=0.3,
+                                stall=0.3)
+
+    def test_rejects_fractions_not_summing_to_one(self):
+        with pytest.raises(DiagnosisError):
+            ResourceAttribution(cpu=0.5, storage=0.5, decode=0.5,
+                                stall=0.5)
+
+    def test_degenerate_trace_is_all_stall(self):
+        attribution = from_trace(ResourceTrace(duration=0.0, threads=1))
+        assert attribution.stall == 1.0
+        assert attribution.dominant == "stall"

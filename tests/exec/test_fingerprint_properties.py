@@ -1,0 +1,146 @@
+"""Property-based tests for job fingerprints (repro.exec.fingerprint).
+
+Stability: the same (pipeline, strategy, environment, backend) tuple
+always digests to the same key, however it is rebuilt.  Uniqueness:
+changing any cost-relevant knob changes the key.
+
+Uses hypothesis when available (derandomized for run-to-run
+determinism); otherwise a fixed-seed random sweep.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.backends.base import Environment, RunConfig
+from repro.backends.simulated import SimulatedBackend
+from repro.core.strategy import Strategy
+from repro.exec.fingerprint import job_fingerprint
+from repro.pipelines.registry import get_pipeline
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is optional
+    HAVE_HYPOTHESIS = False
+
+N_EXAMPLES = 40
+
+BACKEND = SimulatedBackend()
+ENVIRONMENT = Environment()
+PIPELINE = get_pipeline("MP3")
+
+CACHE_MODES = ("none", "system", "application")
+COMPRESSIONS = (None, "GZIP", "ZLIB")
+
+
+def make_config(threads: int, epochs: int, compression_index: int,
+                cache_index: int, shuffle_buffer: int) -> RunConfig:
+    return RunConfig(threads=threads, epochs=epochs,
+                     compression=COMPRESSIONS[compression_index],
+                     cache_mode=CACHE_MODES[cache_index],
+                     shuffle_buffer=shuffle_buffer)
+
+
+def make_strategy(split_index: int, config: RunConfig) -> Strategy:
+    return Strategy(PIPELINE.split_at(split_index), config)
+
+
+def fingerprint(strategy: Strategy, runs_total: int = 1) -> str:
+    return job_fingerprint(strategy, ENVIRONMENT, BACKEND,
+                           runs_total=runs_total)
+
+
+def check_stability(split_index: int, config: RunConfig) -> None:
+    """Identical inputs digest identically, even via fresh objects."""
+    first = fingerprint(make_strategy(split_index, config))
+    again = fingerprint(make_strategy(split_index, config))
+    rebuilt = Strategy(get_pipeline("MP3").split_at(split_index),
+                       replace(config))
+    assert first == again
+    assert first == fingerprint(rebuilt)
+    assert len(first) == 64 and set(first) <= set("0123456789abcdef")
+
+
+def check_uniqueness(split_index: int, config: RunConfig) -> None:
+    """Every cost-relevant knob perturbs the digest."""
+    base = fingerprint(make_strategy(split_index, config))
+    variants = [
+        make_strategy(split_index, replace(config,
+                                           threads=config.threads + 1)),
+        make_strategy(split_index, replace(config,
+                                           epochs=config.epochs + 1)),
+        make_strategy(split_index,
+                      replace(config,
+                              shuffle_buffer=config.shuffle_buffer + 16)),
+        make_strategy(split_index,
+                      replace(config, shards=config.effective_shards + 1)),
+        make_strategy((split_index + 1) % 3, config),
+    ]
+    keys = [fingerprint(variant) for variant in variants]
+    keys.append(fingerprint(make_strategy(split_index, config),
+                            runs_total=5))
+    environment = Environment(cores=ENVIRONMENT.cores + 8)
+    keys.append(job_fingerprint(make_strategy(split_index, config),
+                                environment, BACKEND))
+    keys.append(job_fingerprint(make_strategy(split_index, config),
+                                ENVIRONMENT, BACKEND,
+                                extra={"caller": "test"}))
+    assert base not in keys
+    assert len(set(keys)) == len(keys), "variant fingerprints collided"
+
+
+if HAVE_HYPOTHESIS:
+    config_strategy = st.builds(
+        make_config,
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=len(COMPRESSIONS) - 1),
+        st.integers(min_value=0, max_value=len(CACHE_MODES) - 1),
+        st.integers(min_value=0, max_value=4096))
+    split_strategy = st.integers(min_value=0, max_value=2)
+
+    @given(split_strategy, config_strategy)
+    @settings(max_examples=N_EXAMPLES, derandomize=True, deadline=None)
+    def test_fingerprint_stability(split_index, config):
+        check_stability(split_index, config)
+
+    @given(split_strategy, config_strategy)
+    @settings(max_examples=N_EXAMPLES, derandomize=True, deadline=None)
+    def test_fingerprint_uniqueness(split_index, config):
+        check_uniqueness(split_index, config)
+
+else:  # pragma: no cover - exercised only without hypothesis
+    def draw(rng: random.Random):
+        return (rng.randint(0, 2),
+                make_config(rng.randint(1, 64), rng.randint(1, 4),
+                            rng.randint(0, len(COMPRESSIONS) - 1),
+                            rng.randint(0, len(CACHE_MODES) - 1),
+                            rng.randint(0, 4096)))
+
+    def test_fingerprint_stability():
+        rng = random.Random(0xF1D0)
+        for _ in range(N_EXAMPLES):
+            check_stability(*draw(rng))
+
+    def test_fingerprint_uniqueness():
+        rng = random.Random(0xF1D1)
+        for _ in range(N_EXAMPLES):
+            check_uniqueness(*draw(rng))
+
+
+def test_pipeline_mutation_changes_fingerprint():
+    config = RunConfig()
+    base = fingerprint(make_strategy(1, config))
+    mutated = get_pipeline("MP3").with_representation(
+        "decoded", bytes_per_sample=123456.0)
+    assert fingerprint(Strategy(mutated.split_at(1), config)) != base
+
+
+def test_sample_count_changes_fingerprint():
+    config = RunConfig()
+    base = fingerprint(make_strategy(1, config))
+    subset = get_pipeline("MP3").with_sample_count(100)
+    assert fingerprint(Strategy(subset.split_at(1), config)) != base

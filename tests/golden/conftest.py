@@ -1,0 +1,59 @@
+"""Harness for the golden regression suite.
+
+Each golden file in ``tests/golden/data/`` captures the full stdout of
+one ``presto`` invocation as JSON (``{"argv": [...], "stdout": "..."}``).
+The ``golden`` fixture re-runs the command and diffs byte-for-byte;
+``pytest --update-golden`` regenerates the files instead (the opt-in
+path for intentional output changes -- eyeball the git diff).
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+class GoldenChecker:
+    def __init__(self, update: bool, capsys):
+        self.update = update
+        self.capsys = capsys
+
+    def check(self, name: str, argv: list[str]) -> None:
+        from repro.cli import main
+        self.capsys.readouterr()  # drop anything already buffered
+        assert main(argv) == 0, f"presto {' '.join(argv)} failed"
+        stdout = self.capsys.readouterr().out
+        path = DATA_DIR / f"{name}.json"
+        if self.update:
+            DATA_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(
+                {"argv": argv, "stdout": stdout}, indent=2) + "\n")
+            pytest.skip(f"golden {name!r} regenerated")
+        if not path.exists():
+            pytest.fail(
+                f"golden file {path} missing; run "
+                f"`pytest tests/golden --update-golden` to create it")
+        recorded = json.loads(path.read_text())
+        assert recorded["argv"] == argv, (
+            f"golden {name!r} was recorded for {recorded['argv']}, "
+            f"the test now runs {argv}; regenerate with --update-golden")
+        if stdout != recorded["stdout"]:
+            diff = "\n".join(difflib.unified_diff(
+                recorded["stdout"].splitlines(),
+                stdout.splitlines(),
+                fromfile=f"golden/{name}", tofile="current", lineterm=""))
+            pytest.fail(
+                f"output of `presto {' '.join(argv)}` drifted from "
+                f"golden {name!r}:\n{diff}\n"
+                f"(intentional? regenerate with --update-golden)")
+
+
+@pytest.fixture
+def golden(request, capsys) -> GoldenChecker:
+    return GoldenChecker(request.config.getoption("--update-golden"),
+                         capsys)

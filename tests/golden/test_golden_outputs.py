@@ -1,0 +1,49 @@
+"""Golden regression tests for ``presto sweep`` / ``presto diagnose``.
+
+Three pipelines (MP3, FLAC, NILM) are covered by both commands.  The
+simulated backend is a deterministic DES, so byte-identical output is
+the contract -- any drift (model changes, report format changes,
+ranking changes) must show up here and be acknowledged by regenerating
+the goldens with ``pytest tests/golden --update-golden``.
+"""
+
+import pytest
+
+SWEEP_CASES = {
+    "sweep_mp3": ["sweep", "--quiet", "--pipelines", "MP3"],
+    "sweep_flac": ["sweep", "--quiet", "--pipelines", "FLAC"],
+    "sweep_nilm": ["sweep", "--quiet", "--pipelines", "NILM"],
+}
+
+DIAGNOSE_CASES = {
+    "diagnose_mp3": ["diagnose", "MP3"],
+    "diagnose_flac": ["diagnose", "FLAC", "--verify-top", "2"],
+    "diagnose_nilm": ["diagnose", "NILM", "--threads", "4"],
+}
+
+
+@pytest.mark.parametrize("name", sorted(SWEEP_CASES))
+def test_sweep_output_matches_golden(golden, name):
+    golden.check(name, SWEEP_CASES[name])
+
+
+@pytest.mark.parametrize("name", sorted(DIAGNOSE_CASES))
+def test_diagnose_output_matches_golden(golden, name):
+    golden.check(name, DIAGNOSE_CASES[name])
+
+
+def test_diagnose_attribution_is_well_formed(golden, capsys):
+    """Structural gate on top of the byte diff: fractions in the
+    diagnosis table parse back and sum to 1.0 +- 0.01 per strategy."""
+    from repro.cli import main
+    assert main(["diagnose", "MP3"]) == 0
+    out = capsys.readouterr().out
+    rows = [line for line in out.splitlines()
+            if line.startswith("|") and "strategy" not in line
+            and "---" not in line]
+    assert rows, "diagnosis table missing"
+    for row in rows:
+        cells = [cell.strip() for cell in row.strip("|").split("|")]
+        fractions = [float(value) for value in cells[2:6]]
+        assert all(value >= 0 for value in fractions)
+        assert sum(fractions) == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,144 @@
+"""Edge-case tests for the dataset runtime (repro.pipeline.runtime).
+
+Covers the previously-untested corners named in ISSUE 2: prefetch
+producer exception propagation, the ``AppCacheOverflowError`` boundary
+at exactly the cache budget, and shuffle determinism under a fixed
+seed.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline.dataset import PipelineDataset
+from repro.pipeline.runtime import AppCacheOverflowError
+
+
+class BoomError(RuntimeError):
+    """Marker exception raised inside producers."""
+
+
+def failing_source(good: int):
+    """Yields ``good`` elements, then blows up."""
+    def factory():
+        yield from range(good)
+        raise BoomError("producer died")
+    return PipelineDataset.from_generator(factory)
+
+
+class TestPrefetchExceptionPropagation:
+    def test_producer_exception_reaches_the_consumer(self):
+        dataset = failing_source(3).prefetch(2)
+        with pytest.raises(BoomError, match="producer died"):
+            list(dataset)
+
+    def test_elements_before_the_failure_are_delivered(self):
+        dataset = failing_source(3).prefetch(2)
+        seen = []
+        with pytest.raises(BoomError):
+            for element in dataset:
+                seen.append(element)
+        assert seen == [0, 1, 2]
+
+    def test_map_worker_exception_propagates_through_prefetch(self):
+        def explode(value):
+            if value == 2:
+                raise BoomError("map failed")
+            return value
+
+        dataset = (PipelineDataset.from_items([0, 1, 2, 3])
+                   .map(explode, num_parallel_calls=2)
+                   .prefetch(2))
+        with pytest.raises(BoomError, match="map failed"):
+            list(dataset)
+
+    def test_producer_thread_terminates_after_failure(self):
+        before = threading.active_count()
+        with pytest.raises(BoomError):
+            list(failing_source(1).prefetch(1))
+        deadline = time.time() + 5.0
+        while threading.active_count() > before:
+            if time.time() > deadline:  # pragma: no cover - diagnostics
+                living = [t.name for t in threading.enumerate()]
+                pytest.fail(f"prefetch producer leaked: {living}")
+            time.sleep(0.01)
+
+    def test_prefetch_preserves_order_and_completes(self):
+        items = list(range(100))
+        dataset = PipelineDataset.from_items(items).prefetch(4)
+        assert list(dataset) == items
+
+
+class TestAppCacheBudgetBoundary:
+    """The overflow contract: spending exactly the budget is legal,
+    one byte more fails the run (paper Sec. 4.2 obs. 4)."""
+
+    ELEMENTS = [b"x" * 100] * 4  # 400 bytes total
+
+    def test_exactly_at_budget_caches_successfully(self):
+        dataset = PipelineDataset.from_items(self.ELEMENTS).cache(
+            capacity_bytes=400)
+        assert list(dataset) == self.ELEMENTS
+        # Second pass replays from memory (source exhausted -> still ok).
+        assert list(dataset) == self.ELEMENTS
+
+    def test_one_byte_under_budget_overflows(self):
+        dataset = PipelineDataset.from_items(self.ELEMENTS).cache(
+            capacity_bytes=399)
+        with pytest.raises(AppCacheOverflowError):
+            list(dataset)
+
+    def test_overflow_reports_usage_and_budget(self):
+        dataset = PipelineDataset.from_items(self.ELEMENTS).cache(
+            capacity_bytes=250)
+        with pytest.raises(AppCacheOverflowError, match="250"):
+            list(dataset)
+
+    def test_overflow_leaves_no_partial_cache_behind(self):
+        dataset = PipelineDataset.from_items(self.ELEMENTS).cache(
+            capacity_bytes=399)
+        with pytest.raises(AppCacheOverflowError):
+            list(dataset)
+        # The failed pass must not have marked the cache filled; a
+        # retry re-reads the source and fails the same way rather than
+        # serving a truncated dataset.
+        with pytest.raises(AppCacheOverflowError):
+            list(dataset)
+
+    def test_elements_stream_through_while_filling(self):
+        dataset = PipelineDataset.from_items(self.ELEMENTS).cache(
+            capacity_bytes=400)
+        iterator = iter(dataset)
+        assert next(iterator) == self.ELEMENTS[0]
+
+
+class TestShuffleDeterminism:
+    ITEMS = list(range(50))
+
+    def shuffled(self, seed: int) -> list:
+        return list(PipelineDataset.from_items(self.ITEMS)
+                    .shuffle(buffer_size=16, seed=seed))
+
+    def test_same_seed_same_order(self):
+        assert self.shuffled(7) == self.shuffled(7)
+
+    def test_same_seed_same_order_across_iterations(self):
+        dataset = PipelineDataset.from_items(self.ITEMS).shuffle(
+            buffer_size=16, seed=7)
+        assert list(dataset) == list(dataset)
+
+    def test_different_seeds_differ(self):
+        assert self.shuffled(7) != self.shuffled(8)
+
+    def test_shuffle_is_a_permutation(self):
+        result = self.shuffled(7)
+        assert sorted(result) == self.ITEMS
+        assert result != self.ITEMS
+
+    def test_determinism_survives_prefetch(self):
+        def build():
+            return (PipelineDataset.from_items(self.ITEMS)
+                    .shuffle(buffer_size=16, seed=42)
+                    .prefetch(2))
+        assert list(build()) == list(build())

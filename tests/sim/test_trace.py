@@ -1,0 +1,149 @@
+"""Tests for the unified resource trace (repro.sim.trace)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulation
+from repro.sim.resources import Resource
+from repro.sim.trace import (TRACE_CATEGORIES, ResourceTrace, timed,
+                             timed_wait)
+
+
+def make_trace(**overrides):
+    base = dict(duration=10.0, threads=4, open_seconds=2.0,
+                read_seconds=10.0, memory_seconds=1.0, decode_seconds=4.0,
+                cpu_seconds=12.0, gil_seconds=3.0, dispatch_seconds=2.0,
+                shuffle_seconds=1.0, bytes_from_storage=1e9,
+                bytes_from_cache=0.0, cache_hit_rate=0.0)
+    base.update(overrides)
+    return ResourceTrace(**base)
+
+
+class TestAccounting:
+    def test_add_accumulates_categories(self):
+        trace = ResourceTrace(duration=1.0, threads=1)
+        trace.add("read", 0.25)
+        trace.add("read", 0.25)
+        assert trace.read_seconds == 0.5
+
+    def test_add_rejects_unknown_category(self):
+        with pytest.raises(SimulationError):
+            ResourceTrace().add("gpu", 1.0)
+
+    def test_stall_is_the_unaccounted_remainder(self):
+        trace = make_trace()
+        assert trace.total_thread_seconds == 40.0
+        assert trace.accounted_seconds == 35.0
+        assert trace.stall_seconds == pytest.approx(5.0)
+
+    def test_stall_never_negative(self):
+        trace = make_trace(duration=1.0, threads=1)  # accounted > budget
+        assert trace.stall_seconds == 0.0
+
+
+class TestFractions:
+    def test_fractions_sum_to_one(self):
+        shares = make_trace().fractions()
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-12)
+        assert all(value >= 0 for value in shares.values())
+
+    def test_category_mapping(self):
+        shares = make_trace().fractions()
+        assert shares["cpu"] == pytest.approx(15.0 / 40.0)        # cpu+gil
+        assert shares["storage"] == pytest.approx(13.0 / 40.0)    # o+r+m
+        assert shares["decode"] == pytest.approx(4.0 / 40.0)
+        assert shares["stall"] == pytest.approx(8.0 / 40.0)       # d+s+idle
+
+    def test_empty_trace_is_pure_stall(self):
+        assert ResourceTrace().fractions() == {
+            "cpu": 0.0, "storage": 0.0, "decode": 0.0, "stall": 1.0}
+
+    def test_overaccounted_trace_renormalizes(self):
+        trace = make_trace(duration=1.0, threads=1)
+        shares = trace.fractions()
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-12)
+        assert shares["stall"] == 0.0
+
+    def test_dominant_names_largest_share(self):
+        assert make_trace().dominant() == "cpu"
+        assert make_trace(cpu_seconds=0.0, gil_seconds=0.0,
+                          read_seconds=30.0).dominant() == "storage"
+
+
+class TestCombination:
+    def test_merged_sums_times_and_bytes(self):
+        merged = make_trace().merged(make_trace(bytes_from_cache=1e9))
+        assert merged.duration == 20.0
+        assert merged.read_seconds == 20.0
+        assert merged.bytes_from_storage == 2e9
+        assert merged.cache_hit_rate == pytest.approx(1e9 / 3e9)
+
+    def test_merged_rejects_thread_mismatch(self):
+        with pytest.raises(SimulationError):
+            make_trace().merged(make_trace(threads=8))
+
+    def test_scaled_preserves_fractions(self):
+        trace = make_trace()
+        assert trace.scaled(3.5).fractions() == pytest.approx(
+            trace.fractions())
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(SimulationError):
+            make_trace().scaled(0.0)
+
+    def test_dict_roundtrip(self):
+        trace = make_trace()
+        assert ResourceTrace.from_dict(trace.to_dict()) == trace
+
+
+class TestBracketHelpers:
+    def test_timed_charges_elapsed_generator_time(self):
+        sim = Simulation()
+        trace = ResourceTrace(threads=1)
+        resource = Resource(sim, capacity=1)
+
+        def process():
+            yield from timed(sim, trace, "cpu", resource.use(2.5))
+
+        sim.run_process(process())
+        assert trace.cpu_seconds == pytest.approx(2.5)
+
+    def test_timed_wait_charges_event_wait(self):
+        sim = Simulation()
+        trace = ResourceTrace(threads=1)
+
+        def process():
+            yield from timed_wait(sim, trace, "read", sim.timeout(1.5))
+
+        sim.run_process(process())
+        assert trace.read_seconds == pytest.approx(1.5)
+
+    def test_none_trace_is_passthrough(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+
+        def process():
+            yield from timed(sim, None, "cpu", resource.use(1.0))
+            yield from timed_wait(sim, None, "read", sim.timeout(1.0))
+
+        sim.run_process(process())
+        assert sim.now == pytest.approx(2.0)
+
+    def test_contention_is_charged_to_the_waiting_category(self):
+        sim = Simulation()
+        trace = ResourceTrace(threads=2)
+        resource = Resource(sim, capacity=1)
+
+        def process():
+            yield from timed(sim, trace, "read", resource.use(1.0))
+
+        sim.process(process())
+        sim.process(process())
+        sim.run()
+        # First holds 1s; second waits 1s then holds 1s -> 3 elapsed.
+        assert trace.read_seconds == pytest.approx(3.0)
+
+    def test_every_category_has_a_field(self):
+        trace = ResourceTrace()
+        for category in TRACE_CATEGORIES:
+            assert hasattr(trace, f"{category}_seconds")

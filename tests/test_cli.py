@@ -44,6 +44,49 @@ def test_bottleneck_command(capsys):
     assert "bound by" in out
 
 
+def test_diagnose_command(capsys):
+    assert main(["diagnose", "MP3"]) == 0
+    out = capsys.readouterr().out
+    assert "## diagnosis: MP3" in out
+    assert "bound" in out
+    assert "rewrites (per strategy, best first):" in out
+    assert "insert-prefetch" in out
+
+
+def test_diagnose_verify_top(capsys):
+    assert main(["diagnose", "MP3", "--verify-top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "verification (top 2):" in out
+    assert "measured" in out
+    assert "prediction error" in out
+
+
+def test_diagnose_accepts_registry_variants(capsys):
+    """Sec. 4.6 variants are registered but not in the paper seven;
+    diagnose must accept them."""
+    assert main(["diagnose", "CV+greyscale-after",
+                 "--sample-count", "2000"]) == 0
+    assert "## diagnosis: CV+greyscale-after" in capsys.readouterr().out
+
+
+def test_diagnose_with_jobs_and_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "diag-cache")
+    assert main(["diagnose", "FLAC", "--jobs", "2",
+                 "--cache", cache_dir]) == 0
+    first = capsys.readouterr()
+    assert "0 hits / 3 lookups" in first.err
+    assert main(["diagnose", "FLAC", "--jobs", "2",
+                 "--cache", cache_dir]) == 0
+    second = capsys.readouterr()
+    assert second.out == first.out
+    assert "3 hits / 3 lookups (100%)" in second.err
+
+
+def test_diagnose_sample_count_subset(capsys):
+    assert main(["diagnose", "FLAC", "--sample-count", "500"]) == 0
+    assert "## diagnosis: FLAC" in capsys.readouterr().out
+
+
 def test_fio_command(capsys):
     assert main(["fio"]) == 0
     out = capsys.readouterr().out
