@@ -4,15 +4,16 @@
 #   make smoke     parallel-sweep determinism smoke (tools/sweep_smoke.py)
 #   make sweep     full-catalog profile of the seven paper pipelines
 #   make golden    regenerate the golden CLI outputs (eyeball the diff!)
-#   make coverage  diagnosis-subsystem line coverage with a floor
+#   make coverage  line-coverage floors (diagnosis + serve subsystems)
+#   make bench     write the BENCH_serve.json performance snapshot
 
 PYTHON ?= python
 PYTHONPATH := src
 
-#: Minimum line coverage (percent) of src/repro/diagnosis/.
+#: Minimum line coverage (percent) of the measured subsystems.
 COVERAGE_FLOOR ?= 80
 
-.PHONY: test smoke sweep golden coverage
+.PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -26,5 +27,13 @@ sweep:
 golden:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/golden --update-golden -q
 
-coverage:
+coverage: coverage-diagnosis coverage-serve
+
+coverage-diagnosis:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --floor $(COVERAGE_FLOOR)
+
+coverage-serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.serve --floor $(COVERAGE_FLOOR)
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_snapshot.py --output BENCH_serve.json

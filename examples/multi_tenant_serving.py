@@ -1,0 +1,80 @@
+"""Multi-tenant serving walkthrough: traces, policies, cluster doctor.
+
+The serving layer turns the single-job profiler into a cluster-level
+what-if engine.  This example:
+
+1. generates the contended bursty trace (8 tenants, most wanting one
+   hot artifact);
+2. compares all three scheduler policies on it and shows why the
+   cache-aware policy wins (offline dedup + cache co-location);
+3. asks the bottleneck doctor for the cluster-level verdicts;
+4. cross-checks the paper's closed-form fan-out bound against the
+   co-simulation.
+
+Run with::
+
+    PYTHONPATH=src python examples/multi_tenant_serving.py
+"""
+
+from repro.backends import RunConfig, SimulatedBackend
+from repro.core.distributed import estimate_fan_out
+from repro.core.report import service_summary, tenant_table
+from repro.pipelines import get_pipeline
+from repro.serve import (PreprocessingService, bursty_trace,
+                         diagnose_service, fan_out_frame_simulated,
+                         sweep_policies)
+
+
+def main() -> None:
+    # -- 1. the contended trace -------------------------------------------
+    trace = bursty_trace(tenants=8, seed=0)
+    print("the trace (bursty, seed 0):")
+    for spec in trace:
+        print(f"  {spec.describe()}")
+    print()
+
+    # -- 2. every policy on the same trace --------------------------------
+    result = sweep_policies(trace, slots=2)
+    print("policy comparison (one shared cluster, 2 slots):")
+    print(result.frame().to_markdown())
+    print(f"\nbest policy: {result.best_policy()}\n")
+
+    # -- 3. per-tenant detail + cluster doctor for the winner -------------
+    report = result.report(result.best_policy())
+    print(tenant_table(report).to_markdown())
+    print()
+    print(service_summary(report))
+    print()
+    print(diagnose_service(report).to_markdown())
+    print()
+
+    # -- 4. closed form vs co-simulation ----------------------------------
+    plan = get_pipeline("MP3").split_at("spectrogram-encoded")
+    config = RunConfig(threads=8, epochs=1)
+    single = SimulatedBackend().run(plan, config).throughput
+    one = estimate_fan_out(plan, config, trainers=1,
+                           single_job_sps=single)
+    print(f"closed-form single-trainer delivery: "
+          f"{one.delivered_sps:.0f} SPS")
+    print("analytic bound vs DES delivery across fan-out widths:")
+    print(fan_out_frame_simulated(plan, config,
+                                  trainer_counts=(1, 2, 4)).to_markdown())
+
+
+if __name__ == "__main__":
+    main()
+
+
+# Example output (abridged):
+#
+# policy comparison (one shared cluster, 2 slots):
+# | policy      | makespan_s | aggregate_sps | ... | deduped | bound |
+# |-------------|------------|---------------|-----|---------|-------|
+# | fifo        | 45442.341  | 72.263        | ... | 0       | cpu   |
+# | fair-share  | 45442.341  | 72.263       | ... | 0       | cpu   |
+# | cache-aware | 19436.835  | 168.946      | ... | 4       | cpu   |
+#
+# best policy: cache-aware
+#
+# cluster diagnosis [cache-aware]: bound on cpu (cpu 97%, ...)
+#   1. cpu-pool-saturation: ...

@@ -32,6 +32,8 @@ from repro.core.autotune import AutoTuner
 from repro.diagnosis import BottleneckDoctor
 from repro.exec import ProfileCache, SweepEngine, SweepResult
 from repro.pipelines import PipelineSpec, all_pipelines, get_pipeline
+from repro.serve import (JobSpec, PreprocessingService, ServiceReport,
+                         generate_trace, sweep_policies)
 
 __version__ = "1.0.0"
 
@@ -42,10 +44,13 @@ __all__ = [
     "Environment",
     "Frame",
     "InProcessBackend",
+    "JobSpec",
     "ObjectiveWeights",
     "PipelineSpec",
+    "PreprocessingService",
     "ProfileCache",
     "RunConfig",
+    "ServiceReport",
     "SimulatedBackend",
     "Strategy",
     "StrategyAnalysis",
@@ -54,6 +59,8 @@ __all__ = [
     "SweepResult",
     "all_pipelines",
     "enumerate_strategies",
+    "generate_trace",
     "get_pipeline",
+    "sweep_policies",
     "__version__",
 ]

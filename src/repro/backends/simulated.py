@@ -81,6 +81,15 @@ class SimulatedBackend:
     :class:`~repro.backends.base.EpochResult` (elapsed-time attribution
     for the diagnosis layer).  Tracing only reads the simulation clock,
     so traced and untraced runs are event-for-event identical.
+
+    The offline phase and each training epoch are exposed as *process
+    generators* (:meth:`offline_process`, :meth:`epoch_process`) so they
+    can run either standalone -- :meth:`run` drives them through a fresh
+    private simulation -- or as one of many concurrent jobs sharing a
+    simulation, storage cluster, page cache and CPU pool (the
+    ``repro.serve`` multi-tenant service).  All byte and cache-hit
+    accounting is therefore kept local to the job instead of being read
+    off global cluster counters, which other tenants would pollute.
     """
 
     def __init__(self, environment: Optional[Environment] = None,
@@ -170,6 +179,20 @@ class SimulatedBackend:
     def _run_offline(self, sim: Simulation, machine: Machine,
                      cluster: StorageCluster, plan: SplitPlan,
                      config: RunConfig) -> OfflineResult:
+        return sim.run_process(
+            self.offline_process(sim, machine, cluster, plan, config),
+            name="offline")
+
+    def offline_process(self, sim: Simulation, machine: Machine,
+                        cluster: StorageCluster, plan: SplitPlan,
+                        config: RunConfig,
+                        ) -> Generator[Event, None, OfflineResult]:
+        """Materialise ``plan`` as a process generator.
+
+        ``yield from`` this inside any simulation process (the service
+        runs one per tenant); the return value is the
+        :class:`~repro.backends.base.OfflineResult`.
+        """
         pipeline = plan.pipeline
         source = pipeline.source
         count = pipeline.sample_count
@@ -178,10 +201,8 @@ class SimulatedBackend:
             config.compression)
         codec = get_codec(config.compression)
         opens_per_sample = self._opens_per_sample(source, count)
-        start_read = cluster.read_link.bytes_moved
-        start_write = cluster.write_link.bytes_moved
         start = sim.now
-        compression_work = {"seconds": 0.0}
+        counters = {"read": 0.0, "write": 0.0, "compress": 0.0}
 
         def worker(jobs: list[_JobPlan]) -> Generator[Event, None, None]:
             for job in jobs:
@@ -190,7 +211,9 @@ class SimulatedBackend:
                 if opens > 0:
                     yield from cluster.metadata.use(
                         opens * self._open_latency())
-                yield cluster.read_link.transfer(k * source.bytes_per_sample)
+                read_bytes = k * source.bytes_per_sample
+                counters["read"] += read_bytes
+                yield cluster.read_link.transfer(read_bytes)
                 yield sim.timeout(
                     k * cal.runtime_overhead(source.bytes_per_sample))
                 for step in plan.offline_steps:
@@ -203,17 +226,21 @@ class SimulatedBackend:
                 if codec is not None:
                     compress_seconds = (k * out_bytes_ps
                                         / codec.costs.compress_bw)
-                    compression_work["seconds"] += compress_seconds
+                    counters["compress"] += compress_seconds
                     yield from machine.compute_native(compress_seconds)
-                yield from cluster.write(k * stored_bytes_ps)
+                write_bytes = k * stored_bytes_ps
+                counters["write"] += write_bytes
+                yield from cluster.write(write_bytes)
 
-        self._run_threads(sim, [worker(jobs) for jobs in partition_jobs(
-            count, config.threads, config.max_jobs)])
+        processes = [sim.process(worker(jobs), name=f"offline-{i}")
+                     for i, jobs in enumerate(partition_jobs(
+                         count, config.threads, config.max_jobs))]
+        yield all_of(sim, processes)
         return OfflineResult(
             duration=sim.now - start,
-            bytes_read=cluster.read_link.bytes_moved - start_read,
-            bytes_written=cluster.write_link.bytes_moved - start_write,
-            compression_seconds=compression_work["seconds"],
+            bytes_read=counters["read"],
+            bytes_written=counters["write"],
+            compression_seconds=counters["compress"],
         )
 
     # -- online epochs -------------------------------------------------------
@@ -223,6 +250,31 @@ class SimulatedBackend:
                    config: RunConfig, epoch: int, stored_bytes_ps: float,
                    from_app_cache: bool, populate_app_cache: bool,
                    app_tensor_bytes_ps: float) -> EpochResult:
+        return sim.run_process(
+            self.epoch_process(
+                sim, machine, cluster, plan, config, epoch,
+                stored_bytes_ps=stored_bytes_ps,
+                from_app_cache=from_app_cache,
+                populate_app_cache=populate_app_cache,
+                app_tensor_bytes_ps=app_tensor_bytes_ps),
+            name="epoch-barrier")
+
+    def epoch_process(self, sim: Simulation, machine: Machine,
+                      cluster: StorageCluster, plan: SplitPlan,
+                      config: RunConfig, epoch: int, stored_bytes_ps: float,
+                      from_app_cache: bool = False,
+                      populate_app_cache: bool = False,
+                      app_tensor_bytes_ps: float = 0.0,
+                      chunk_namespace=None,
+                      ) -> Generator[Event, None, EpochResult]:
+        """Run one training epoch as a process generator.
+
+        ``chunk_namespace`` prefixes every page-cache chunk key; jobs
+        sharing a namespace (tenants reading one deduplicated artifact)
+        hit each other's cached chunks, while distinct namespaces keep
+        tenants' private copies isolated.  ``None`` keeps the historical
+        single-job keys.
+        """
         pipeline = plan.pipeline
         count = pipeline.sample_count
         stored = plan.materialized
@@ -231,9 +283,7 @@ class SimulatedBackend:
         online_steps = plan.online_steps
         nondet_steps = [s for s in online_steps if not s.deterministic]
         start = sim.now
-        start_read = cluster.read_link.bytes_moved
-        start_cache = cluster.cache_bytes_read
-        machine.page_cache.reset_stats()
+        counters = {"storage": 0.0, "cache": 0.0, "hits": 0, "misses": 0}
         job_plans = partition_jobs(count, config.threads, config.max_jobs)
         trace = (ResourceTrace(threads=len(job_plans))
                  if self.collect_traces else None)
@@ -257,15 +307,20 @@ class SimulatedBackend:
                                          cal.APP_CACHE_ITER_COST, k))
                     continue
                 opens = opens_per_sample * k
-                chunk_key = (stored.name, config.compression,
-                             job.thread_id, job.job_index)
+                chunk_key = (chunk_namespace, stored.name,
+                             config.compression, job.thread_id,
+                             job.job_index)
                 cached = machine.page_cache.lookup(chunk_key)
                 disk_bytes = k * stored_bytes_ps
                 if cached:
+                    counters["hits"] += 1
+                    counters["cache"] += disk_bytes
                     cluster.cache_bytes_read += disk_bytes
                     yield from timed(sim, trace, "memory",
                                      machine.read_memory(disk_bytes))
                 else:
+                    counters["misses"] += 1
+                    counters["storage"] += disk_bytes
                     if opens > 0:
                         yield from timed(sim, trace, "open",
                                          cluster.metadata.use(
@@ -304,14 +359,17 @@ class SimulatedBackend:
                                  machine.dispatch.hold_scaled(
                                      machine.dispatch_cost, k))
 
-        self._run_threads(sim, [worker(jobs) for jobs in job_plans])
+        processes = [sim.process(worker(jobs), name=f"worker-{i}")
+                     for i, jobs in enumerate(job_plans)]
+        yield all_of(sim, processes)
+        lookups = counters["hits"] + counters["misses"]
         epoch_result = EpochResult(
             epoch=epoch,
             duration=sim.now - start,
             samples=count,
-            bytes_from_storage=cluster.read_link.bytes_moved - start_read,
-            bytes_from_cache=cluster.cache_bytes_read - start_cache,
-            cache_hit_rate=machine.page_cache.hit_rate,
+            bytes_from_storage=counters["storage"],
+            bytes_from_cache=counters["cache"],
+            cache_hit_rate=counters["hits"] / lookups if lookups else 0.0,
             served_from_app_cache=from_app_cache,
             trace=trace,
         )
@@ -370,12 +428,3 @@ class SimulatedBackend:
         return pipeline.representations[
             pipeline.max_offline_index()].bytes_per_sample
 
-    @staticmethod
-    def _run_threads(sim: Simulation, generators) -> None:
-        processes = [sim.process(generator, name=f"worker-{i}")
-                     for i, generator in enumerate(generators)]
-
-        def barrier() -> Generator[Event, None, None]:
-            yield all_of(sim, processes)
-
-        sim.run_process(barrier(), name="epoch-barrier")

@@ -13,6 +13,7 @@ Subcommands::
     presto cost CV                    dollar cost per strategy
     presto amortize CV                offline-time break-even horizons
     presto fanout CV                  per-trainer throughput under fan-out
+    presto serve --tenants 8          multi-tenant service co-simulation
 
 All commands run on the simulated backend (deterministic, full scale);
 ``profile --backend inprocess`` switches to real miniature execution.
@@ -39,6 +40,7 @@ from repro.errors import ReproError
 from repro.exec import ProfileCache, ProgressPrinter, SweepEngine
 from repro.pipelines.registry import (PAPER_PIPELINES, get_pipeline,
                                       registered_names)
+from repro.serve import POLICY_NAMES, TRACE_KINDS
 from repro.sim.fio import run_fio
 from repro.sim.storage import DEVICE_PROFILES
 from repro.units import MB
@@ -138,6 +140,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="split name (default: last strategy)")
     fanout.add_argument("--trainers", type=int, nargs="+",
                         default=[1, 2, 4, 8, 16])
+    fanout.add_argument("--simulate", action="store_true",
+                        help="co-simulate the trainers through the serve "
+                             "layer instead of the closed-form link bound")
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulate a multi-tenant preprocessing service on one "
+             "shared cluster")
+    serve.add_argument("--tenants", type=int, default=8, metavar="J")
+    serve.add_argument("--policy", choices=[*POLICY_NAMES, "all"],
+                       default="fifo",
+                       help="scheduler policy ('all' compares every one)")
+    serve.add_argument("--trace", choices=sorted(TRACE_KINDS),
+                       default="steady",
+                       help="arrival-trace shape")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="trace-generator seed (runs are deterministic)")
+    serve.add_argument("--slots", type=int, default=2,
+                       help="concurrent execution slots")
+    serve.add_argument("--epochs", type=int, default=2)
+    serve.add_argument("--threads", type=int, default=8,
+                       help="reader threads per tenant job")
+    serve.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
+                       default="ceph-hdd")
     return parser
 
 
@@ -303,12 +329,53 @@ def _cmd_fanout(args) -> int:
     strategy = args.strategy or pipeline.strategy_names()[-1]
     plan = pipeline.split_at(strategy)
     config = RunConfig()
+    if args.simulate:
+        from repro.serve import fan_out_frame_simulated
+        frame = fan_out_frame_simulated(
+            plan, config, trainer_counts=tuple(args.trainers))
+        print(f"co-simulating fan-out of {args.pipeline}/{strategy} "
+              f"(analytic bound vs DES delivery):")
+        print(frame.to_markdown())
+        return 0
     single = SimulatedBackend().run(plan, config).throughput
     frame = fan_out_frame(plan, config, single_job_sps=single,
                           trainer_counts=tuple(args.trainers))
     print(f"fanning out {args.pipeline}/{strategy} "
           f"(single-trainer T4 = {single:.0f} SPS):")
     print(frame.to_markdown())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core.report import service_summary, tenant_table
+    from repro.serve import (PreprocessingService, diagnose_service,
+                             generate_trace, sweep_policies)
+    environment = Environment(storage=DEVICE_PROFILES[args.storage])
+    trace = generate_trace(args.trace, args.tenants, seed=args.seed,
+                           epochs=args.epochs, threads=args.threads)
+    header = (f"{args.tenants} tenants, trace={args.trace}(seed "
+              f"{args.seed}), slots={args.slots}, {args.storage}")
+    if args.policy == "all":
+        result = sweep_policies(trace, slots=args.slots,
+                                environment=environment)
+        print(f"## serve: {header}, policies compared")
+        print(result.frame().to_markdown())
+        print()
+        print(f"best policy by aggregate throughput: "
+              f"{result.best_policy()}")
+        for report in result.reports:
+            print()
+            print(diagnose_service(report).to_markdown())
+        return 0
+    service = PreprocessingService(policy=args.policy, slots=args.slots,
+                                   environment=environment)
+    report = service.run(trace)
+    print(f"## serve: {header}, policy={args.policy}")
+    print(tenant_table(report).to_markdown())
+    print()
+    print(service_summary(report))
+    print()
+    print(diagnose_service(report).to_markdown())
     return 0
 
 
@@ -339,6 +406,7 @@ def _dispatch(args) -> int:
         "cost": lambda: _cmd_cost(args),
         "amortize": lambda: _cmd_amortize(args),
         "fanout": lambda: _cmd_fanout(args),
+        "serve": lambda: _cmd_serve(args),
     }
     return handlers[args.command]()
 

@@ -13,6 +13,16 @@ calibrated model:
   out to all training jobs ... if the network can not handle the
   duplicated load it will become a new bottleneck".  Serving J trainers
   multiplies the per-epoch read volume by J against the same link.
+
+These closed forms are the *optimistic bounds*; the serving layer
+(:mod:`repro.serve`) now co-simulates the same scenarios with J jobs as
+discrete-event processes on the shared cluster.
+:func:`repro.serve.fanout.fan_out_frame_simulated` cross-checks
+:func:`estimate_fan_out` against the simulation: the two agree in the
+uncontended single-tenant limit (pinned by
+``tests/serve/test_crosscheck.py``), and the simulation additionally
+charges metadata queueing and CPU-pool contention the formulas cannot
+see.
 """
 
 from __future__ import annotations

@@ -81,6 +81,31 @@ def attribution_table(profiles: Sequence[StrategyProfile]) -> Frame:
                "decode_frac", "stall_frac", "bound"])
 
 
+def tenant_table(report) -> Frame:
+    """Per-tenant service metrics, one row per tenant job.
+
+    ``report`` is a :class:`repro.serve.service.ServiceReport` (taken
+    duck-typed so this layer does not import the serving layer above
+    it): p50/p99 epoch time, delivered throughput, stall fraction,
+    cache hit ratio and SLO violations per tenant.
+    """
+    return Frame.from_records(
+        [job.to_record() for job in report.tenants])
+
+
+def service_summary(report) -> str:
+    """One-line operator summary of a service run."""
+    dedup = (f" (+{report.offline_deduped} deduped)"
+             if report.offline_deduped else "")
+    return (f"service [{report.policy}]: {len(report.tenants)} tenant(s) "
+            f"on {report.slots} slot(s), makespan "
+            f"{fmt_duration(report.makespan)}, aggregate "
+            f"{fmt_sps(report.aggregate_sps)}, cache hit "
+            f"{report.cache_hit_ratio:.0%}, offline {report.offline_runs} "
+            f"run(s){dedup}, SLO violations "
+            f"{report.total_slo_violations}")
+
+
 def profile_summary(profile: StrategyProfile) -> str:
     """One-paragraph human summary of a single strategy profile."""
     run = profile.result

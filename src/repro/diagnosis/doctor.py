@@ -203,6 +203,22 @@ class BottleneckDoctor:
                 rewrites=rewrites))
         return diagnosis
 
+    # -- cluster-level diagnosis ---------------------------------------------
+
+    def diagnose_service(self, report):
+        """Attribute a multi-tenant service run's thread-time and rank
+        shared-resource findings.
+
+        ``report`` is a :class:`repro.serve.service.ServiceReport`; the
+        return value is a
+        :class:`repro.serve.doctor.ServiceDiagnosis` whose findings are
+        cluster-level verdicts ("metadata service saturated by tenant
+        churn", "duplicate offline preprocessing", ...).  Imported
+        lazily: the serving layer sits above diagnosis in the stack.
+        """
+        from repro.serve.doctor import diagnose_service
+        return diagnose_service(report)
+
     # -- verification --------------------------------------------------------
 
     def verify(self, diagnosis: PipelineDiagnosis,

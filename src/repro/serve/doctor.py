@@ -1,0 +1,198 @@
+"""Cluster-level bottleneck attribution for the serving layer.
+
+A single-job diagnosis answers "where does *this* strategy's epoch time
+go?".  A service run needs the cluster-level version: across J tenants
+sharing one storage cluster, page cache and CPU pool, which shared
+resource is binding, and what operational levers (policy, slots,
+hardware) would move it?  :func:`diagnose_service` aggregates every
+tenant epoch's :class:`~repro.sim.trace.ResourceTrace` into one
+cluster attribution and derives ranked findings from the service
+counters -- the kind of verdicts a cluster operator acts on
+("metadata service saturated by tenant churn", "duplicate offline
+preprocessing", "shared read link saturated").
+
+:class:`~repro.diagnosis.doctor.BottleneckDoctor` exposes this as
+``diagnose_service(report)``, so the single-job and cluster-level
+paths share one entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.backends.base import Environment
+from repro.errors import DiagnosisError
+from repro.serve.service import ServiceReport
+from repro.sim.trace import TRACE_CATEGORIES
+from repro.units import fmt_bytes
+
+
+@dataclass(frozen=True)
+class ServiceFinding:
+    """One ranked cluster-level verdict with its supporting numbers."""
+
+    kind: str
+    severity: float          # 0..1-ish ranking score, higher is worse
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class ServiceDiagnosis:
+    """Cluster attribution plus ranked findings for one service run."""
+
+    policy: str
+    #: Thread-time fractions over all tenant epochs; sums to 1.0.
+    fractions: dict = field(default_factory=dict)
+    findings: list[ServiceFinding] = field(default_factory=list)
+
+    @property
+    def dominant(self) -> str:
+        return max(self.fractions, key=self.fractions.get)
+
+    @property
+    def top_finding(self) -> ServiceFinding:
+        if not self.findings:
+            raise DiagnosisError("no findings in this diagnosis")
+        return self.findings[0]
+
+    def describe(self) -> str:
+        shares = ", ".join(f"{name} {value:.0%}"
+                           for name, value in self.fractions.items())
+        return f"bound on {self.dominant} ({shares})"
+
+    def to_markdown(self) -> str:
+        lines = [f"cluster diagnosis [{self.policy}]: {self.describe()}"]
+        for rank, finding in enumerate(self.findings, start=1):
+            lines.append(f"  {rank}. {finding.describe()}")
+        if not self.findings:
+            lines.append("  (no cluster-level pressure detected)")
+        return "\n".join(lines)
+
+
+def cluster_fractions(report: ServiceReport) -> dict:
+    """Merge every tenant epoch trace into one attribution.
+
+    Unlike :meth:`ResourceTrace.merged` this tolerates heterogeneous
+    thread widths: each epoch contributes its own wall x threads budget.
+    """
+    totals = {category: 0.0 for category in TRACE_CATEGORIES}
+    budget = 0.0
+    for trace in report.epoch_traces():
+        budget += trace.total_thread_seconds
+        for category in TRACE_CATEGORIES:
+            totals[category] += getattr(trace, f"{category}_seconds")
+    if budget <= 0:
+        return {"cpu": 0.0, "storage": 0.0, "decode": 0.0, "stall": 1.0}
+    cpu = (totals["cpu"] + totals["gil"]) / budget
+    storage = (totals["open"] + totals["read"] + totals["memory"]) / budget
+    decode = totals["decode"] / budget
+    accounted = cpu + storage + decode
+    if accounted > 1.0:
+        cpu, storage, decode = (value / accounted
+                                for value in (cpu, storage, decode))
+        accounted = 1.0
+    return {"cpu": cpu, "storage": storage, "decode": decode,
+            "stall": 1.0 - accounted}
+
+
+def _open_fraction(report: ServiceReport) -> float:
+    budget = opens = 0.0
+    for trace in report.epoch_traces():
+        budget += trace.total_thread_seconds
+        opens += trace.open_seconds
+    return opens / budget if budget > 0 else 0.0
+
+
+def _gil_fraction(report: ServiceReport) -> float:
+    budget = gil = 0.0
+    for trace in report.epoch_traces():
+        budget += trace.total_thread_seconds
+        gil += trace.gil_seconds
+    return gil / budget if budget > 0 else 0.0
+
+
+def diagnose_service(report: ServiceReport,
+                     environment: Optional[Environment] = None,
+                     ) -> ServiceDiagnosis:
+    """Attribute a service run's thread-time and rank shared-resource
+    findings (highest severity first, ties broken by kind)."""
+    if not report.tenants:
+        raise DiagnosisError("cannot diagnose an empty service report")
+    environment = environment or report.environment
+    storage = environment.storage
+    fractions = cluster_fractions(report)
+    findings: list[ServiceFinding] = []
+
+    # Scheduler queue pressure: tenants spend the service window waiting.
+    if report.makespan > 0:
+        queue_share = report.mean_queue_delay / report.makespan
+        if queue_share > 0.15:
+            findings.append(ServiceFinding(
+                "queue-pressure", min(queue_share, 1.0),
+                f"tenants wait {queue_share:.0%} of the service window "
+                f"for one of {report.slots} slots; add slots or "
+                f"rebalance the trace"))
+
+    # Metadata service saturated by tenant churn (file-per-sample jobs).
+    open_share = _open_fraction(report)
+    if open_share > 0.15:
+        findings.append(ServiceFinding(
+            "metadata-saturation", min(open_share * 1.5, 1.0),
+            f"metadata service saturated by tenant churn: "
+            f"{report.files_opened:,} opens, {open_share:.0%} of "
+            f"thread-time queued on {storage.metadata_slots} MDS slots"))
+
+    # Shared read link utilisation over the whole window.
+    if report.makespan > 0:
+        link_util = (report.bytes_from_storage
+                     / (storage.aggregate_bw * report.makespan))
+        if link_util > 0.5:
+            findings.append(ServiceFinding(
+                "read-link-saturation", min(link_util, 1.0),
+                f"shared read link at {link_util:.0%} of "
+                f"{fmt_bytes(storage.aggregate_bw)}/s aggregate over the "
+                f"window; co-locate cache sharers or add bandwidth"))
+
+    # Page-cache thrash: many tenants, evictions, low hit ratio.
+    if (len(report.tenants) > 1 and report.page_cache_evictions > 0
+            and report.cache_hit_ratio < 0.5):
+        findings.append(ServiceFinding(
+            "cache-thrash", 0.6 - report.cache_hit_ratio / 2,
+            f"shared page cache thrashes: {report.page_cache_evictions:,} "
+            f"evictions, hit ratio {report.cache_hit_ratio:.0%}; the "
+            f"tenants' combined working set exceeds RAM"))
+
+    # Duplicate offline preprocessing under non-sharing policies.
+    unique_artifacts = len({job.artifact for job in report.tenants
+                            if job.offline is not None})
+    duplicates = report.offline_runs - unique_artifacts
+    if duplicates > 0:
+        findings.append(ServiceFinding(
+            "duplicate-offline", min(0.2 + duplicates * 0.1, 0.9),
+            f"{duplicates} duplicate offline materialisation(s) of "
+            f"identical artifacts; the cache-aware policy dedupes them"))
+
+    # GIL-bound tenants serialize the whole pool.
+    gil_share = _gil_fraction(report)
+    if gil_share > 0.25:
+        findings.append(ServiceFinding(
+            "gil-serialization", min(gil_share, 1.0),
+            f"external (GIL-holding) steps occupy {gil_share:.0%} of "
+            f"thread-time across tenants; co-scheduling GIL-bound jobs "
+            f"serializes the shared pool"))
+
+    # CPU pool oversubscription.
+    if fractions["cpu"] > 0.5 and len(report.tenants) > report.slots:
+        findings.append(ServiceFinding(
+            "cpu-pool-saturation", fractions["cpu"],
+            f"CPU pool is the binding resource ({fractions['cpu']:.0%} "
+            f"of thread-time) with {len(report.tenants)} tenants on "
+            f"{environment.cores} cores; scale cores before slots"))
+
+    findings.sort(key=lambda finding: (-finding.severity, finding.kind))
+    return ServiceDiagnosis(policy=report.policy, fractions=fractions,
+                            findings=findings)

@@ -1,0 +1,242 @@
+"""Job specifications and arrival-trace generators for the service.
+
+A multi-tenant preprocessing service is driven by a *trace*: a list of
+:class:`JobSpec` records, one per tenant job, each naming a pipeline, a
+preprocessing strategy (the representation to materialise), an arrival
+time and execution knobs.  Traces are generated deterministically from a
+seed so every service simulation -- and therefore every golden output --
+is reproducible bit-for-bit.
+
+Three load shapes cover the scenarios the paper's Sec. 7 discussion and
+the data-stall literature care about:
+
+* ``steady``  -- evenly spaced arrivals, mixed pipelines; the baseline.
+* ``bursty``  -- tenants arrive in tight bursts and most of a burst
+  wants the *same* (pipeline, strategy) artifact, so offline dedup and
+  cache co-location have something to win.
+* ``diurnal`` -- arrivals follow a sinusoidal day/night intensity curve,
+  producing alternating contention peaks and idle valleys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.backends.base import CACHE_SYSTEM, RunConfig
+from repro.errors import ProfilingError
+from repro.pipelines.base import SplitPlan
+
+#: Trace shapes understood by :func:`generate_trace`.
+TRACE_KINDS = ("steady", "bursty", "diurnal")
+
+#: Default pipeline mix for generated traces (small/medium datasets so
+#: service simulations stay fast; all are registry-reconstructible).
+DEFAULT_PIPELINE_MIX = ("MP3", "FLAC", "CV2-JPG", "NILM")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's training job as submitted to the service.
+
+    ``split`` names the representation the job materialises offline
+    (the strategy); ``priority`` weights fair-share scheduling;
+    ``slo_stretch`` defines the epoch-time SLO as a multiple of the
+    uncontended analytic epoch time (``None`` disables SLO tracking).
+    """
+
+    tenant: str
+    pipeline: str
+    split: str
+    arrival: float = 0.0
+    epochs: int = 2
+    threads: int = 8
+    compression: Optional[str] = None
+    priority: float = 1.0
+    slo_stretch: Optional[float] = 2.5
+
+    def __post_init__(self):
+        if self.arrival < 0:
+            raise ProfilingError(
+                f"job {self.tenant!r}: negative arrival time")
+        if self.priority <= 0:
+            raise ProfilingError(
+                f"job {self.tenant!r}: priority must be positive")
+        if self.slo_stretch is not None and self.slo_stretch <= 0:
+            raise ProfilingError(
+                f"job {self.tenant!r}: slo_stretch must be positive")
+
+    @property
+    def artifact(self) -> tuple:
+        """Content identity of the materialised dataset this job reads.
+
+        Jobs with equal artifacts produce byte-identical offline output,
+        so a cache-aware scheduler may legally deduplicate them.
+        """
+        return (self.pipeline, self.split, self.compression)
+
+    def run_config(self) -> RunConfig:
+        """The per-job run configuration inside the service.
+
+        The service owns one shared page cache that persists across
+        epochs and tenants, so jobs always run under system caching.
+        """
+        return RunConfig(threads=self.threads, epochs=self.epochs,
+                         compression=self.compression,
+                         cache_mode=CACHE_SYSTEM)
+
+    def resolve_plan(self) -> SplitPlan:
+        """Build the split plan from the pipeline registry."""
+        from repro.pipelines.registry import get_pipeline
+        plan = get_pipeline(self.pipeline).split_at(self.split)
+        if plan.is_unprocessed and self.compression:
+            raise ProfilingError(
+                f"job {self.tenant!r}: compression on the unprocessed "
+                "strategy is not meaningful (paper Sec. 4.3)")
+        return plan
+
+    def describe(self) -> str:
+        return (f"{self.tenant}: {self.pipeline}/{self.split} "
+                f"@{self.arrival:.0f}s x{self.epochs} epochs "
+                f"(prio {self.priority:g})")
+
+
+def _materialized_split(rng: random.Random, pipeline_name: str,
+                        unprocessed_share: float = 0.15) -> str:
+    """Pick a strategy: usually a materialised split, sometimes raw."""
+    from repro.pipelines.registry import get_pipeline
+    names = get_pipeline(pipeline_name).strategy_names()
+    if len(names) > 1 and rng.random() >= unprocessed_share:
+        return rng.choice(names[1:])
+    return names[0]
+
+
+def _priority(rng: random.Random) -> float:
+    """Most tenants are best-effort; every fourth-ish is premium."""
+    return rng.choice((1.0, 1.0, 1.0, 2.0))
+
+
+def steady_trace(tenants: int, seed: int = 0,
+                 pipelines: Sequence[str] = DEFAULT_PIPELINE_MIX,
+                 interval: float = 120.0, epochs: int = 2,
+                 threads: int = 8,
+                 jobs_per_tenant: int = 1) -> list[JobSpec]:
+    """Evenly spaced arrivals over a mixed pipeline population.
+
+    ``jobs_per_tenant > 1`` makes each tenant resubmit across rounds
+    (``tenant-i`` reappears every ``tenants`` arrivals) -- the repeat
+    customers that give fair-share scheduling a consumed-service
+    history to balance against.
+    """
+    _validate(tenants, pipelines, jobs_per_tenant)
+    rng = random.Random(seed)
+    jobs = []
+    for index in range(tenants * jobs_per_tenant):
+        pipeline = rng.choice(tuple(pipelines))
+        jobs.append(JobSpec(
+            tenant=f"tenant-{index % tenants}", pipeline=pipeline,
+            split=_materialized_split(rng, pipeline),
+            arrival=index * interval, epochs=epochs, threads=threads,
+            priority=_priority(rng)))
+    return jobs
+
+
+def bursty_trace(tenants: int, seed: int = 0,
+                 pipelines: Sequence[str] = DEFAULT_PIPELINE_MIX,
+                 burst_size: int = 4, burst_gap: float = 900.0,
+                 hot_share: float = 0.75, epochs: int = 2,
+                 threads: int = 8,
+                 jobs_per_tenant: int = 1) -> list[JobSpec]:
+    """Tight arrival bursts with a *hot* shared artifact.
+
+    ``hot_share`` of every burst requests the same (pipeline, strategy)
+    pair -- the many-users-one-dataset pattern where cross-tenant cache
+    sharing and offline dedup pay off.  ``jobs_per_tenant > 1`` cycles
+    the tenant population through later bursts.
+    """
+    _validate(tenants, pipelines, jobs_per_tenant)
+    if burst_size < 1:
+        raise ProfilingError("burst_size must be >= 1")
+    rng = random.Random(seed)
+    hot_pipeline = rng.choice(tuple(pipelines))
+    from repro.pipelines.registry import get_pipeline
+    hot_split = get_pipeline(hot_pipeline).strategy_names()[-1]
+    jobs = []
+    for index in range(tenants * jobs_per_tenant):
+        burst = index // burst_size
+        arrival = burst * burst_gap + (index % burst_size) * 1.0
+        if rng.random() < hot_share:
+            pipeline, split = hot_pipeline, hot_split
+        else:
+            pipeline = rng.choice(tuple(pipelines))
+            split = _materialized_split(rng, pipeline)
+        jobs.append(JobSpec(
+            tenant=f"tenant-{index % tenants}", pipeline=pipeline,
+            split=split, arrival=arrival, epochs=epochs, threads=threads,
+            priority=_priority(rng)))
+    return jobs
+
+
+def diurnal_trace(tenants: int, seed: int = 0,
+                  pipelines: Sequence[str] = DEFAULT_PIPELINE_MIX,
+                  period: float = 7200.0, epochs: int = 2,
+                  threads: int = 8,
+                  jobs_per_tenant: int = 1) -> list[JobSpec]:
+    """Arrivals drawn from a sinusoidal day/night intensity curve.
+
+    The ``period`` is divided into 24 "hours" whose arrival weight is
+    ``1 + sin``-shaped, peaking mid-period; tenants cluster in the peak
+    hours and leave the valleys nearly idle.
+    """
+    _validate(tenants, pipelines, jobs_per_tenant)
+    import math
+    rng = random.Random(seed)
+    buckets = 24
+    bucket_len = period / buckets
+    weights = [1.0 + math.sin(2 * math.pi * (hour + 0.5) / buckets -
+                              math.pi / 2) for hour in range(buckets)]
+    arrivals = sorted(
+        rng.choices(range(buckets), weights=weights, k=1)[0] * bucket_len
+        + rng.random() * bucket_len
+        for _ in range(tenants * jobs_per_tenant))
+    jobs = []
+    for index, arrival in enumerate(arrivals):
+        pipeline = rng.choice(tuple(pipelines))
+        jobs.append(JobSpec(
+            tenant=f"tenant-{index % tenants}", pipeline=pipeline,
+            split=_materialized_split(rng, pipeline),
+            arrival=arrival, epochs=epochs, threads=threads,
+            priority=_priority(rng)))
+    return jobs
+
+
+_GENERATORS = {
+    "steady": steady_trace,
+    "bursty": bursty_trace,
+    "diurnal": diurnal_trace,
+}
+
+
+def generate_trace(kind: str, tenants: int, seed: int = 0,
+                   **kwargs) -> list[JobSpec]:
+    """Generate a named trace shape (see :data:`TRACE_KINDS`)."""
+    if kind not in _GENERATORS:
+        raise ProfilingError(
+            f"unknown trace kind {kind!r}; known: {sorted(_GENERATORS)}")
+    return _GENERATORS[kind](tenants, seed=seed, **kwargs)
+
+
+def with_epochs(jobs: Sequence[JobSpec], epochs: int) -> list[JobSpec]:
+    """A copy of ``jobs`` with every epoch count replaced."""
+    return [replace(job, epochs=epochs) for job in jobs]
+
+
+def _validate(tenants: int, pipelines: Sequence[str],
+              jobs_per_tenant: int = 1) -> None:
+    if tenants < 1:
+        raise ProfilingError("need at least one tenant")
+    if not pipelines:
+        raise ProfilingError("need at least one candidate pipeline")
+    if jobs_per_tenant < 1:
+        raise ProfilingError("need at least one job per tenant")

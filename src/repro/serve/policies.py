@@ -1,0 +1,117 @@
+"""Scheduler policies for the multi-tenant preprocessing service.
+
+The service owns a fixed number of execution *slots* (concurrent jobs).
+Whenever a slot frees up -- or a job arrives while slots are free -- the
+active :class:`SchedulerPolicy` picks the next queued job.  Policies see
+the live queue plus a read-only view of service state (running jobs,
+per-tenant consumed service time, warm artifacts) and must be
+deterministic: ties are always broken by enqueue order.
+
+* :class:`FifoPolicy` -- arrival order, no tenant isolation.  Every
+  tenant materialises and caches its own private artifact copy.
+* :class:`FairSharePolicy` -- weighted max-min over consumed service
+  seconds: the queued job of the least-served tenant (scaled by its
+  priority) runs next.
+* :class:`CacheAwarePolicy` -- co-locates jobs whose artifact is *warm*
+  (currently running or already materialised) so they reuse shared page
+  cache chunks, and enables offline dedup: identical
+  ``(pipeline, split, compression)`` artifacts are materialised once and
+  shared across tenants.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence, Union
+
+from repro.errors import ProfilingError
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.serve.service import ServiceState, TenantJob
+
+
+class SchedulerPolicy:
+    """Deterministic pick-next-job policy.
+
+    ``share_artifacts`` additionally controls whether identical
+    artifacts are deduplicated (one offline materialisation, one shared
+    page-cache namespace) or kept per-tenant-private.
+    """
+
+    name = "base"
+    share_artifacts = False
+
+    def select(self, queue: Sequence["TenantJob"],
+               state: "ServiceState") -> "TenantJob":
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FifoPolicy(SchedulerPolicy):
+    """First come, first served; private artifacts."""
+
+    name = "fifo"
+
+    def select(self, queue, state):
+        return min(queue, key=lambda job: job.enqueue_index)
+
+
+class FairSharePolicy(SchedulerPolicy):
+    """Weighted fair sharing of service seconds across tenants.
+
+    The next job belongs to the tenant with the smallest
+    ``consumed_service_seconds / priority``; a premium tenant
+    (priority 2) is allowed twice the service time before others take
+    precedence.
+    """
+
+    name = "fair-share"
+
+    def select(self, queue, state):
+        return min(queue, key=lambda job: (
+            state.tenant_busy_seconds(job.spec.tenant) / job.spec.priority,
+            job.enqueue_index))
+
+
+class CacheAwarePolicy(SchedulerPolicy):
+    """Artifact-affinity scheduling plus offline dedup.
+
+    Queued jobs whose artifact is warm -- being produced or consumed by
+    a running job, or already materialised this service run -- jump the
+    queue (earliest-enqueued first), so shared chunks are re-read while
+    they are still resident.  Cold jobs fall back to FIFO order.
+    """
+
+    name = "cache-aware"
+    share_artifacts = True
+
+    def select(self, queue, state):
+        warm = state.warm_artifacts()
+        hot = [job for job in queue if job.artifact in warm]
+        candidates = hot or queue
+        return min(candidates, key=lambda job: job.enqueue_index)
+
+
+#: Registry used by the CLI and the policy sweep.
+POLICIES = {
+    policy.name: policy
+    for policy in (FifoPolicy, FairSharePolicy, CacheAwarePolicy)
+}
+
+POLICY_NAMES = tuple(POLICIES)
+
+
+def get_policy(spec: Union[str, SchedulerPolicy]) -> SchedulerPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(spec, SchedulerPolicy):
+        return spec
+    try:
+        return POLICIES[spec]()
+    except KeyError:
+        raise ProfilingError(
+            f"unknown scheduler policy {spec!r}; "
+            f"known: {sorted(POLICIES)}") from None

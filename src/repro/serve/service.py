@@ -1,0 +1,470 @@
+"""The multi-tenant preprocessing service simulator.
+
+:class:`PreprocessingService` runs J tenant jobs as first-class
+discrete-event processes inside **one** shared simulation: one
+:class:`~repro.sim.cluster.StorageCluster`, one
+:class:`~repro.sim.cpu.Machine` (CPU pool, GIL, dispatch lock and the
+shared OS page cache).  This replaces the closed-form fan-out formulas
+of :mod:`repro.core.distributed` with an actual co-simulation: storage
+link contention, metadata-service queueing, page-cache sharing and
+eviction, and CPU-pool oversubscription all emerge from the event
+model instead of being asserted.
+
+Execution model per job:
+
+1. sleep until the trace's arrival time;
+2. queue for one of ``slots`` execution slots; the active
+   :class:`~repro.serve.policies.SchedulerPolicy` picks who runs next;
+3. materialise the offline artifact (skipped when an identical artifact
+   is already being produced or was produced by another tenant and the
+   policy allows sharing);
+4. run ``epochs`` training epochs through the *same* epoch process
+   generator the single-job :class:`~repro.backends.SimulatedBackend`
+   uses, so the uncontended single-tenant limit of the service is
+   exactly a backend run.
+
+Per-tenant metrics (p50/p99 epoch time, stall fraction from the
+existing :class:`~repro.sim.trace.ResourceTrace`, cache hit ratio,
+SLO violations) aggregate into a :class:`ServiceReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Sequence
+
+from repro import calibration as cal
+from repro.backends.base import Environment, EpochResult, OfflineResult, \
+    RunConfig
+from repro.backends.simulated import SimulatedBackend
+from repro.errors import ProfilingError, SimulationError
+from repro.pipelines.base import SplitPlan
+from repro.serve.jobs import JobSpec
+from repro.serve.policies import SchedulerPolicy, get_policy
+from repro.sim.cluster import StorageCluster
+from repro.sim.cpu import Machine
+from repro.sim.events import Event, Simulation
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (deterministic, no NumPy).
+
+    ``q`` in [0, 100].  Matches ``numpy.percentile``'s default
+    behaviour for the small per-tenant epoch samples we feed it.
+    """
+    if not values:
+        raise ProfilingError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ProfilingError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass
+class TenantJob:
+    """Runtime state of one tenant job inside the service simulation."""
+
+    spec: JobSpec
+    plan: SplitPlan
+    config: RunConfig
+    enqueue_index: int = -1
+    grant_event: Optional[Event] = None
+    arrival: float = 0.0
+    granted: Optional[float] = None
+    finished: Optional[float] = None
+    offline: Optional[OfflineResult] = None
+    offline_shared: bool = False
+    epochs: list[EpochResult] = field(default_factory=list)
+    #: Uncontended analytic epoch seconds; basis of the SLO.
+    baseline_epoch_seconds: Optional[float] = None
+
+    @property
+    def artifact(self) -> tuple:
+        return self.spec.artifact
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds spent waiting for an execution slot."""
+        if self.granted is None:
+            return 0.0
+        return self.granted - self.arrival
+
+    @property
+    def epoch_durations(self) -> list[float]:
+        return [epoch.duration for epoch in self.epochs]
+
+    @property
+    def samples_processed(self) -> int:
+        return sum(epoch.samples for epoch in self.epochs)
+
+    @property
+    def throughput(self) -> float:
+        """Delivered samples/second over the job's online phase."""
+        online = sum(self.epoch_durations)
+        return self.samples_processed / online if online > 0 else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        """Thread-time fraction stalled, from the epoch resource traces."""
+        total = stalled = 0.0
+        for epoch in self.epochs:
+            if epoch.trace is None:
+                continue
+            total += epoch.trace.total_thread_seconds
+            stalled += epoch.trace.stall_seconds
+        return stalled / total if total > 0 else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of online bytes served from the shared page cache."""
+        storage = sum(epoch.bytes_from_storage for epoch in self.epochs)
+        cache = sum(epoch.bytes_from_cache for epoch in self.epochs)
+        total = storage + cache
+        return cache / total if total > 0 else 0.0
+
+    @property
+    def slo_seconds(self) -> Optional[float]:
+        """The per-epoch deadline: stretch x uncontended analytic time."""
+        if (self.spec.slo_stretch is None
+                or self.baseline_epoch_seconds is None):
+            return None
+        return self.spec.slo_stretch * self.baseline_epoch_seconds
+
+    @property
+    def slo_violations(self) -> int:
+        slo = self.slo_seconds
+        if slo is None:
+            return 0
+        return sum(1 for duration in self.epoch_durations
+                   if duration > slo)
+
+    def to_record(self) -> dict:
+        """One per-tenant row of the service report frame."""
+        durations = self.epoch_durations
+        return {
+            "tenant": self.spec.tenant,
+            "pipeline": self.spec.pipeline,
+            "strategy": self.spec.split,
+            "prio": self.spec.priority,
+            "arrival_s": self.arrival,
+            "queue_s": self.queue_delay,
+            "offline_s": (self.offline.duration if self.offline else 0.0),
+            "shared": self.offline_shared,
+            "p50_epoch_s": percentile(durations, 50) if durations else 0.0,
+            "p99_epoch_s": percentile(durations, 99) if durations else 0.0,
+            "sps": self.throughput,
+            "stall_frac": self.stall_fraction,
+            "cache_hit": self.cache_hit_ratio,
+            "slo_viol": self.slo_violations,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Everything the service measured about one trace under one policy."""
+
+    policy: str
+    slots: int
+    environment: Environment
+    tenants: list[TenantJob] = field(default_factory=list)
+    makespan: float = 0.0
+    #: Offline materialisations actually executed vs shared (deduped).
+    offline_runs: int = 0
+    offline_deduped: int = 0
+    #: Cluster-wide byte accounting over the whole run.
+    bytes_from_storage: float = 0.0
+    bytes_from_cache: float = 0.0
+    bytes_written: float = 0.0
+    files_opened: int = 0
+    metadata_peak_in_use: int = 0
+    page_cache_evictions: int = 0
+
+    @property
+    def aggregate_sps(self) -> float:
+        """Total delivered training samples over the service makespan."""
+        samples = sum(job.samples_processed for job in self.tenants)
+        return samples / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def total_slo_violations(self) -> int:
+        return sum(job.slo_violations for job in self.tenants)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if not self.tenants:
+            return 0.0
+        return sum(job.queue_delay for job in self.tenants) \
+            / len(self.tenants)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.bytes_from_storage + self.bytes_from_cache
+        return self.bytes_from_cache / total if total > 0 else 0.0
+
+    @property
+    def p99_epoch_seconds(self) -> float:
+        durations = [duration for job in self.tenants
+                     for duration in job.epoch_durations]
+        return percentile(durations, 99) if durations else 0.0
+
+    def tenant(self, name: str) -> TenantJob:
+        for job in self.tenants:
+            if job.spec.tenant == name:
+                return job
+        raise ProfilingError(f"no tenant {name!r} in this report")
+
+    def epoch_traces(self):
+        """Every measured epoch trace (the doctor's raw material)."""
+        return [epoch.trace for job in self.tenants
+                for epoch in job.epochs if epoch.trace is not None]
+
+
+class ServiceState:
+    """Read-only scheduler view over the live service simulation."""
+
+    def __init__(self, service: "PreprocessingService"):
+        self._service = service
+
+    @property
+    def now(self) -> float:
+        return self._service._sim.now
+
+    @property
+    def running(self) -> Sequence[TenantJob]:
+        return tuple(self._service._running)
+
+    def tenant_busy_seconds(self, tenant: str) -> float:
+        """Service seconds consumed by ``tenant`` (finished + running)."""
+        busy = self._service._tenant_busy.get(tenant, 0.0)
+        for job in self._service._running:
+            if job.spec.tenant == tenant and job.granted is not None:
+                busy += self.now - job.granted
+        return busy
+
+    def warm_artifacts(self) -> set:
+        """Artifacts currently running or already materialised."""
+        warm = {job.artifact for job in self._service._running}
+        warm.update(self._service._materialized)
+        return warm
+
+
+class PreprocessingService:
+    """Run a trace of tenant jobs on one shared simulated cluster."""
+
+    def __init__(self, policy="fifo", slots: int = 2,
+                 environment: Optional[Environment] = None,
+                 backend: Optional[SimulatedBackend] = None,
+                 materialize_offline: bool = True):
+        if slots < 1:
+            raise ProfilingError("need at least one execution slot")
+        self.policy: SchedulerPolicy = get_policy(policy)
+        self.slots = slots
+        self.environment = environment or Environment()
+        self.backend = backend or SimulatedBackend(self.environment)
+        #: ``False`` serves pre-materialised artifacts (fan-out studies):
+        #: offline phases are skipped entirely.
+        self.materialize_offline = materialize_offline
+        # Per-run state, initialised in run().
+        self._sim: Simulation = None  # type: ignore[assignment]
+        self._machine: Machine = None  # type: ignore[assignment]
+        self._cluster: StorageCluster = None  # type: ignore[assignment]
+        self._queue: list[TenantJob] = []
+        self._running: list[TenantJob] = []
+        self._free_slots = 0
+        self._tenant_busy: dict[str, float] = {}
+        self._materialized: set = set()
+        self._offline_events: dict[tuple, Event] = {}
+        self._enqueued = 0
+
+    # -- public entry point --------------------------------------------------
+
+    def run(self, jobs: Sequence[JobSpec]) -> ServiceReport:
+        """Simulate the full trace; returns the service report."""
+        if not jobs:
+            raise ProfilingError("cannot serve an empty trace")
+        tenant_jobs = [
+            TenantJob(spec=spec, plan=spec.resolve_plan(),
+                      config=spec.run_config())
+            for spec in jobs
+        ]
+        self._reset()
+        sim = self._sim
+        self._configure_link(tenant_jobs)
+        self._set_baselines(tenant_jobs)
+        processes = [sim.process(self._job_process(job),
+                                 name=f"job-{job.spec.tenant}")
+                     for job in tenant_jobs]
+        sim.run()
+        unfinished = [job.spec.tenant for job, process
+                      in zip(tenant_jobs, processes)
+                      if not process.triggered]
+        if unfinished:
+            raise SimulationError(
+                f"service drained with unfinished jobs: {unfinished}")
+        for process in processes:
+            if process._exception is not None:
+                raise process._exception
+        return self._report(tenant_jobs)
+
+    # -- simulation setup ----------------------------------------------------
+
+    def _reset(self) -> None:
+        environment = self.environment
+        sim = Simulation()
+        self._sim = sim
+        self._machine = Machine(
+            sim, cores=environment.cores,
+            ram_bytes=environment.ram_bytes,
+            page_cache_bytes=(cal.PAGE_CACHE_FRACTION
+                              * environment.ram_bytes),
+            memory_bw=environment.memory_bw,
+            memory_stream_bw=environment.memory_stream_bw,
+            dispatch_cost=cal.DISPATCH_COST,
+            dispatch_convoy=cal.DISPATCH_CONVOY,
+            gil_convoy=cal.GIL_CONVOY)
+        self._cluster = StorageCluster(sim, environment.storage,
+                                       memory_link=self._machine.memory_link)
+        self._queue = []
+        self._running = []
+        self._free_slots = self.slots
+        self._tenant_busy = {}
+        self._materialized = set()
+        self._offline_events = {}
+        self._enqueued = 0
+
+    def _configure_link(self, jobs: Sequence[TenantJob]) -> None:
+        """Pin the fair per-stream read share, as the backend does.
+
+        Uses the widest single job's thread count so a lone tenant sees
+        exactly the single-job backend's rates; under co-tenancy the
+        max-min allocation divides the aggregate further anyway.
+        """
+        storage = self.environment.storage
+        widest = max(job.config.threads for job in jobs)
+        self._cluster.read_link.per_stream_bw = min(
+            storage.stream_bw, storage.aggregate_bw / widest)
+
+    def _set_baselines(self, jobs: Sequence[TenantJob]) -> None:
+        """Uncontended analytic epoch time per job (the SLO anchor)."""
+        from repro.backends.analytic import AnalyticModel
+        model = AnalyticModel(self.environment)
+        for job in jobs:
+            estimate = model.estimate(job.plan, job.config)
+            if estimate.throughput > 0:
+                job.baseline_epoch_seconds = (
+                    job.plan.pipeline.sample_count / estimate.throughput)
+
+    # -- the per-job process -------------------------------------------------
+
+    def _job_process(self, job: TenantJob
+                     ) -> Generator[Event, None, None]:
+        sim = self._sim
+        if job.spec.arrival > 0:
+            yield sim.timeout(job.spec.arrival)
+        job.arrival = sim.now
+        job.grant_event = sim.event()
+        job.enqueue_index = self._enqueued
+        self._enqueued += 1
+        self._queue.append(job)
+        self._dispatch()
+        yield job.grant_event
+        job.granted = sim.now
+        try:
+            if self.materialize_offline and not job.plan.is_unprocessed:
+                yield from self._offline_phase(job)
+            stored = job.plan.materialized
+            if job.plan.is_unprocessed:
+                stored_bytes_ps = stored.bytes_per_sample
+            else:
+                stored_bytes_ps = stored.compressed_bytes_per_sample(
+                    job.config.compression)
+            namespace = self._namespace(job)
+            for epoch in range(job.config.epochs):
+                result = yield from self.backend.epoch_process(
+                    sim, self._machine, self._cluster, job.plan,
+                    job.config, epoch, stored_bytes_ps=stored_bytes_ps,
+                    chunk_namespace=namespace)
+                job.epochs.append(result)
+        finally:
+            job.finished = sim.now
+            self._release(job)
+
+    def _offline_phase(self, job: TenantJob
+                       ) -> Generator[Event, None, None]:
+        """Materialise the artifact, deduplicating across tenants when
+        the policy allows artifact sharing."""
+        key = self._dedup_key(job)
+        owner = self._offline_events.get(key)
+        if owner is not None:
+            # Another tenant is producing (or has produced) this exact
+            # artifact: wait for it instead of duplicating the work.
+            job.offline_shared = True
+            yield owner
+            return
+        event = self._sim.event()
+        self._offline_events[key] = event
+        result = yield from self.backend.offline_process(
+            self._sim, self._machine, self._cluster, job.plan, job.config)
+        job.offline = result
+        self._materialized.add(job.artifact)
+        event.succeed(result)
+
+    def _dedup_key(self, job: TenantJob) -> tuple:
+        """Offline-dedup identity: content key under sharing policies,
+        tenant-private otherwise."""
+        if self.policy.share_artifacts:
+            return job.artifact
+        return (job.spec.tenant,) + job.artifact
+
+    def _namespace(self, job: TenantJob) -> tuple:
+        """Page-cache chunk namespace; shared exactly when deduped."""
+        return self._dedup_key(job)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        state = ServiceState(self)
+        while self._free_slots > 0 and self._queue:
+            picked = self.policy.select(tuple(self._queue), state)
+            self._queue.remove(picked)
+            self._free_slots -= 1
+            self._running.append(picked)
+            picked.grant_event.succeed()
+
+    def _release(self, job: TenantJob) -> None:
+        self._running.remove(job)
+        self._free_slots += 1
+        if job.granted is not None:
+            self._tenant_busy[job.spec.tenant] = (
+                self._tenant_busy.get(job.spec.tenant, 0.0)
+                + (job.finished - job.granted))
+        self._dispatch()
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self, jobs: list[TenantJob]) -> ServiceReport:
+        report = ServiceReport(
+            policy=self.policy.name, slots=self.slots,
+            environment=self.environment, tenants=jobs,
+            makespan=max(job.finished for job in jobs),
+            offline_runs=sum(1 for job in jobs
+                             if job.offline is not None),
+            offline_deduped=sum(1 for job in jobs if job.offline_shared),
+            bytes_from_storage=sum(
+                epoch.bytes_from_storage
+                for job in jobs for epoch in job.epochs),
+            bytes_from_cache=sum(
+                epoch.bytes_from_cache
+                for job in jobs for epoch in job.epochs),
+            bytes_written=self._cluster.bytes_written,
+            files_opened=self._cluster.files_opened,
+            metadata_peak_in_use=self._cluster.metadata.peak_in_use,
+            page_cache_evictions=self._machine.page_cache.evictions,
+        )
+        return report

@@ -1,0 +1,98 @@
+"""Policy sweeps: one trace, every scheduler, side by side.
+
+Reuses the exec layer's executor abstraction
+(:func:`repro.exec.executors.resolve_executor`) so policy runs fan out
+exactly like profiling jobs do, with results always in submission
+order, so a concurrent sweep renders byte-identically to a serial one.
+Note the executor is a *determinism* lever, not a speed lever: service
+reports carry live plans (step lambdas) that cannot pickle back from a
+process pool, so process specs are downgraded to a thread pool -- and
+the DES is pure Python, so threads serialize on the GIL anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.backends.base import Environment
+from repro.core.frame import Frame
+from repro.exec.executors import (ExecutorSpec, ProcessExecutor,
+                                  ThreadExecutor, resolve_executor)
+from repro.serve.doctor import diagnose_service
+from repro.serve.jobs import JobSpec
+from repro.serve.policies import POLICY_NAMES
+from repro.serve.service import PreprocessingService, ServiceReport
+
+
+@dataclass(frozen=True)
+class _PolicyPayload:
+    """One policy run, picklable for process pools."""
+
+    policy: str
+    jobs: tuple
+    slots: int
+    environment: Optional[Environment]
+
+
+def _run_policy(payload: _PolicyPayload) -> ServiceReport:
+    service = PreprocessingService(
+        policy=payload.policy, slots=payload.slots,
+        environment=payload.environment)
+    return service.run(list(payload.jobs))
+
+
+@dataclass
+class PolicySweepResult:
+    """Reports for one trace under several policies, submission order."""
+
+    reports: list[ServiceReport] = field(default_factory=list)
+
+    def report(self, policy: str) -> ServiceReport:
+        for report in self.reports:
+            if report.policy == policy:
+                return report
+        raise KeyError(f"no report for policy {policy!r}")
+
+    def frame(self) -> Frame:
+        """One comparison row per policy."""
+        records = []
+        for report in self.reports:
+            diagnosis = diagnose_service(report)
+            records.append({
+                "policy": report.policy,
+                "makespan_s": report.makespan,
+                "aggregate_sps": report.aggregate_sps,
+                "p99_epoch_s": report.p99_epoch_seconds,
+                "mean_queue_s": report.mean_queue_delay,
+                "cache_hit": report.cache_hit_ratio,
+                "offline_runs": report.offline_runs,
+                "deduped": report.offline_deduped,
+                "slo_viol": report.total_slo_violations,
+                "bound": diagnosis.dominant,
+            })
+        return Frame.from_records(records)
+
+    def best_policy(self) -> str:
+        """Highest aggregate throughput (ties: first submitted)."""
+        return max(self.reports,
+                   key=lambda report: report.aggregate_sps).policy
+
+
+def sweep_policies(jobs: Sequence[JobSpec],
+                   policies: Sequence[str] = POLICY_NAMES,
+                   slots: int = 2,
+                   environment: Optional[Environment] = None,
+                   executor: ExecutorSpec = None) -> PolicySweepResult:
+    """Run ``jobs`` under every policy; results in ``policies`` order."""
+    payloads = [_PolicyPayload(policy=policy, jobs=tuple(jobs),
+                               slots=slots, environment=environment)
+                for policy in policies]
+    resolved = resolve_executor(executor)
+    if isinstance(resolved, ProcessExecutor):
+        # Service reports carry live plans (step lambdas) and do not
+        # pickle back across process boundaries; run on threads instead,
+        # exactly like the sweep engine downgrades non-portable jobs.
+        resolved = ThreadExecutor(resolved.jobs)
+    reports = resolved.map(_run_policy, payloads)
+    return PolicySweepResult(reports=list(reports))

@@ -99,6 +99,81 @@ class TestFanOut:
             distributed.estimate_fan_out(plan, CONFIG, 2, 0)
 
 
+class TestEstimateProperties:
+    """Direct unit tests of the estimator dataclasses themselves."""
+
+    def test_offline_duration_is_the_binding_component(self):
+        estimate = distributed.DistributedOfflineEstimate(
+            workers=4, cpu_seconds=10.0, read_seconds=40.0,
+            write_seconds=5.0, open_seconds=1.0)
+        assert estimate.duration == 40.0
+        assert estimate.bottleneck == "storage-read"
+
+    def test_offline_bottleneck_names_every_component(self):
+        cases = {
+            "worker-cpu": dict(cpu_seconds=9.0, read_seconds=1.0,
+                               write_seconds=1.0, open_seconds=1.0),
+            "storage-read": dict(cpu_seconds=1.0, read_seconds=9.0,
+                                 write_seconds=1.0, open_seconds=1.0),
+            "storage-write": dict(cpu_seconds=1.0, read_seconds=1.0,
+                                  write_seconds=9.0, open_seconds=1.0),
+            "metadata": dict(cpu_seconds=1.0, read_seconds=1.0,
+                             write_seconds=1.0, open_seconds=9.0),
+        }
+        for expected, parts in cases.items():
+            estimate = distributed.DistributedOfflineEstimate(
+                workers=1, **parts)
+            assert estimate.bottleneck == expected
+            assert estimate.duration == 9.0
+
+    def test_fan_out_delivered_is_min_of_job_and_link(self):
+        wide = distributed.FanOutEstimate(
+            trainers=2, per_trainer_sps=100.0, link_bound_sps=500.0)
+        assert wide.delivered_sps == 100.0
+        assert not wide.network_is_bottleneck
+        narrow = distributed.FanOutEstimate(
+            trainers=8, per_trainer_sps=100.0, link_bound_sps=60.0)
+        assert narrow.delivered_sps == 60.0
+        assert narrow.network_is_bottleneck
+
+    def test_offline_cpu_divides_by_workers_and_cores(self):
+        """Doubling workers halves the CPU component, leaves the shared
+        storage components untouched."""
+        plan = get_pipeline("CV2-PNG").split_at("decoded")
+        one = distributed.estimate_distributed_offline(plan, CONFIG, 1)
+        two = distributed.estimate_distributed_offline(plan, CONFIG, 2)
+        assert two.cpu_seconds == pytest.approx(one.cpu_seconds / 2)
+        assert two.read_seconds == one.read_seconds
+        assert two.write_seconds == one.write_seconds
+        assert two.open_seconds == one.open_seconds
+
+
+class TestFrameBuilders:
+    """Direct tests of the report-frame builders."""
+
+    def test_offline_scaling_frame_columns_and_base_speedup(self):
+        plan = get_pipeline("CV2-PNG").split_at("decoded")
+        frame = distributed.offline_scaling_frame(
+            plan, CONFIG, worker_counts=(1, 2, 4))
+        assert frame.columns == ["workers", "hours", "speedup",
+                                 "bottleneck"]
+        rows = list(frame.rows())
+        assert [row["workers"] for row in rows] == [1, 2, 4]
+        assert rows[0]["speedup"] == 1.0
+        assert all(row["speedup"] >= 1.0 for row in rows)
+
+    def test_fan_out_frame_columns_and_widths(self):
+        plan = get_pipeline("MP3").split_at("spectrogram-encoded")
+        frame = distributed.fan_out_frame(plan, CONFIG,
+                                          single_job_sps=5000,
+                                          trainer_counts=(1, 8))
+        assert frame.columns == ["trainers", "delivered_sps",
+                                 "network_bound"]
+        rows = list(frame.rows())
+        assert [row["trainers"] for row in rows] == [1, 8]
+        assert rows[0]["delivered_sps"] == pytest.approx(5000)
+
+
 class TestCrossValidation:
     def test_fan_out_consistent_with_link_bound(self):
         """The fan-out link bound matches aggregate_bw / (bytes * J)."""
@@ -107,3 +182,16 @@ class TestCrossValidation:
         bytes_ps = plan.materialized.bytes_per_sample
         expected = 910e6 / (bytes_ps * 4)
         assert estimate.link_bound_sps == pytest.approx(expected, rel=1e-6)
+
+    def test_single_tenant_serve_converges_to_the_estimate(self):
+        """ISSUE acceptance: the DES serve result matches the analytic
+        fan-out estimate within 5% in the uncontended one-tenant limit
+        (the serve-side twin lives in tests/serve/test_crosscheck.py)."""
+        from repro.serve import simulate_fan_out
+        plan = get_pipeline("FLAC").split_at("spectrogram-encoded")
+        config = RunConfig(threads=8, epochs=1)
+        single = SimulatedBackend().run(plan, config).throughput
+        analytic = distributed.estimate_fan_out(plan, config, 1, single)
+        report = simulate_fan_out(plan, config, trainers=1)
+        assert report.tenants[0].throughput == pytest.approx(
+            analytic.delivered_sps, rel=0.05)

@@ -1,10 +1,13 @@
-"""Golden regression tests for ``presto sweep`` / ``presto diagnose``.
+"""Golden regression tests for ``presto sweep`` / ``diagnose`` / ``serve``.
 
-Three pipelines (MP3, FLAC, NILM) are covered by both commands.  The
-simulated backend is a deterministic DES, so byte-identical output is
-the contract -- any drift (model changes, report format changes,
-ranking changes) must show up here and be acknowledged by regenerating
-the goldens with ``pytest tests/golden --update-golden``.
+Three pipelines (MP3, FLAC, NILM) are covered by the profiling
+commands, and the serving layer pins two trace/policy combinations
+(the steady baseline under FIFO, and the contended bursty scenario
+under the cache-aware policy).  The simulated backend is a
+deterministic DES, so byte-identical output is the contract -- any
+drift (model changes, report format changes, ranking changes) must
+show up here and be acknowledged by regenerating the goldens with
+``pytest tests/golden --update-golden``.
 """
 
 import pytest
@@ -21,6 +24,14 @@ DIAGNOSE_CASES = {
     "diagnose_nilm": ["diagnose", "NILM", "--threads", "4"],
 }
 
+SERVE_CASES = {
+    "serve_steady_fifo": ["serve", "--tenants", "4", "--policy", "fifo",
+                          "--trace", "steady", "--seed", "0"],
+    "serve_bursty_cache_aware": ["serve", "--tenants", "8", "--policy",
+                                 "cache-aware", "--trace", "bursty",
+                                 "--seed", "0"],
+}
+
 
 @pytest.mark.parametrize("name", sorted(SWEEP_CASES))
 def test_sweep_output_matches_golden(golden, name):
@@ -30,6 +41,11 @@ def test_sweep_output_matches_golden(golden, name):
 @pytest.mark.parametrize("name", sorted(DIAGNOSE_CASES))
 def test_diagnose_output_matches_golden(golden, name):
     golden.check(name, DIAGNOSE_CASES[name])
+
+
+@pytest.mark.parametrize("name", sorted(SERVE_CASES))
+def test_serve_output_matches_golden(golden, name):
+    golden.check(name, SERVE_CASES[name])
 
 
 def test_diagnose_attribution_is_well_formed(golden, capsys):

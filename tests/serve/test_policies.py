@@ -1,0 +1,100 @@
+"""Unit tests for scheduler policies (against a stub service state)."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.serve import (CacheAwarePolicy, FairSharePolicy, FifoPolicy,
+                         JobSpec, get_policy)
+from repro.serve.service import TenantJob
+
+
+class _StubState:
+    """Just enough ServiceState for policy.select()."""
+
+    def __init__(self, busy=None, warm=None):
+        self._busy = busy or {}
+        self._warm = warm or set()
+
+    def tenant_busy_seconds(self, tenant):
+        return self._busy.get(tenant, 0.0)
+
+    def warm_artifacts(self):
+        return set(self._warm)
+
+
+def _job(tenant, index, pipeline="MP3", split="decoded", priority=1.0):
+    spec = JobSpec(tenant=tenant, pipeline=pipeline, split=split,
+                   priority=priority)
+    job = TenantJob(spec=spec, plan=spec.resolve_plan(),
+                    config=spec.run_config())
+    job.enqueue_index = index
+    return job
+
+
+class TestGetPolicy:
+    def test_resolves_names_and_instances(self):
+        assert isinstance(get_policy("fifo"), FifoPolicy)
+        assert isinstance(get_policy("fair-share"), FairSharePolicy)
+        aware = CacheAwarePolicy()
+        assert get_policy(aware) is aware
+
+    def test_unknown_name(self):
+        with pytest.raises(ProfilingError):
+            get_policy("round-robin")
+
+    def test_only_cache_aware_shares_artifacts(self):
+        assert not FifoPolicy().share_artifacts
+        assert not FairSharePolicy().share_artifacts
+        assert CacheAwarePolicy().share_artifacts
+
+
+class TestFifo:
+    def test_picks_earliest_enqueued(self):
+        queue = [_job("b", 1), _job("a", 0), _job("c", 2)]
+        assert FifoPolicy().select(queue, _StubState()).spec.tenant == "a"
+
+
+class TestFairShare:
+    def test_prefers_least_served_tenant(self):
+        queue = [_job("hog", 0), _job("starved", 1)]
+        state = _StubState(busy={"hog": 1000.0, "starved": 0.0})
+        picked = FairSharePolicy().select(queue, state)
+        assert picked.spec.tenant == "starved"
+
+    def test_priority_scales_the_share(self):
+        # Premium tenant consumed twice as much but at weight 2 its
+        # normalized share ties the best-effort tenant; the tie breaks
+        # by enqueue order.
+        queue = [_job("premium", 0, priority=2.0), _job("basic", 1)]
+        state = _StubState(busy={"premium": 200.0, "basic": 100.0})
+        assert FairSharePolicy().select(
+            queue, state).spec.tenant == "premium"
+        state = _StubState(busy={"premium": 400.0, "basic": 100.0})
+        assert FairSharePolicy().select(
+            queue, state).spec.tenant == "basic"
+
+    def test_falls_back_to_fifo_when_untouched(self):
+        queue = [_job("b", 1), _job("a", 0)]
+        assert FairSharePolicy().select(
+            queue, _StubState()).spec.tenant == "a"
+
+
+class TestCacheAware:
+    def test_prefers_warm_artifacts(self):
+        cold = _job("cold", 0, split="spectrogram-encoded")
+        warm = _job("warm", 1, split="decoded")
+        state = _StubState(warm={warm.artifact})
+        picked = CacheAwarePolicy().select([cold, warm], state)
+        assert picked.spec.tenant == "warm"
+
+    def test_falls_back_to_fifo_when_nothing_is_warm(self):
+        queue = [_job("b", 1), _job("a", 0)]
+        assert CacheAwarePolicy().select(
+            queue, _StubState()).spec.tenant == "a"
+
+    def test_warm_ties_break_by_enqueue_order(self):
+        first = _job("x", 0, split="decoded")
+        second = _job("y", 1, split="decoded")
+        state = _StubState(warm={first.artifact})
+        assert CacheAwarePolicy().select(
+            [second, first], state).spec.tenant == "x"

@@ -1,0 +1,85 @@
+"""Tests for cluster-level service diagnosis."""
+
+import pytest
+
+from repro.diagnosis import BottleneckDoctor
+from repro.errors import DiagnosisError
+from repro.serve import (JobSpec, PreprocessingService, bursty_trace,
+                         diagnose_service)
+from repro.serve.doctor import ServiceDiagnosis, cluster_fractions
+from repro.serve.service import ServiceReport
+
+
+@pytest.fixture(scope="module")
+def contended_reports():
+    """One bursty 6-tenant trace under fifo and cache-aware."""
+    trace = bursty_trace(tenants=6, seed=0)
+    return {
+        policy: PreprocessingService(policy=policy, slots=2).run(trace)
+        for policy in ("fifo", "cache-aware")
+    }
+
+
+class TestClusterFractions:
+    def test_fractions_sum_to_one(self, contended_reports):
+        for report in contended_reports.values():
+            fractions = cluster_fractions(report)
+            assert set(fractions) == {"cpu", "storage", "decode", "stall"}
+            assert all(value >= 0 for value in fractions.values())
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_traceless_report_is_all_stall(self):
+        report = ServiceReport(policy="fifo", slots=1, environment=None)
+        assert cluster_fractions(report)["stall"] == 1.0
+
+
+class TestDiagnoseService:
+    def test_findings_ranked_by_severity(self, contended_reports):
+        diagnosis = diagnose_service(contended_reports["fifo"])
+        assert isinstance(diagnosis, ServiceDiagnosis)
+        severities = [finding.severity for finding in diagnosis.findings]
+        assert severities == sorted(severities, reverse=True)
+        assert diagnosis.top_finding is diagnosis.findings[0]
+
+    def test_duplicate_offline_flagged_only_without_dedup(
+            self, contended_reports):
+        fifo_kinds = {finding.kind for finding in diagnose_service(
+            contended_reports["fifo"]).findings}
+        aware_kinds = {finding.kind for finding in diagnose_service(
+            contended_reports["cache-aware"]).findings}
+        assert "duplicate-offline" in fifo_kinds
+        assert "duplicate-offline" not in aware_kinds
+
+    def test_markdown_contains_policy_and_findings(self, contended_reports):
+        diagnosis = diagnose_service(contended_reports["fifo"])
+        text = diagnosis.to_markdown()
+        assert "cluster diagnosis [fifo]" in text
+        assert "bound on" in text
+        for rank in range(1, len(diagnosis.findings) + 1):
+            assert f"{rank}." in text
+
+    def test_empty_report_raises(self):
+        with pytest.raises(DiagnosisError):
+            diagnose_service(ServiceReport(policy="fifo", slots=1,
+                                           environment=None))
+
+    def test_queue_pressure_on_starved_slots(self):
+        """Many simultaneous arrivals on one slot must surface queueing."""
+        trace = [JobSpec(tenant=f"t{i}", pipeline="MP3",
+                         split="spectrogram-encoded", epochs=1)
+                 for i in range(4)]
+        report = PreprocessingService(policy="fifo", slots=1).run(trace)
+        kinds = {finding.kind
+                 for finding in diagnose_service(report).findings}
+        assert "queue-pressure" in kinds
+
+
+class TestBottleneckDoctorIntegration:
+    def test_doctor_delegates_to_the_serve_layer(self, contended_reports):
+        doctor = BottleneckDoctor()
+        diagnosis = doctor.diagnose_service(contended_reports["fifo"])
+        reference = diagnose_service(contended_reports["fifo"])
+        assert diagnosis.policy == reference.policy
+        assert diagnosis.fractions == reference.fractions
+        assert [finding.kind for finding in diagnosis.findings] == \
+            [finding.kind for finding in reference.findings]

@@ -119,6 +119,34 @@ def test_fanout_with_explicit_strategy(capsys):
     assert "network_bound" in capsys.readouterr().out
 
 
+def test_fanout_simulate_crosschecks_the_closed_form(capsys):
+    assert main(["fanout", "MP3", "--simulate", "--trainers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "analytic_sps" in out
+    assert "simulated_sps" in out
+    assert "co-simulating" in out
+
+
+def test_serve_command(capsys):
+    assert main(["serve", "--tenants", "3", "--policy", "fifo",
+                 "--trace", "steady", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "## serve: 3 tenants" in out
+    assert "p99_epoch_s" in out
+    assert "service [fifo]" in out
+    assert "cluster diagnosis [fifo]" in out
+
+
+def test_serve_policy_comparison(capsys):
+    assert main(["serve", "--tenants", "4", "--policy", "all",
+                 "--trace", "bursty", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "policies compared" in out
+    assert "best policy by aggregate throughput:" in out
+    for policy in ("fifo", "fair-share", "cache-aware"):
+        assert f"cluster diagnosis [{policy}]" in out
+
+
 def test_profile_with_jobs_and_cache(tmp_path, capsys):
     cache_dir = str(tmp_path / "profiles")
     assert main(["profile", "MP3", "--jobs", "2",

@@ -1,19 +1,25 @@
 #!/usr/bin/env python
-"""Line-coverage floor for the diagnosis subsystem (stdlib only).
+"""Line-coverage floor for one ``repro`` subpackage (stdlib only).
 
 The container has no ``coverage``/``pytest-cov``, so this tool measures
-line coverage of ``src/repro/diagnosis/`` with a scoped ``sys.settrace``
+line coverage of a package under ``src/`` with a scoped ``sys.settrace``
 hook: the global tracer only descends into frames whose code lives in
-the diagnosis package, so the rest of the suite runs untraced (and
+the target package, so the rest of the suite runs untraced (and
 unslowed).  Executable lines come from the compiled code objects'
 ``co_lines`` tables.
 
 Usage::
 
     PYTHONPATH=src python tools/diagnosis_coverage.py --floor 80
+    PYTHONPATH=src python tools/diagnosis_coverage.py \
+        --package repro.serve --floor 80
 
-Exits non-zero when total coverage over the package falls below the
-floor.  Wired up as ``make coverage``.
+``--package`` selects the dotted package (default ``repro.diagnosis``,
+the tool's original and namesake target); ``--tests`` overrides the
+pytest target (default: ``tests/<last package component>``).  Exits
+non-zero when total coverage falls below the floor.  Wired up as
+``make coverage``, which enforces the floor on both the diagnosis and
+the serve subsystems.
 """
 
 from __future__ import annotations
@@ -25,11 +31,9 @@ import types
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-PACKAGE_DIR = REPO / "src" / "repro" / "diagnosis"
-TEST_ARGS = ["tests/diagnosis", "-q", "--no-header"]
 
 _executed: dict[str, set[int]] = {}
-_prefix = str(PACKAGE_DIR)
+_prefix = ""
 
 
 def _local_tracer(frame, event, arg):
@@ -60,29 +64,31 @@ def executable_lines(path: Path) -> set[int]:
     return lines
 
 
-def run_suite() -> int:
+def run_suite(package: str, test_args: list[str]) -> int:
     """Import the package and run its tests under the scoped tracer."""
-    # Drop pre-imported diagnosis modules so module-level lines
+    # Drop pre-imported target modules so module-level lines
     # (imports, class bodies) execute -- and count -- under the tracer.
     for name in [name for name in sys.modules
-                 if name.startswith("repro.diagnosis")]:
+                 if name == package or name.startswith(package + ".")]:
         del sys.modules[name]
+    import importlib
+
     import pytest
     threading.settrace(_global_tracer)
     sys.settrace(_global_tracer)
     try:
-        import repro.diagnosis  # noqa: F401  (module-level coverage)
-        return pytest.main(TEST_ARGS)
+        importlib.import_module(package)  # module-level coverage
+        return pytest.main(test_args)
     finally:
         sys.settrace(None)
         threading.settrace(None)  # type: ignore[arg-type]
 
 
-def report(floor: float) -> int:
+def report(package_dir: Path, floor: float) -> int:
     total_executable = 0
     total_covered = 0
     print(f"{'file':44s} {'lines':>6s} {'cov':>6s}")
-    for path in sorted(PACKAGE_DIR.glob("*.py")):
+    for path in sorted(package_dir.glob("*.py")):
         executable = executable_lines(path)
         covered = executable & _executed.get(str(path), set())
         total_executable += len(executable)
@@ -94,22 +100,35 @@ def report(floor: float) -> int:
     print(f"{'TOTAL':44s} {total_executable:6d} {total:6.1%}"
           f"   (floor {floor:.0%})")
     if total < floor:
-        print(f"FAIL: diagnosis coverage {total:.1%} is below the "
-              f"{floor:.0%} floor", file=sys.stderr)
+        print(f"FAIL: {package_dir.name} coverage {total:.1%} is below "
+              f"the {floor:.0%} floor", file=sys.stderr)
         return 1
     return 0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--package", default="repro.diagnosis",
+                        help="dotted package under src/ to measure "
+                             "(default: repro.diagnosis)")
+    parser.add_argument("--tests", default=None,
+                        help="pytest target (default: tests/<package "
+                             "tail>)")
     parser.add_argument("--floor", type=float, default=80.0,
                         help="minimum total coverage percent (default 80)")
     args = parser.parse_args()
-    exit_code = run_suite()
+    package_dir = REPO / "src" / Path(*args.package.split("."))
+    if not package_dir.is_dir():
+        print(f"FAIL: no package directory {package_dir}", file=sys.stderr)
+        return 2
+    tests = args.tests or f"tests/{args.package.split('.')[-1]}"
+    global _prefix
+    _prefix = str(package_dir)
+    exit_code = run_suite(args.package, [tests, "-q", "--no-header"])
     if exit_code != 0:
-        print("FAIL: diagnosis test suite failed", file=sys.stderr)
+        print(f"FAIL: {args.package} test suite failed", file=sys.stderr)
         return exit_code
-    return report(args.floor / 100.0)
+    return report(package_dir, args.floor / 100.0)
 
 
 if __name__ == "__main__":
