@@ -1,11 +1,13 @@
 # Convenience targets for the PRESTO reproduction.
 #
-#   make test      tier-1 test suite (unit + benchmark harness)
-#   make smoke     parallel-sweep determinism smoke (tools/sweep_smoke.py)
-#   make sweep     full-catalog profile of the seven paper pipelines
-#   make golden    regenerate the golden CLI outputs (eyeball the diff!)
-#   make coverage  line-coverage floors (diagnosis + serve subsystems)
-#   make bench     write the BENCH_serve.json performance snapshot
+#   make test         tier-1 test suite (unit + benchmark harness)
+#   make smoke        parallel-sweep determinism smoke (tools/sweep_smoke.py)
+#   make sweep        full-catalog profile of the seven paper pipelines
+#   make golden       regenerate the golden CLI outputs (eyeball the diff!)
+#   make coverage     line-coverage floors (diagnosis + serve subsystems)
+#   make bench        write the BENCH_serve.json performance snapshot
+#   make bench-check  CI perf smoke: assert the pinned scenario's
+#                     deterministic event count (never wall time)
 
 PYTHON ?= python
 PYTHONPATH := src
@@ -13,7 +15,8 @@ PYTHONPATH := src
 #: Minimum line coverage (percent) of the measured subsystems.
 COVERAGE_FLOOR ?= 80
 
-.PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve bench
+.PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve \
+	bench bench-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -36,4 +39,7 @@ coverage-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.serve --floor $(COVERAGE_FLOOR)
 
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_snapshot.py --output BENCH_serve.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_serve.py --output BENCH_serve.json
+
+bench-check:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_serve.py --check

@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Kernel performance suite (``make bench`` / ``make bench-check``).
+
+Runs the pinned scenarios from :mod:`scenarios` and writes
+``BENCH_serve.json``:
+
+* **sweep**       -- MP3+FLAC strategy sweep (profiling hot path);
+* **serve**       -- the scaled serve scenarios (8/64/128 tenants and
+                     the storage-thrashing hot-raw variant);
+* **link10k**     -- the pure-kernel 10k-transfer link microbenchmark;
+* **kernel_comparison** -- wall seconds and events/sec of the pre-PR
+                     O(n)-rescan kernel vs this checkout, as measured on
+                     the machine that recorded the snapshot.
+
+Wall seconds are machine-dependent -- track the trend, not the absolute.
+The simulated metrics and the *event counts* are deterministic: they
+must only change when the model changes.  ``--check`` replays just the
+pinned 64-tenant scenario and asserts its event count and makespan
+against ``baseline.json``; CI runs that instead of wall-clock
+assertions, which would flake.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py [--output F]
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py --check
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py --update-baseline
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py --full   # + registry sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import scenarios  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+#: Pre-PR kernel numbers (commit a3db386, the O(n)-rescan link and the
+#: allocation-heavy event loop), measured on the same host that recorded
+#: the committed BENCH_serve.json.  Events/sec uses the events *scheduled*
+#: by the old kernel, which had no processed-events counter.
+PRE_PR = {
+    "commit": "a3db386",
+    "serve64": {"wall_seconds": 9.62, "events": 2143904},
+    "serve64_hot_raw": {"wall_seconds": 21.63, "events": 3914950},
+    "serve128": {"wall_seconds": 19.54, "events": 4057468},
+    "link10k": {"wall_seconds": 0.598, "events": 22912},
+}
+
+
+def _comparison(post: dict) -> dict:
+    """Pre-PR vs this-run wall/event-rate table."""
+    table = {"pre_pr_commit": PRE_PR["commit"],
+             "note": ("pre-PR numbers measured on the host that recorded "
+                      "this snapshot; compare trends, not absolutes")}
+    for name, before in PRE_PR.items():
+        if name == "commit" or name not in post:
+            continue
+        after = post[name]
+        table[name] = {
+            "pre_pr_wall_seconds": before["wall_seconds"],
+            "wall_seconds": after["wall_seconds"],
+            "speedup": round(before["wall_seconds"]
+                             / max(after["wall_seconds"], 1e-9), 2),
+            "pre_pr_events_per_sec": int(before["events"]
+                                         / before["wall_seconds"]),
+            "events_per_sec": after["events_per_sec"],
+        }
+    return table
+
+
+def run_suite(full: bool = False) -> dict:
+    serve = {name: scenarios.run_serve_scenario(name)
+             for name in scenarios.SERVE_SCENARIOS}
+    link = scenarios.run_link_microbench()
+    snapshot = {
+        "schema": 2,
+        "python": platform.python_version(),
+        "sweep": scenarios.run_sweep(),
+        "serve": serve,
+        "link10k": link,
+    }
+    if full:
+        snapshot["sweep_full"] = scenarios.run_sweep_full()
+    # Flatten the single-policy scenarios for the comparison table.
+    post = {"link10k": link}
+    for name, payload in serve.items():
+        policies = payload["policies"]
+        if len(policies) == 1:
+            post[name] = next(iter(policies.values()))
+    snapshot["kernel_comparison"] = _comparison(post)
+    return snapshot
+
+
+def check_against_baseline() -> int:
+    """CI perf smoke: replay the pinned scenario, assert event counts.
+
+    Event counts (not wall seconds) keep the check flake-free: the DES
+    is deterministic, so a changed count means the model or the kernel's
+    event structure changed -- which must be an acknowledged decision
+    (``--update-baseline``), never an accident.
+    """
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run --update-baseline",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    checked = []
+    for name in scenarios.CHECK_SCENARIOS:
+        result = scenarios.run_serve_scenario(name)
+        for policy, metrics in result["policies"].items():
+            expected = baseline["serve"][name][policy]
+            for key in ("events", "makespan_s"):
+                if metrics[key] != expected[key]:
+                    failures.append(
+                        f"{name}[{policy}].{key}: expected "
+                        f"{expected[key]}, got {metrics[key]}")
+            checked.append(f"{name} events={metrics['events']}")
+    link = scenarios.run_link_microbench()
+    for key in ("events", "simulated_seconds"):
+        if link[key] != baseline["link10k"][key]:
+            failures.append(f"link10k.{key}: expected "
+                            f"{baseline['link10k'][key]}, got {link[key]}")
+    checked.append(f"link10k events={link['events']}")
+    if failures:
+        print("bench-check FAILED (deterministic cost drifted):")
+        for failure in failures:
+            print(f"  {failure}")
+        print("intentional? refresh with "
+              "`python benchmarks/perf/bench_serve.py --update-baseline`")
+        return 1
+    print("bench-check OK: " + ", ".join(checked))
+    return 0
+
+
+def update_baseline() -> int:
+    payload = {"serve": {}, "link10k": {}}
+    for name in scenarios.CHECK_SCENARIOS:
+        payload["serve"][name] = {
+            policy: {"events": metrics["events"],
+                     "makespan_s": metrics["makespan_s"]}
+            for policy, metrics in
+            scenarios.run_serve_scenario(name)["policies"].items()
+        }
+    link = scenarios.run_link_microbench()
+    payload["link10k"] = {"events": link["events"],
+                          "simulated_seconds": link["simulated_seconds"]}
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2,
+                                        sort_keys=True) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_serve.json",
+                        help="where to write the snapshot")
+    parser.add_argument("--check", action="store_true",
+                        help="replay the pinned scenario and assert the "
+                             "deterministic event count (CI smoke)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="refresh benchmarks/perf/baseline.json")
+    parser.add_argument("--full", action="store_true",
+                        help="also run the full-registry sweep (slow)")
+    args = parser.parse_args()
+    if args.check:
+        return check_against_baseline()
+    if args.update_baseline:
+        return update_baseline()
+    snapshot = run_suite(full=args.full)
+    path = Path(args.output)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    for name, payload in snapshot["serve"].items():
+        for policy, metrics in payload["policies"].items():
+            print(f"  serve[{name}/{policy}]: {metrics['wall_seconds']}s "
+                  f"wall, {metrics['events']} events "
+                  f"({metrics['events_per_sec']}/s)")
+    link = snapshot["link10k"]
+    print(f"  link10k: {link['wall_seconds']}s wall, "
+          f"{link['events']} events ({link['events_per_sec']}/s)")
+    for name in ("serve64", "serve64_hot_raw", "serve128", "link10k"):
+        comparison = snapshot["kernel_comparison"].get(name)
+        if comparison:
+            print(f"  {name} speedup vs pre-PR kernel: "
+                  f"{comparison['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

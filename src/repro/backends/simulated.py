@@ -30,20 +30,26 @@ from repro.backends.base import (CACHE_APPLICATION, CACHE_NONE, Environment,
                                  StrategyRunResult)
 from repro.errors import ProfilingError
 from repro.formats.compression import get_codec
-from repro.pipelines.base import Representation, SplitPlan, StepSpec
+from repro.pipelines.base import Representation, SplitPlan
 from repro.sim.cluster import StorageCluster
 from repro.sim.cpu import Machine
-from repro.sim.events import Event, Simulation, all_of
-from repro.sim.trace import ResourceTrace, timed, timed_wait
+from repro.sim.events import Event, Simulation, Timeout, all_of
+from repro.sim.trace import ResourceTrace
 
 
-@dataclass
+@dataclass(frozen=True)
 class _JobPlan:
-    """One batched unit of thread work."""
+    """One batched unit of thread work (immutable: plans are memoized
+    and shared across epochs and tenants)."""
 
     thread_id: int
     job_index: int
     samples: int
+
+
+#: Memo for partition_jobs: the same (samples, threads, max_jobs) shape
+#: recurs for every epoch of every tenant; plans are never mutated.
+_PARTITION_CACHE: dict[tuple[int, int, int], list[list["_JobPlan"]]] = {}
 
 
 def partition_jobs(sample_count: int, threads: int,
@@ -52,10 +58,15 @@ def partition_jobs(sample_count: int, threads: int,
 
     Samples are spread as evenly as possible across threads (the paper
     shards datasets so each thread owns a file), then each thread's share
-    is cut into roughly ``max_jobs / threads`` jobs.
+    is cut into roughly ``max_jobs / threads`` jobs.  Results are cached
+    (plans are frozen, so sharing them is safe).
     """
     if sample_count < 1:
         raise ProfilingError("cannot run an empty dataset")
+    key = (sample_count, threads, max_jobs)
+    cached = _PARTITION_CACHE.get(key)
+    if cached is not None:
+        return cached
     threads = min(threads, sample_count)
     per_thread = [sample_count // threads] * threads
     for index in range(sample_count % threads):
@@ -70,6 +81,8 @@ def partition_jobs(sample_count: int, threads: int,
             samples = base + (1 if job_index < extra else 0)
             jobs.append(_JobPlan(thread_id, job_index, samples))
         plans.append(jobs)
+    if len(_PARTITION_CACHE) < 4096:
+        _PARTITION_CACHE[key] = plans
     return plans
 
 
@@ -203,34 +216,72 @@ class SimulatedBackend:
         opens_per_sample = self._opens_per_sample(source, count)
         start = sim.now
         counters = {"read": 0.0, "write": 0.0, "compress": 0.0}
+        # Hot-loop bindings; all arithmetic keeps the exact expression
+        # shapes of the historical implementation so simulated timestamps
+        # are reproduced bit-for-bit.
+        source_bytes_ps = source.bytes_per_sample
+        open_latency = self._open_latency()
+        overhead_ps = cal.runtime_overhead(source_bytes_ps)
+        serialize_ps = cal.DESER_FIXED + out_bytes_ps / cal.SER_BW_PER_THREAD
+        compress_bw = codec.costs.compress_bw if codec is not None else None
+        offline_charges = [(step.holds_gil, step.cpu_seconds)
+                           for step in plan.offline_steps
+                           if step.cpu_seconds > 0]
+        metadata = cluster.metadata
+        read_link = cluster.read_link
+        write_link = cluster.write_link
+        gil = machine.gil
+        gil_convoy = gil.convoy_overhead
+        gil_max_waiters = gil.max_convoy_waiters
+        gil_waiters = gil._waiters
+        cores = machine.cores
+
+        def native(cpu_seconds: float) -> Generator[Event, None, None]:
+            """Inlined ``machine.compute_native`` (hot path, one frame)."""
+            machine.cpu_busy_seconds += cpu_seconds
+            yield cores.acquire()
+            try:
+                yield Timeout(sim, cpu_seconds)
+            finally:
+                cores.release()
 
         def worker(jobs: list[_JobPlan]) -> Generator[Event, None, None]:
             for job in jobs:
                 k = job.samples
                 opens = opens_per_sample * k
                 if opens > 0:
-                    yield from cluster.metadata.use(
-                        opens * self._open_latency())
-                read_bytes = k * source.bytes_per_sample
+                    yield metadata.acquire()
+                    try:
+                        yield Timeout(sim, opens * open_latency)
+                    finally:
+                        metadata.release()
+                read_bytes = k * source_bytes_ps
                 counters["read"] += read_bytes
-                yield cluster.read_link.transfer(read_bytes)
-                yield sim.timeout(
-                    k * cal.runtime_overhead(source.bytes_per_sample))
-                for step in plan.offline_steps:
-                    yield from self._charge_step(machine, step, k)
+                yield read_link.transfer(read_bytes)
+                yield Timeout(sim, k * overhead_ps)
+                for holds_gil, cpu_seconds in offline_charges:
+                    if holds_gil:
+                        # Inlined gil.hold_scaled: convoy per sample.
+                        yield gil.acquire()
+                        try:
+                            waiters = len(gil_waiters)
+                            if waiters > gil_max_waiters:
+                                waiters = gil_max_waiters
+                            per_unit = cpu_seconds + waiters * gil_convoy
+                            yield Timeout(sim, k * per_unit)
+                        finally:
+                            gil.release()
+                    else:
+                        yield from native(k * cpu_seconds)
                 # Serialize the materialised records.
-                serialize_seconds = k * (
-                    cal.DESER_FIXED
-                    + out_bytes_ps / cal.SER_BW_PER_THREAD)
-                yield from machine.compute_native(serialize_seconds)
-                if codec is not None:
-                    compress_seconds = (k * out_bytes_ps
-                                        / codec.costs.compress_bw)
+                yield from native(k * serialize_ps)
+                if compress_bw is not None:
+                    compress_seconds = k * out_bytes_ps / compress_bw
                     counters["compress"] += compress_seconds
-                    yield from machine.compute_native(compress_seconds)
+                    yield from native(compress_seconds)
                 write_bytes = k * stored_bytes_ps
                 counters["write"] += write_bytes
-                yield from cluster.write(write_bytes)
+                yield write_link.transfer(write_bytes)
 
         processes = [sim.process(worker(jobs), name=f"offline-{i}")
                      for i, jobs in enumerate(partition_jobs(
@@ -287,77 +338,202 @@ class SimulatedBackend:
         job_plans = partition_jobs(count, config.threads, config.max_jobs)
         trace = (ResourceTrace(threads=len(job_plans))
                  if self.collect_traces else None)
+        # Hot-loop bindings.  The trace brackets are inlined (they only
+        # read the clock) and every expression keeps the exact shape of
+        # the historical implementation, so traced values and simulated
+        # timestamps are reproduced bit-for-bit.
+        stored_bytes_ps_raw = stored.bytes_per_sample
+        open_latency = self._open_latency()
+        open_factor = stored.open_latency_factor
+        overhead_ps = cal.runtime_overhead(stored_bytes_ps_raw)
+        decompress_bw = (codec.costs.decompress_bw if codec is not None
+                         else None)
+        deser_ps = (cal.DESER_FIXED + stored_bytes_ps_raw
+                    * stored.deser_penalty / cal.DESER_BW_PER_THREAD
+                    if stored.record_format else None)
+        online_charges = [(step.holds_gil, step.cpu_seconds)
+                          for step in online_steps if step.cpu_seconds > 0]
+        nondet_charges = [(step.holds_gil, step.cpu_seconds)
+                          for step in nondet_steps if step.cpu_seconds > 0]
+        shuffle_buffer = config.shuffle_buffer
+        shuffle_ps = cal.SHUFFLE_PER_SAMPLE
+        compression = config.compression
+        stored_name = stored.name
+        dispatch_cost = machine.dispatch_cost
+        page_cache = machine.page_cache
+        memory_link = machine.memory_link
+        metadata = cluster.metadata
+        read_link = cluster.read_link
+        cores = machine.cores
+        dispatch = machine.dispatch
+        dispatch_convoy = dispatch.convoy_overhead
+        dispatch_max_waiters = dispatch.max_convoy_waiters
+        dispatch_waiters = dispatch._waiters
+        app_iter_cost = cal.APP_CACHE_ITER_COST
+        gil = machine.gil
+        gil_convoy = gil.convoy_overhead
+        gil_max_waiters = gil.max_convoy_waiters
+        gil_waiters = gil._waiters
+
+        # The loops below hand-inline machine.compute_native,
+        # Lock.hold_scaled and the timed() trace brackets: one generator
+        # frame per reader thread instead of three per phase.  This is the
+        # hottest code in the repository -- every simulated sample batch of
+        # every strategy and every tenant passes through it.
 
         def worker(jobs: list[_JobPlan]) -> Generator[Event, None, None]:
-            if config.shuffle_buffer and jobs and jobs[0].thread_id == 0:
-                yield sim.timeout(cal.SHUFFLE_BUFFER_ALLOC)
+            if shuffle_buffer and jobs and jobs[0].thread_id == 0:
+                yield Timeout(sim, cal.SHUFFLE_BUFFER_ALLOC)
             for job in jobs:
                 k = job.samples
                 if from_app_cache:
                     # Served entirely from the tensor cache: memory read,
                     # non-deterministic steps, light iterator hand-off.
-                    yield from timed(sim, trace, "memory",
-                                     machine.read_memory(
-                                         k * app_tensor_bytes_ps))
-                    for step in nondet_steps:
-                        yield from self._charge_step(machine, step, k,
-                                                     sim=sim, trace=trace)
-                    yield from timed(sim, trace, "dispatch",
-                                     machine.dispatch.hold_scaled(
-                                         cal.APP_CACHE_ITER_COST, k))
+                    bracket = sim._now
+                    yield memory_link.transfer(k * app_tensor_bytes_ps)
+                    if trace is not None:
+                        trace.memory_seconds += sim._now - bracket
+                    for holds_gil, cpu_seconds in nondet_charges:
+                        bracket = sim._now
+                        if holds_gil:
+                            yield gil.acquire()
+                            try:
+                                waiters = len(gil_waiters)
+                                if waiters > gil_max_waiters:
+                                    waiters = gil_max_waiters
+                                per_unit = (cpu_seconds
+                                            + waiters * gil_convoy)
+                                yield Timeout(sim, k * per_unit)
+                            finally:
+                                gil.release()
+                            if trace is not None:
+                                trace.gil_seconds += sim._now - bracket
+                        else:
+                            machine.cpu_busy_seconds += k * cpu_seconds
+                            yield cores.acquire()
+                            try:
+                                yield Timeout(sim, k * cpu_seconds)
+                            finally:
+                                cores.release()
+                            if trace is not None:
+                                trace.cpu_seconds += sim._now - bracket
+                    bracket = sim._now
+                    yield dispatch.acquire()
+                    try:
+                        waiters = len(dispatch_waiters)
+                        if waiters > dispatch_max_waiters:
+                            waiters = dispatch_max_waiters
+                        per_unit = app_iter_cost + waiters * dispatch_convoy
+                        yield Timeout(sim, k * per_unit)
+                    finally:
+                        dispatch.release()
+                    if trace is not None:
+                        trace.dispatch_seconds += sim._now - bracket
                     continue
                 opens = opens_per_sample * k
-                chunk_key = (chunk_namespace, stored.name,
-                             config.compression, job.thread_id,
-                             job.job_index)
-                cached = machine.page_cache.lookup(chunk_key)
+                chunk_key = (chunk_namespace, stored_name, compression,
+                             job.thread_id, job.job_index)
                 disk_bytes = k * stored_bytes_ps
-                if cached:
+                if page_cache.lookup(chunk_key):
                     counters["hits"] += 1
                     counters["cache"] += disk_bytes
                     cluster.cache_bytes_read += disk_bytes
-                    yield from timed(sim, trace, "memory",
-                                     machine.read_memory(disk_bytes))
+                    bracket = sim._now
+                    yield memory_link.transfer(disk_bytes)
+                    if trace is not None:
+                        trace.memory_seconds += sim._now - bracket
                 else:
                     counters["misses"] += 1
                     counters["storage"] += disk_bytes
                     if opens > 0:
-                        yield from timed(sim, trace, "open",
-                                         cluster.metadata.use(
-                                             opens * self._open_latency()
-                                             * stored.open_latency_factor))
-                    yield from timed_wait(
-                        sim, trace, "read",
-                        cluster.read_link.transfer(disk_bytes))
-                    machine.page_cache.insert(chunk_key, disk_bytes)
-                yield sim.timeout(
-                    k * cal.runtime_overhead(stored.bytes_per_sample))
-                if codec is not None:
-                    yield from timed(sim, trace, "decode",
-                                     machine.compute_native(
-                                         k * stored.bytes_per_sample
-                                         / codec.costs.decompress_bw))
-                if stored.record_format:
-                    yield from timed(sim, trace, "decode",
-                                     machine.compute_native(k * (
-                                         cal.DESER_FIXED
-                                         + stored.bytes_per_sample
-                                         * stored.deser_penalty
-                                         / cal.DESER_BW_PER_THREAD)))
-                for step in online_steps:
-                    yield from self._charge_step(machine, step, k,
-                                                 sim=sim, trace=trace)
-                if config.shuffle_buffer:
-                    yield from timed(sim, trace, "shuffle",
-                                     machine.compute_native(
-                                         k * cal.SHUFFLE_PER_SAMPLE))
+                        bracket = sim._now
+                        yield metadata.acquire()
+                        try:
+                            yield Timeout(sim, opens * open_latency
+                                          * open_factor)
+                        finally:
+                            metadata.release()
+                        if trace is not None:
+                            trace.open_seconds += sim._now - bracket
+                    bracket = sim._now
+                    yield read_link.transfer(disk_bytes)
+                    if trace is not None:
+                        trace.read_seconds += sim._now - bracket
+                    page_cache.insert(chunk_key, disk_bytes)
+                yield Timeout(sim, k * overhead_ps)
+                if decompress_bw is not None:
+                    bracket = sim._now
+                    seconds = k * stored_bytes_ps_raw / decompress_bw
+                    machine.cpu_busy_seconds += seconds
+                    yield cores.acquire()
+                    try:
+                        yield Timeout(sim, seconds)
+                    finally:
+                        cores.release()
+                    if trace is not None:
+                        trace.decode_seconds += sim._now - bracket
+                if deser_ps is not None:
+                    bracket = sim._now
+                    seconds = k * deser_ps
+                    machine.cpu_busy_seconds += seconds
+                    yield cores.acquire()
+                    try:
+                        yield Timeout(sim, seconds)
+                    finally:
+                        cores.release()
+                    if trace is not None:
+                        trace.decode_seconds += sim._now - bracket
+                for holds_gil, cpu_seconds in online_charges:
+                    bracket = sim._now
+                    if holds_gil:
+                        yield gil.acquire()
+                        try:
+                            waiters = len(gil_waiters)
+                            if waiters > gil_max_waiters:
+                                waiters = gil_max_waiters
+                            per_unit = cpu_seconds + waiters * gil_convoy
+                            yield Timeout(sim, k * per_unit)
+                        finally:
+                            gil.release()
+                        if trace is not None:
+                            trace.gil_seconds += sim._now - bracket
+                    else:
+                        machine.cpu_busy_seconds += k * cpu_seconds
+                        yield cores.acquire()
+                        try:
+                            yield Timeout(sim, k * cpu_seconds)
+                        finally:
+                            cores.release()
+                        if trace is not None:
+                            trace.cpu_seconds += sim._now - bracket
+                if shuffle_buffer:
+                    bracket = sim._now
+                    seconds = k * shuffle_ps
+                    machine.cpu_busy_seconds += seconds
+                    yield cores.acquire()
+                    try:
+                        yield Timeout(sim, seconds)
+                    finally:
+                        cores.release()
+                    if trace is not None:
+                        trace.shuffle_seconds += sim._now - bracket
                 if populate_app_cache:
-                    yield from timed(sim, trace, "memory",
-                                     machine.read_memory(
-                                         k * app_tensor_bytes_ps))
-                yield from timed(sim, trace, "dispatch",
-                                 machine.dispatch.hold_scaled(
-                                     machine.dispatch_cost, k))
+                    bracket = sim._now
+                    yield memory_link.transfer(k * app_tensor_bytes_ps)
+                    if trace is not None:
+                        trace.memory_seconds += sim._now - bracket
+                bracket = sim._now
+                yield dispatch.acquire()
+                try:
+                    waiters = len(dispatch_waiters)
+                    if waiters > dispatch_max_waiters:
+                        waiters = dispatch_max_waiters
+                    per_unit = dispatch_cost + waiters * dispatch_convoy
+                    yield Timeout(sim, k * per_unit)
+                finally:
+                    dispatch.release()
+                if trace is not None:
+                    trace.dispatch_seconds += sim._now - bracket
 
         processes = [sim.process(worker(jobs), name=f"worker-{i}")
                      for i, jobs in enumerate(job_plans)]
@@ -397,24 +573,6 @@ class SimulatedBackend:
             return 0.0
         opens = rep.n_files / count
         return opens if opens > 1e-3 else 0.0
-
-    @staticmethod
-    def _charge_step(machine: Machine, step: StepSpec, samples: int,
-                     sim: Optional[Simulation] = None,
-                     trace: Optional[ResourceTrace] = None,
-                     ) -> Generator[Event, None, None]:
-        if step.cpu_seconds <= 0:
-            return
-        if step.holds_gil:
-            work = machine.gil.hold_scaled(step.cpu_seconds, samples)
-            category = "gil"
-        else:
-            work = machine.compute_native(samples * step.cpu_seconds)
-            category = "cpu"
-        if sim is None or trace is None:
-            yield from work
-        else:
-            yield from timed(sim, trace, category, work)
 
     @staticmethod
     def _app_cache_tensor_bytes(plan: SplitPlan) -> float:

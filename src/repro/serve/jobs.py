@@ -147,21 +147,34 @@ def bursty_trace(tenants: int, seed: int = 0,
                  burst_size: int = 4, burst_gap: float = 900.0,
                  hot_share: float = 0.75, epochs: int = 2,
                  threads: int = 8,
-                 jobs_per_tenant: int = 1) -> list[JobSpec]:
+                 jobs_per_tenant: int = 1,
+                 hot_pipeline: Optional[str] = None,
+                 hot_split: Optional[str] = None) -> list[JobSpec]:
     """Tight arrival bursts with a *hot* shared artifact.
 
     ``hot_share`` of every burst requests the same (pipeline, strategy)
     pair -- the many-users-one-dataset pattern where cross-tenant cache
     sharing and offline dedup pay off.  ``jobs_per_tenant > 1`` cycles
     the tenant population through later bursts.
+
+    The hot artifact defaults to a seeded pick of the most-processed
+    strategy; ``hot_pipeline``/``hot_split`` pin it instead (e.g. the
+    raw CV2-PNG dataset, whose working set exceeds the page cache --
+    the storage-thrashing regime the perf suite stresses at scale).
     """
     _validate(tenants, pipelines, jobs_per_tenant)
     if burst_size < 1:
         raise ProfilingError("burst_size must be >= 1")
     rng = random.Random(seed)
-    hot_pipeline = rng.choice(tuple(pipelines))
+    rng_hot = rng.choice(tuple(pipelines))
+    if hot_pipeline is None:
+        hot_pipeline = rng_hot
     from repro.pipelines.registry import get_pipeline
-    hot_split = get_pipeline(hot_pipeline).strategy_names()[-1]
+    if hot_split is None:
+        hot_split = get_pipeline(hot_pipeline).strategy_names()[-1]
+    elif hot_split not in get_pipeline(hot_pipeline).strategy_names():
+        raise ProfilingError(
+            f"unknown strategy {hot_split!r} for pipeline {hot_pipeline!r}")
     jobs = []
     for index in range(tenants * jobs_per_tenant):
         burst = index // burst_size

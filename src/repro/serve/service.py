@@ -184,6 +184,10 @@ class ServiceReport:
     files_opened: int = 0
     metadata_peak_in_use: int = 0
     page_cache_evictions: int = 0
+    #: Kernel events resolved over the whole service simulation.  The DES
+    #: is deterministic, so this is a machine-independent cost metric
+    #: (the perf suite's CI smoke asserts it instead of wall seconds).
+    events_processed: int = 0
 
     @property
     def aggregate_sps(self) -> float:
@@ -466,5 +470,6 @@ class PreprocessingService:
             files_opened=self._cluster.files_opened,
             metadata_peak_in_use=self._cluster.metadata.peak_in_use,
             page_cache_evictions=self._machine.page_cache.evictions,
+            events_processed=self._sim.events_processed,
         )
         return report

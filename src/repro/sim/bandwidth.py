@@ -9,33 +9,69 @@ With identical per-stream caps, the max-min fair allocation is uniform::
 
     rate_per_stream = min(per_stream_cap, aggregate_cap / n_active)
 
-The link recomputes rates whenever a transfer starts or finishes and
-reschedules the next completion, so concurrency effects (a slow reader
-joining speeds nobody up, a finishing reader speeds everyone up) emerge
-naturally in simulated time.
+**Virtual progress time.**  Because every active stream runs at the same
+fair rate, the *ordering* of transfers by remaining bytes never changes
+between arrivals and departures.  The link therefore tracks one cumulative
+per-stream progress integral ``P(t)`` (bytes any stream admitted at link
+idle would have moved by ``t``) instead of per-transfer remaining counters.
+A transfer admitted at progress ``P_a`` with ``nbytes`` to move completes
+exactly when ``P(t)`` reaches the fixed threshold ``P_a + nbytes``, so
+arrivals and completions are O(log n) min-heap operations -- no rescan of
+the active set ever happens on the transfer hot path, and byte accounting
+is a closed-form delta over the progress integral.
+
+The link arms a wake-up for the earliest threshold; arrivals that change
+the fair rate (or undercut the armed threshold) re-arm it, and superseded
+wake-ups are ignored on arrival (identity check).  Concurrency effects (a
+slow reader joining speeds nobody up, a finishing reader speeds everyone
+up) still emerge naturally in simulated time, matching the historical
+O(n) rescan implementation: completion times agree to float accuracy
+(pinned by the differential suite in tests/sim/test_bandwidth_diff.py),
+and all golden outputs are byte-identical.  The one intended departure
+is batch grouping at tens-of-GB progress, where the old per-transfer
+counters' rounding drift exceeded their own epsilon -- see
+docs/performance.md.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+from operator import itemgetter
 from typing import Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, Simulation
+from repro.sim.events import Event, Simulation, Timeout
 
 #: Transfers whose remaining volume drops below this are considered done.
+#: Also the batch-completion window: thresholds within epsilon of the
+#: earliest one finish on the same wake-up (equal-size streams admitted
+#: together complete together, exactly like the historical rescan).
 _EPSILON_BYTES = 1e-6
 
-
-class _Transfer:
-    __slots__ = ("event", "remaining")
-
-    def __init__(self, event: Event, remaining: float):
-        self.event = event
-        self.remaining = remaining
+#: heap-entry admission-order key (entries are (threshold, admission,
+#: admitted_progress, nbytes, event) tuples).
+_BY_ADMISSION = itemgetter(1)
 
 
 class SharedBandwidth:
-    """A capacity-shared link with per-stream caps and max-min fairness."""
+    """A capacity-shared link with per-stream caps and max-min fairness.
+
+    Counter semantics (explicit, and pinned by tests):
+
+    * ``total_transfers`` counts every :meth:`transfer` call, including
+      zero-byte transfers that complete instantly.
+    * ``peak_streams`` is the maximum number of *simultaneously active*
+      streams; zero-byte transfers never become active and do not touch it.
+    * ``bytes_moved`` is the cumulative payload moved over the link,
+      including the pro-rata progress of in-flight transfers at the
+      current simulated time; zero-byte transfers contribute nothing.
+    """
+
+    __slots__ = ("sim", "name", "aggregate_bw", "per_stream_bw", "_heap",
+                 "_admissions", "_progress", "_last_update", "_rate",
+                 "_wake_event", "_wake_threshold", "_wake_cb",
+                 "_completed_bytes", "_admit_sum", "total_transfers",
+                 "peak_streams")
 
     def __init__(self, sim: Simulation, aggregate_bw: float,
                  per_stream_bw: Optional[float] = None, name: str = "link"):
@@ -47,11 +83,24 @@ class SharedBandwidth:
         self.name = name
         self.aggregate_bw = float(aggregate_bw)
         self.per_stream_bw = float(per_stream_bw or aggregate_bw)
-        self._active: list[_Transfer] = []
+        #: Min-heap of (threshold, admission, admitted_progress, nbytes,
+        #: event); the head is the next transfer to complete.
+        self._heap: list[tuple] = []
+        self._admissions = 0
+        #: The per-stream progress integral P(t), rebased to 0 whenever
+        #: the link drains (keeps thresholds well inside float precision).
+        self._progress = 0.0
         self._last_update = 0.0
-        self._version = 0
-        #: Cumulative bytes moved over the link (for dstat counters).
-        self.bytes_moved = 0.0
+        #: Fair per-stream rate while the current active set lasts.
+        self._rate = 0.0
+        #: The armed wake-up; wake-ups superseded by re-arming are ignored.
+        self._wake_event: Optional[Event] = None
+        self._wake_threshold = 0.0
+        self._wake_cb = self._on_wake
+        self._completed_bytes = 0.0
+        #: Sum of admitted_progress over active transfers (closed-form
+        #: in-flight byte accounting without touching each transfer).
+        self._admit_sum = 0.0
         self.total_transfers = 0
         self.peak_streams = 0
 
@@ -60,18 +109,28 @@ class SharedBandwidth:
     @property
     def active_streams(self) -> int:
         """Number of in-flight transfers."""
-        return len(self._active)
+        return len(self._heap)
 
     def stream_rate(self, n_active: Optional[int] = None) -> float:
         """Fair per-stream rate for ``n_active`` concurrent streams."""
-        n = self.active_streams if n_active is None else n_active
+        n = len(self._heap) if n_active is None else n_active
         if n <= 0:
             return 0.0
         return min(self.per_stream_bw, self.aggregate_bw / n)
 
     def current_throughput(self) -> float:
         """Instantaneous aggregate throughput in bytes/second."""
-        return self.stream_rate() * self.active_streams
+        return self.stream_rate() * len(self._heap)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Cumulative bytes moved, including in-flight progress to now."""
+        n = len(self._heap)
+        if n == 0:
+            return self._completed_bytes
+        progress = self._progress + (
+            (self.sim._now - self._last_update) * self._rate)
+        return self._completed_bytes + n * progress - self._admit_sum
 
     # -- transfer lifecycle ----------------------------------------------------
 
@@ -79,14 +138,36 @@ class SharedBandwidth:
         """Start moving ``nbytes``; the returned event fires on completion."""
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
-        event = self.sim.event()
+        event = Event(self.sim)
         self.total_transfers += 1
         if nbytes <= _EPSILON_BYTES:
             return event.succeed()
-        self._advance()
-        self._active.append(_Transfer(event, float(nbytes)))
-        self.peak_streams = max(self.peak_streams, len(self._active))
-        self._reschedule()
+        now = self.sim._now
+        elapsed = now - self._last_update
+        if elapsed > 0.0 and self._rate:
+            self._progress += elapsed * self._rate
+        self._last_update = now
+        admit = self._progress
+        threshold = admit + nbytes
+        self._admissions += 1
+        heap = self._heap
+        heappush(heap, (threshold, self._admissions, admit, nbytes, event))
+        self._admit_sum += admit
+        n = len(heap)
+        if n > self.peak_streams:
+            self.peak_streams = n
+        rate = self.aggregate_bw / n
+        per_stream = self.per_stream_bw
+        if per_stream < rate:
+            rate = per_stream
+        if (rate != self._rate or self._wake_event is None
+                or heap[0][0] < self._wake_threshold):
+            # The fair share changed or this transfer finishes before the
+            # armed wake-up: re-arm.  Otherwise the pending wake-up still
+            # targets the correct earliest completion and arrival is O(log n)
+            # with no new event scheduled at all.
+            self._rate = rate
+            self._arm_wake()
         return event
 
     def transfer_time(self, nbytes: float, n_streams: int = 1) -> float:
@@ -99,49 +180,69 @@ class SharedBandwidth:
 
     # -- internals ----------------------------------------------------------
 
-    def _advance(self) -> None:
-        """Account for progress made since the last rate change."""
-        elapsed = self.sim.now - self._last_update
-        self._last_update = self.sim.now
-        if elapsed <= 0 or not self._active:
-            return
-        rate = self.stream_rate()
-        progress = elapsed * rate
-        for item in self._active:
-            step = min(progress, item.remaining)
-            item.remaining -= step
-            self.bytes_moved += step
+    def _arm_wake(self) -> None:
+        """Arm a wake-up for the earliest completion under current rates."""
+        threshold = self._heap[0][0]
+        delay = (threshold - self._progress) / self._rate
+        if delay < 0.0:
+            delay = 0.0
+        wake = Timeout(self.sim, delay)
+        wake.callbacks = self._wake_cb
+        self._wake_event = wake
+        self._wake_threshold = threshold
 
-    def _reschedule(self) -> None:
-        """Schedule a wake-up at the earliest completion under current rates."""
-        self._version += 1
-        if not self._active:
-            return
-        version = self._version
-        rate = self.stream_rate()
-        shortest = min(item.remaining for item in self._active)
-        delay = max(shortest, 0.0) / rate
-        wake = self.sim.timeout(delay)
-        wake.callbacks.append(lambda _event: self._on_wake(version))
-
-    def _on_wake(self, version: int) -> None:
-        if version != self._version:
-            return  # A newer arrival already rescheduled; this wake is stale.
-        self._advance()
-        if not self._active:
-            return
-        # A current-version wake was scheduled for the shortest transfer's
-        # completion, so the shortest *is* done now.  Completing at least
-        # one transfer per wake also guarantees progress when the residual
-        # delay underflows the clock's resolution (now + delay == now for
-        # sub-femtosecond residues late in long simulations).
-        shortest = min(item.remaining for item in self._active)
-        threshold = shortest + _EPSILON_BYTES
-        finished = [t for t in self._active if t.remaining <= threshold]
-        finished_ids = {id(t) for t in finished}
-        self._active = [t for t in self._active
-                        if id(t) not in finished_ids]
+    def _on_wake(self, event: Event) -> None:
+        if event is not self._wake_event:
+            return  # A later arrival re-armed the wake-up; this one is stale.
+        now = self.sim._now
+        elapsed = now - self._last_update
+        if elapsed > 0.0:
+            self._progress += elapsed * self._rate
+        self._last_update = now
+        heap = self._heap
+        target = heap[0][0]
+        if self._progress < target:
+            # The wake-up was armed for the head's completion, so the head
+            # *is* done now.  Snapping the integral forward also guarantees
+            # progress when the residual delay underflows the clock's
+            # resolution (now + delay == now for sub-femtosecond residues
+            # late in long simulations).
+            self._progress = target
+        # Batch window: epsilon in *remaining-bytes* space plus a relative
+        # term covering float rounding of the thresholds themselves.  On a
+        # link that never drains, the progress integral grows to tens of
+        # GB, where one ulp exceeds the absolute epsilon -- without the
+        # relative term, mathematically simultaneous completions would
+        # split into separate wake-ups.
+        cutoff = target + _EPSILON_BYTES + target * 1e-12
+        finished = [heappop(heap)]
+        while heap and heap[0][0] <= cutoff:
+            finished.append(heappop(heap))
+        if len(finished) > 1:
+            # Complete batches in admission order, matching the historical
+            # active-list scan (heap order would rank ulp-level threshold
+            # differences above arrival order).
+            finished.sort(key=_BY_ADMISSION)
+        completed = self._completed_bytes
+        admit_sum = self._admit_sum
         for item in finished:
-            self.bytes_moved += item.remaining  # residue, bounded by epsilon
-            item.event.succeed()
-        self._reschedule()
+            completed += item[3]
+            admit_sum -= item[2]
+            item[4].succeed()
+        self._completed_bytes = completed
+        n = len(heap)
+        if n == 0:
+            # Idle: rebase the progress integral so thresholds stay small
+            # and float resolution never degrades over long simulations.
+            self._progress = 0.0
+            self._admit_sum = 0.0
+            self._rate = 0.0
+            self._wake_event = None
+            return
+        self._admit_sum = admit_sum
+        rate = self.aggregate_bw / n
+        per_stream = self.per_stream_bw
+        if per_stream < rate:
+            rate = per_stream
+        self._rate = rate
+        self._arm_wake()

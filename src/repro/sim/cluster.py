@@ -73,7 +73,11 @@ class StorageCluster:
                 yield self.memory_link.transfer(nbytes)
             return "cache"
         if open_file:
-            yield from self.open_file(pipeline_path=pipeline_path)
+            # Inlined open_file (one generator frame on the read path).
+            latency = (self.profile.pipeline_open_latency if pipeline_path
+                       else self.profile.open_latency)
+            self.files_opened += 1
+            yield from self.metadata.use(latency)
         yield self.read_link.transfer(nbytes)
         if page_cache is not None:
             page_cache.insert(key, nbytes)
@@ -89,9 +93,15 @@ class StorageCluster:
 
     @property
     def bytes_read_from_storage(self) -> float:
-        """Bytes actually moved over the network read link."""
+        """Bytes actually moved over the network read link.
+
+        Live: includes the pro-rata progress of in-flight transfers at
+        the current simulated time (closed-form on the virtual-progress
+        link, no per-stream scan).
+        """
         return self.read_link.bytes_moved
 
     @property
     def bytes_written(self) -> float:
+        """Bytes moved over the write link, including in-flight progress."""
         return self.write_link.bytes_moved

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.sim.bandwidth import SharedBandwidth
-from repro.sim.events import Event, Simulation
+from repro.sim.events import Event, Simulation, Timeout
 from repro.sim.pagecache import PageCache
 from repro.sim.resources import Lock, Resource
 from repro.units import GB, US
@@ -66,7 +66,12 @@ class Machine:
         if cpu_seconds <= 0:
             return
         self.cpu_busy_seconds += cpu_seconds
-        yield from self.cores.use(cpu_seconds)
+        cores = self.cores
+        yield cores.acquire()
+        try:
+            yield Timeout(self.sim, cpu_seconds)
+        finally:
+            cores.release()
 
     def compute_external(self, cpu_seconds: float
                          ) -> Generator[Event, None, None]:
@@ -79,7 +84,12 @@ class Machine:
         if cpu_seconds <= 0:
             return
         self.gil_busy_seconds += cpu_seconds
-        yield from self.gil.hold(cpu_seconds)
+        gil = self.gil
+        yield gil.acquire()
+        try:
+            yield Timeout(self.sim, cpu_seconds + gil.contention_penalty())
+        finally:
+            gil.release()
 
     def dispatch_samples(self, n_samples: float, per_sample_cost: Optional[
             float] = None) -> Generator[Event, None, None]:

@@ -13,11 +13,20 @@ the kernel small enough to test exhaustively:
 * :class:`Process` -- itself an event that triggers when the generator
   returns, so processes can wait on each other.
 * :func:`all_of` -- barrier over a list of events.
+
+The hot path is deliberately allocation-light: callback lists are created
+lazily (most events carry exactly one callback), scheduling is inlined
+into :meth:`Event.succeed`/:class:`Timeout` instead of routing through a
+helper, and the :meth:`Simulation.run` loop resolves events without a
+per-event method-call chain.  :attr:`Simulation.events_processed` counts
+resolved events; because the kernel is deterministic, that counter is a
+machine-independent proxy for simulation cost (``make bench-check``).
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import DeadlockError, SimulationError
@@ -32,6 +41,12 @@ class Event:
     An event starts *pending*, is *triggered* exactly once with a value (or
     an exception), and then runs its callbacks when the simulation processes
     it.  Triggering twice is a bug and raises :class:`SimulationError`.
+
+    ``callbacks`` is ``None`` until the first callback is attached, a bare
+    callable while there is exactly one (the overwhelmingly common case,
+    so the kernel avoids allocating a list per event), and a list only
+    from the second callback on.  Use :meth:`add_callback` rather than
+    touching the attribute directly.
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered",
@@ -39,7 +54,8 @@ class Event:
 
     def __init__(self, sim: "Simulation"):
         self.sim = sim
-        self.callbacks: list[Callable[[Event], None]] = []
+        #: ``None`` | a single callable | a list of callables.
+        self.callbacks: Any = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False   # value decided, queued for its timestamp
@@ -61,13 +77,33 @@ class Event:
             raise SimulationError("event value read before trigger")
         return self._value
 
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback`` (upgrading single-callback storage)."""
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = callback
+        elif type(callbacks) is list:
+            callbacks.append(callback)
+        else:
+            self.callbacks = [callbacks, callback]
+
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully after ``delay`` simulated seconds."""
         if self._triggered:
             raise SimulationError("event triggered twice")
         self._triggered = True
         self._value = value
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        sim._sequence += 1
+        if delay:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past: {delay}")
+            heappush(sim._queue, (sim._now + delay, sim._sequence, self))
+        else:
+            # Same-instant events skip the heap: the run loop merges this
+            # FIFO with the heap in exact (timestamp, sequence) order.
+            sim._fifo.append((sim._sequence, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -78,15 +114,28 @@ class Event:
             raise TypeError("fail() expects an exception instance")
         self._triggered = True
         self._exception = exception
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        sim._sequence += 1
+        if delay:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past: {delay}")
+            heappush(sim._queue, (sim._now + delay, sim._sequence, self))
+        else:
+            sim._fifo.append((sim._sequence, self))
         return self
 
     def _resolve(self) -> None:
         """Run callbacks; called by the simulation at the event's timestamp."""
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
 
 
 class Timeout(Event):
@@ -97,50 +146,92 @@ class Timeout(Event):
     def __init__(self, sim: "Simulation", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
+        # Inlined Event.__init__ + scheduling: timeouts are the single most
+        # allocated object in a run, and the super().__init__ chain plus a
+        # _schedule call measurably slows the kernel.
+        self.sim = sim
+        self.callbacks = None
         self._value = value
-        sim._schedule(self, delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        sim._sequence += 1
+        if delay:
+            heappush(sim._queue, (sim._now + delay, sim._sequence, self))
+        else:
+            sim._fifo.append((sim._sequence, self))
 
 
 class Process(Event):
     """Drives a generator; the process is an event that fires on return."""
 
-    __slots__ = ("_generator", "name")
+    __slots__ = ("_generator", "name", "_resume_cb")
 
     def __init__(self, sim: "Simulation", generator: ProcessGenerator,
                  name: str = "process"):
         super().__init__(sim)
         self._generator = generator
         self.name = name
+        # One bound method for the process lifetime instead of a fresh
+        # bound-method object per yielded event.
+        self._resume_cb = self._resume
         # Bootstrap: resume the generator once the simulation starts.
         bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
+        bootstrap.callbacks = self._resume_cb
         bootstrap.succeed()
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value of the event that fired."""
+        generator = self._generator
         while True:
             try:
                 if event._exception is not None:
-                    target = self._generator.throw(event._exception)
+                    target = generator.throw(event._exception)
                 else:
-                    target = self._generator.send(event._value)
+                    target = generator.send(event._value)
             except StopIteration as stop:
                 super().succeed(stop.value)
                 return
-            if not isinstance(target, Event):
+            try:
+                if target._processed:
+                    # The event's timestamp already passed: resume in-line.
+                    event = target
+                    continue
+                callbacks = target.callbacks
+            except AttributeError:
                 raise SimulationError(
-                    f"process {self.name!r} yielded {type(target).__name__}, "
-                    "expected an Event"
-                )
-            if target._processed:
-                # The event's timestamp has already passed: resume in-line.
-                event = target
-                continue
-            target.callbacks.append(self._resume)
+                    f"process {self.name!r} yielded "
+                    f"{type(target).__name__}, expected an Event"
+                ) from None
+            if callbacks is None:
+                target.callbacks = self._resume_cb
+            elif type(callbacks) is list:
+                callbacks.append(self._resume_cb)
+            else:
+                target.callbacks = [callbacks, self._resume_cb]
             return
+
+
+class _AllOfState:
+    """Shared completion state for :func:`all_of` (no per-event closures)."""
+
+    __slots__ = ("barrier", "pending", "remaining")
+
+    def __init__(self, barrier: Event, pending: list[Event]):
+        self.barrier = barrier
+        self.pending = pending
+        self.remaining = len(pending)
+
+    def on_event(self, event: Event) -> None:
+        barrier = self.barrier
+        if event._exception is not None:
+            if not barrier._triggered:
+                barrier.fail(event._exception)
+            return
+        self.remaining -= 1
+        if self.remaining == 0 and not barrier._triggered:
+            barrier.succeed([item._value for item in self.pending])
 
 
 def all_of(sim: "Simulation", events: Iterable[Event]) -> Event:
@@ -151,31 +242,21 @@ def all_of(sim: "Simulation", events: Iterable[Event]) -> Event:
     """
     pending = list(events)
     barrier = Event(sim)
-    remaining = len(pending)
-    if remaining == 0:
+    if not pending:
         return barrier.succeed([])
-
-    values: list[Any] = [None] * remaining
-    counter = {"n": remaining}
-
-    def make_callback(index: int) -> Callable[[Event], None]:
-        def callback(event: Event) -> None:
-            if event._exception is not None:
-                if not barrier.triggered:
-                    barrier.fail(event._exception)
-                return
-            values[index] = event._value
-            counter["n"] -= 1
-            if counter["n"] == 0 and not barrier.triggered:
-                barrier.succeed(values)
-
-        return callback
-
-    for i, event in enumerate(pending):
+    state = _AllOfState(barrier, pending)
+    on_event = state.on_event
+    for event in pending:
         if event._processed:
-            make_callback(i)(event)
+            on_event(event)
         else:
-            event.callbacks.append(make_callback(i))
+            callbacks = event.callbacks
+            if callbacks is None:
+                event.callbacks = on_event
+            elif type(callbacks) is list:
+                callbacks.append(on_event)
+            else:
+                event.callbacks = [callbacks, on_event]
     return barrier
 
 
@@ -185,19 +266,29 @@ class Simulation:
     def __init__(self):
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
+        #: Events triggered with zero delay while the clock sits at _now.
+        #: They bypass the heap; the run loop merges both structures in
+        #: exact (timestamp, sequence) order, so the fast lane is purely
+        #: an allocation/heap-traffic optimisation.
+        self._fifo: deque[tuple[int, Event]] = deque()
         self._sequence = 0
         self._processes_started = 0
+        self._events_processed = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
-    def _schedule(self, event: Event, delay: float) -> None:
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past: {delay}")
-        self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+    @property
+    def events_processed(self) -> int:
+        """Events resolved since construction.
+
+        The kernel is deterministic, so for a fixed workload this counter
+        is identical across hosts and runs -- the CI perf smoke asserts it
+        instead of flaky wall-clock numbers.
+        """
+        return self._events_processed
 
     # -- public construction helpers ---------------------------------------
 
@@ -217,25 +308,83 @@ class Simulation:
 
     # -- execution ----------------------------------------------------------
 
+    def _pop_next(self) -> Optional[Event]:
+        """Pop the globally next event in (timestamp, sequence) order,
+        advancing the clock; ``None`` when both structures are empty."""
+        fifo = self._fifo
+        queue = self._queue
+        if fifo:
+            # The heap never holds timestamps below _now, so a heap entry
+            # only precedes the FIFO head when it is *at* _now with a
+            # smaller sequence number (scheduled earlier).
+            if queue:
+                head = queue[0]
+                if head[0] <= self._now and head[1] < fifo[0][0]:
+                    timestamp, _, event = heappop(queue)
+                    self._now = timestamp
+                    return event
+            return fifo.popleft()[1]
+        if queue:
+            timestamp, _, event = heappop(queue)
+            if timestamp < self._now:
+                raise SimulationError("time went backwards")
+            self._now = timestamp
+            return event
+        return None
+
     def step(self) -> None:
         """Process the single next event."""
-        timestamp, _, event = heapq.heappop(self._queue)
-        if timestamp < self._now:
-            raise SimulationError("time went backwards")
-        self._now = timestamp
+        event = self._pop_next()
+        if event is None:
+            raise IndexError("step from an empty simulation")
+        self._events_processed += 1
         event._resolve()
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or the clock passes ``until``.
 
-        Returns the final simulated time.
+        Events stamped past ``until`` stay queued; the clock is left at
+        ``until`` so a later ``run()`` call continues where this one
+        stopped.  Returns the final simulated time.
         """
-        while self._queue:
-            timestamp = self._queue[0][0]
-            if until is not None and timestamp > until:
-                self._now = until
-                return self._now
-            self.step()
+        queue = self._queue
+        fifo = self._fifo
+        events_processed = self._events_processed
+        try:
+            while True:
+                # Merge the same-instant FIFO with the heap in exact
+                # (timestamp, sequence) order; see _pop_next (inlined here
+                # because this loop dominates simulation cost).
+                if fifo:
+                    if queue:
+                        head = queue[0]
+                        if head[0] <= self._now and head[1] < fifo[0][0]:
+                            event = heappop(queue)[2]
+                        else:
+                            event = fifo.popleft()[1]
+                    else:
+                        event = fifo.popleft()[1]
+                elif queue:
+                    timestamp = queue[0][0]
+                    if until is not None and timestamp > until:
+                        self._now = until
+                        break
+                    event = heappop(queue)[2]
+                    self._now = timestamp
+                else:
+                    break
+                events_processed += 1
+                event._processed = True
+                callbacks = event.callbacks
+                if callbacks is not None:
+                    event.callbacks = None
+                    if type(callbacks) is list:
+                        for callback in callbacks:
+                            callback(event)
+                    else:
+                        callbacks(event)
+        finally:
+            self._events_processed = events_processed
         return self._now
 
     def run_process(self, generator: ProcessGenerator,

@@ -17,7 +17,7 @@ from collections import deque
 from typing import Generator, Optional
 
 from repro.errors import ResourceError
-from repro.sim.events import Event, Simulation
+from repro.sim.events import Event, Simulation, Timeout
 
 
 class Resource:
@@ -56,32 +56,37 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires when a slot is granted."""
-        grant = self.sim.event()
+        grant = Event(self.sim)
         if self._in_use < self.capacity:
-            self._grant(grant)
+            # Uncontended acquisition: grant the slot immediately.
+            in_use = self._in_use + 1
+            self._in_use = in_use
+            self.total_acquisitions += 1
+            if in_use > self.peak_in_use:
+                self.peak_in_use = in_use
+            grant.succeed(self)
         else:
             self._waiters.append(grant)
         return grant
 
-    def _grant(self, grant: Event) -> None:
-        self._in_use += 1
-        self.total_acquisitions += 1
-        self.peak_in_use = max(self.peak_in_use, self._in_use)
-        grant.succeed(self)
-
     def release(self) -> None:
         """Release a previously-acquired slot."""
-        if self._in_use <= 0:
+        in_use = self._in_use
+        if in_use <= 0:
             raise ResourceError(f"release of idle resource {self.name!r}")
-        self._in_use -= 1
-        if self._waiters:
-            self._grant(self._waiters.popleft())
+        waiters = self._waiters
+        if waiters:
+            # Hand the slot straight to the next waiter.
+            self.total_acquisitions += 1
+            waiters.popleft().succeed(self)
+        else:
+            self._in_use = in_use - 1
 
     def use(self, service_time: float) -> Generator[Event, None, None]:
         """Process helper: acquire, hold for ``service_time``, release."""
         yield self.acquire()
         try:
-            yield self.sim.timeout(service_time)
+            yield Timeout(self.sim, service_time)
         finally:
             self.release()
 
@@ -111,7 +116,11 @@ class Lock(Resource):
         """Acquire, hold for ``base_time`` plus convoy penalty, release."""
         yield self.acquire()
         try:
-            yield self.sim.timeout(base_time + self.contention_penalty())
+            waiters = len(self._waiters)
+            if waiters > self.max_convoy_waiters:
+                waiters = self.max_convoy_waiters
+            yield Timeout(self.sim,
+                          base_time + waiters * self.convoy_overhead)
         finally:
             self.release()
 
@@ -125,7 +134,10 @@ class Lock(Resource):
         """
         yield self.acquire()
         try:
-            per_unit = per_unit_time + self.contention_penalty()
-            yield self.sim.timeout(units * per_unit)
+            waiters = len(self._waiters)
+            if waiters > self.max_convoy_waiters:
+                waiters = self.max_convoy_waiters
+            per_unit = per_unit_time + waiters * self.convoy_overhead
+            yield Timeout(self.sim, units * per_unit)
         finally:
             self.release()

@@ -40,6 +40,11 @@ from repro.sim.events import Event, Simulation
 TRACE_CATEGORIES = ("open", "read", "memory", "decode", "cpu", "gil",
                     "dispatch", "shuffle")
 
+#: Category -> attribute name, precomputed so the per-event accumulation
+#: path does no string formatting.
+_CATEGORY_FIELDS = {category: f"{category}_seconds"
+                    for category in TRACE_CATEGORIES}
+
 
 @dataclass
 class ResourceTrace:
@@ -63,10 +68,10 @@ class ResourceTrace:
 
     def add(self, category: str, seconds: float) -> None:
         """Charge ``seconds`` of elapsed thread-time to ``category``."""
-        if category not in TRACE_CATEGORIES:
+        field = _CATEGORY_FIELDS.get(category)
+        if field is None:
             raise SimulationError(f"unknown trace category {category!r}")
-        setattr(self, f"{category}_seconds",
-                getattr(self, f"{category}_seconds") + seconds)
+        setattr(self, field, getattr(self, field) + seconds)
 
     # -- derived time budgets ----------------------------------------------
 

@@ -75,6 +75,38 @@ class TestTraceGenerators:
         assert trace[0].arrival == 0.0
         assert trace[4].arrival == pytest.approx(900.0)
 
+    def test_bursty_hot_artifact_can_be_pinned(self):
+        trace = bursty_trace(tenants=8, seed=0, burst_size=4,
+                             hot_share=1.0, hot_pipeline="CV2-PNG",
+                             hot_split="unprocessed")
+        assert {job.artifact for job in trace} == {
+            ("CV2-PNG", "unprocessed", None)}
+
+    def test_bursty_hot_pin_keeps_background_jobs_stable(self):
+        """Pinning the hot artifact must not perturb the seeded RNG
+        stream: arrivals, priorities and every non-hot job's artifact
+        stay exactly as in the default trace."""
+        default = bursty_trace(tenants=16, seed=0)
+        pinned = bursty_trace(tenants=16, seed=0, hot_pipeline="CV2-PNG",
+                              hot_split="unprocessed")
+        # CV2-PNG is not in the default mix, so every CV2-PNG job in the
+        # pinned trace is a hot-share job; all others must be untouched.
+        hot_jobs = [job.pipeline == "CV2-PNG" for job in pinned]
+        assert sum(hot_jobs) >= 8
+        for before, after, is_hot in zip(default, pinned, hot_jobs):
+            assert before.tenant == after.tenant
+            assert before.arrival == after.arrival
+            assert before.priority == after.priority
+            if is_hot:
+                assert after.artifact == ("CV2-PNG", "unprocessed", None)
+            else:
+                assert after.artifact == before.artifact
+
+    def test_bursty_hot_split_must_exist(self):
+        with pytest.raises(ProfilingError):
+            bursty_trace(tenants=2, hot_pipeline="MP3",
+                         hot_split="no-such-split")
+
     def test_diurnal_arrivals_sorted_within_period(self):
         trace = diurnal_trace(tenants=12, seed=1, period=3600.0)
         arrivals = [job.arrival for job in trace]

@@ -109,6 +109,116 @@ def test_zero_byte_transfer_is_instant():
     assert sim.run_process(proc()) == 0.0
 
 
+def test_zero_byte_transfer_counter_semantics():
+    """Zero-byte transfers count as transfers but never become active:
+    ``peak_streams`` and ``bytes_moved`` must not move (explicit counter
+    contract; the historical implementation was ambiguous here)."""
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=100 * MB)
+
+    def proc():
+        yield link.transfer(0)
+        yield link.transfer(0.0)
+        return sim.now
+
+    sim.run_process(proc())
+    assert link.total_transfers == 2
+    assert link.peak_streams == 0
+    assert link.bytes_moved == 0.0
+    assert link.active_streams == 0
+
+
+def test_zero_byte_transfers_do_not_slow_active_streams():
+    """A zero-byte transfer admitted mid-flight must not change the fair
+    share of real streams (it never joins the active set)."""
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=100 * MB)
+    finish = {}
+
+    def real():
+        yield link.transfer(100 * MB)
+        finish["real"] = sim.now
+
+    def phantom():
+        yield sim.timeout(0.25)
+        yield link.transfer(0)
+        finish["phantom"] = sim.now
+
+    def main():
+        yield all_of(sim, [sim.process(real()), sim.process(phantom())])
+
+    sim.run_process(main())
+    assert finish["phantom"] == pytest.approx(0.25)
+    assert finish["real"] == pytest.approx(1.0)
+    assert link.total_transfers == 2
+    assert link.peak_streams == 1
+
+
+def test_bytes_moved_includes_in_flight_progress():
+    """``bytes_moved`` is live: mid-transfer reads see pro-rata bytes."""
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=100 * MB)
+    observed = {}
+
+    def mover():
+        yield link.transfer(100 * MB)
+
+    def sampler():
+        yield sim.timeout(0.5)
+        observed["mid"] = link.bytes_moved
+
+    def main():
+        yield all_of(sim, [sim.process(mover()), sim.process(sampler())])
+
+    sim.run_process(main())
+    assert observed["mid"] == pytest.approx(50 * MB)
+    assert link.bytes_moved == pytest.approx(100 * MB)
+
+
+def test_equal_transfers_complete_together_in_admission_order():
+    """Equal concurrent transfers finish in one batch, resumed in
+    admission order (the heap must not reorder ties)."""
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=80 * MB, per_stream_bw=20 * MB)
+    order = []
+
+    def proc(index):
+        yield link.transfer(20 * MB)
+        order.append(index)
+
+    def main():
+        yield all_of(sim, [sim.process(proc(i)) for i in range(4)])
+
+    sim.run_process(main())
+    assert sim.now == pytest.approx(1.0)
+    assert order == [0, 1, 2, 3]
+
+
+def test_no_active_rescan_attributes_remain():
+    """The O(n) hot path is gone: the link keeps a heap, not a list of
+    actives that arrival/completion must rescan."""
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=100 * MB)
+    assert not hasattr(link, "_active")
+    assert hasattr(link, "_heap")
+
+
+def test_progress_integral_rebases_when_idle():
+    """Draining the link resets the progress integral so thresholds stay
+    small over arbitrarily long simulations (float-resolution guard)."""
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=100 * MB)
+
+    def proc():
+        for _ in range(3):
+            yield link.transfer(50 * MB)
+            yield sim.timeout(1.0)
+
+    sim.run_process(proc())
+    assert link._progress == 0.0
+    assert link.bytes_moved == pytest.approx(150 * MB)
+
+
 def test_negative_transfer_rejected():
     sim = Simulation()
     link = SharedBandwidth(sim, aggregate_bw=100 * MB)

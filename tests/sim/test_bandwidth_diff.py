@@ -1,0 +1,173 @@
+"""Differential tests: heap link vs the historical O(n) rescan link.
+
+``_ReferenceSharedBandwidth`` is the pre-optimization implementation,
+kept verbatim in test code as the executable specification of max-min
+fair sharing.  The property test drives both implementations through
+identical random arrival schedules and asserts matching completion
+times, completion order and byte accounting.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.bandwidth import SharedBandwidth
+from repro.sim.events import Event, Simulation
+from repro.units import GB, MB
+
+_EPSILON_BYTES = 1e-6
+
+
+class _RefTransfer:
+    __slots__ = ("event", "remaining")
+
+    def __init__(self, event, remaining):
+        self.event = event
+        self.remaining = remaining
+
+
+class _ReferenceSharedBandwidth:
+    """The historical O(n)-rescan implementation (executable spec)."""
+
+    def __init__(self, sim, aggregate_bw, per_stream_bw=None, name="link"):
+        self.sim = sim
+        self.name = name
+        self.aggregate_bw = float(aggregate_bw)
+        self.per_stream_bw = float(per_stream_bw or aggregate_bw)
+        self._active = []
+        self._last_update = 0.0
+        self._version = 0
+        self.bytes_moved = 0.0
+        self.total_transfers = 0
+        self.peak_streams = 0
+
+    @property
+    def active_streams(self):
+        return len(self._active)
+
+    def stream_rate(self, n_active=None):
+        n = self.active_streams if n_active is None else n_active
+        if n <= 0:
+            return 0.0
+        return min(self.per_stream_bw, self.aggregate_bw / n)
+
+    def transfer(self, nbytes):
+        event = Event(self.sim)
+        self.total_transfers += 1
+        if nbytes <= _EPSILON_BYTES:
+            return event.succeed()
+        self._advance()
+        self._active.append(_RefTransfer(event, float(nbytes)))
+        self.peak_streams = max(self.peak_streams, len(self._active))
+        self._reschedule()
+        return event
+
+    def _advance(self):
+        elapsed = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if elapsed <= 0 or not self._active:
+            return
+        rate = self.stream_rate()
+        progress = elapsed * rate
+        for item in self._active:
+            step = min(progress, item.remaining)
+            item.remaining -= step
+            self.bytes_moved += step
+
+    def _reschedule(self):
+        self._version += 1
+        if not self._active:
+            return
+        version = self._version
+        rate = self.stream_rate()
+        shortest = min(item.remaining for item in self._active)
+        delay = max(shortest, 0.0) / rate
+        wake = self.sim.timeout(delay)
+        wake.add_callback(lambda _event: self._on_wake(version))
+
+    def _on_wake(self, version):
+        if version != self._version:
+            return
+        self._advance()
+        if not self._active:
+            return
+        shortest = min(item.remaining for item in self._active)
+        threshold = shortest + _EPSILON_BYTES
+        finished = [t for t in self._active if t.remaining <= threshold]
+        finished_ids = {id(t) for t in finished}
+        self._active = [t for t in self._active
+                        if id(t) not in finished_ids]
+        for item in finished:
+            self.bytes_moved += item.remaining
+            item.event.succeed()
+        self._reschedule()
+
+
+def _run_schedule(link_cls, schedule, aggregate, per_stream):
+    """Run an arrival schedule; returns per-transfer completion times."""
+    sim = Simulation()
+    link = link_cls(sim, aggregate, per_stream)
+    completions = {}
+
+    def stream(index, arrival, sizes):
+        if arrival > 0:
+            yield sim.timeout(arrival)
+        for step, size in enumerate(sizes):
+            yield link.transfer(size)
+            completions[(index, step)] = sim.now
+
+    for index, (arrival, sizes) in enumerate(schedule):
+        sim.process(stream(index, arrival, sizes), name=f"s{index}")
+    sim.run()
+    return completions, link
+
+
+# A schedule: streams of (arrival_time, [transfer sizes]).  Sizes reach
+# tens of GB so the progress integral leaves the regime where absolute
+# and relative float error coincide (the serve-at-scale workloads).
+_SCHEDULES = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0),
+        st.lists(st.floats(min_value=1.0, max_value=20 * GB),
+                 min_size=1, max_size=8),
+    ),
+    min_size=1, max_size=16,
+)
+
+
+@settings(deadline=None, max_examples=120, derandomize=True)
+@given(
+    schedule=_SCHEDULES,
+    aggregate=st.floats(min_value=50 * MB, max_value=2000 * MB),
+    per_stream=st.floats(min_value=10 * MB, max_value=500 * MB),
+)
+def test_heap_link_matches_reference(schedule, aggregate, per_stream):
+    """The O(log n) link reproduces the O(n) link's completion times
+    and byte accounting on arbitrary arrival schedules."""
+    new_times, new_link = _run_schedule(SharedBandwidth, schedule,
+                                        aggregate, per_stream)
+    ref_times, ref_link = _run_schedule(_ReferenceSharedBandwidth,
+                                        schedule, aggregate, per_stream)
+    assert new_times.keys() == ref_times.keys()
+    for key, expected in ref_times.items():
+        assert new_times[key] == pytest.approx(expected, rel=1e-9,
+                                               abs=1e-9), key
+    assert new_link.bytes_moved == pytest.approx(ref_link.bytes_moved,
+                                                 rel=1e-9)
+    assert new_link.total_transfers == ref_link.total_transfers
+    assert new_link.peak_streams == ref_link.peak_streams
+
+
+@settings(deadline=None, max_examples=60, derandomize=True)
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=500 * MB),
+                   min_size=1, max_size=8),
+    aggregate=st.floats(min_value=50 * MB, max_value=2000 * MB),
+)
+def test_heap_link_matches_reference_simultaneous(sizes, aggregate):
+    """Simultaneous admissions (the barrier pattern every epoch uses)."""
+    schedule = [(0.0, [size]) for size in sizes]
+    new_times, _ = _run_schedule(SharedBandwidth, schedule, aggregate, None)
+    ref_times, _ = _run_schedule(_ReferenceSharedBandwidth, schedule,
+                                 aggregate, None)
+    for key, expected in ref_times.items():
+        assert new_times[key] == pytest.approx(expected, rel=1e-9), key

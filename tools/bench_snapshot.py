@@ -1,18 +1,11 @@
 #!/usr/bin/env python
-"""Machine-readable performance trajectory snapshot (``make bench``).
+"""Compatibility shim: the snapshot grew into ``benchmarks/perf/``.
 
-Runs two pinned workloads and writes ``BENCH_serve.json``:
-
-* **sweep** -- every legal strategy of MP3 + FLAC through the serial
-  sweep engine (the profiling hot path);
-* **serve** -- the contended 8-tenant bursty scenario (seed 0, 2 slots)
-  under FIFO and cache-aware scheduling (the serving hot path).
-
-Each section records host wall-clock seconds (machine-dependent; track
-the trend, not the absolute) alongside the *simulated* headline metrics,
-which are deterministic and must only change when the model changes.
-Future PRs diff this file to see whether they made the hot paths faster
-or slower and whether simulated results drifted.
+``tools/bench_snapshot.py`` was the original two-scenario snapshot
+writer.  The perf suite now lives in ``benchmarks/perf/bench_serve.py``
+(scaled serve scenarios, the link microbenchmark, the pre/post kernel
+comparison and the CI event-count smoke); this shim forwards so old
+invocations and docs keep working.
 
 Usage::
 
@@ -21,92 +14,12 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import time
+import runpy
+import sys
 from pathlib import Path
 
-SWEEP_PIPELINES = ("MP3", "FLAC")
-SERVE_TENANTS = 8
-SERVE_SEED = 0
-SERVE_SLOTS = 2
-SERVE_POLICIES = ("fifo", "cache-aware")
-
-
-def bench_sweep() -> dict:
-    from repro.backends import SimulatedBackend
-    from repro.exec import SweepEngine
-    from repro.pipelines import get_pipeline
-    engine = SweepEngine(SimulatedBackend())
-    started = time.perf_counter()
-    result = engine.sweep([get_pipeline(name)
-                           for name in SWEEP_PIPELINES])
-    wall = time.perf_counter() - started
-    throughputs = {
-        f"{profile.strategy.pipeline_name}/{profile.strategy.split_name}":
-            round(profile.throughput, 3)
-        for profile in result.all_profiles()
-    }
-    return {
-        "pipelines": list(SWEEP_PIPELINES),
-        "strategies": result.job_count,
-        "wall_seconds": round(wall, 3),
-        "throughput_sps": throughputs,
-    }
-
-
-def bench_serve() -> dict:
-    from repro.serve import PreprocessingService, bursty_trace
-    trace = bursty_trace(tenants=SERVE_TENANTS, seed=SERVE_SEED)
-    policies = {}
-    for policy in SERVE_POLICIES:
-        service = PreprocessingService(policy=policy, slots=SERVE_SLOTS)
-        started = time.perf_counter()
-        report = service.run(trace)
-        wall = time.perf_counter() - started
-        policies[policy] = {
-            "wall_seconds": round(wall, 3),
-            "makespan_s": round(report.makespan, 3),
-            "aggregate_sps": round(report.aggregate_sps, 3),
-            "p99_epoch_s": round(report.p99_epoch_seconds, 3),
-            "cache_hit_ratio": round(report.cache_hit_ratio, 4),
-            "offline_runs": report.offline_runs,
-            "offline_deduped": report.offline_deduped,
-            "slo_violations": report.total_slo_violations,
-        }
-    return {
-        "tenants": SERVE_TENANTS,
-        "trace": "bursty",
-        "seed": SERVE_SEED,
-        "slots": SERVE_SLOTS,
-        "policies": policies,
-    }
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_serve.json",
-                        help="where to write the snapshot")
-    args = parser.parse_args()
-    snapshot = {
-        "schema": 1,
-        "python": platform.python_version(),
-        "sweep": bench_sweep(),
-        "serve": bench_serve(),
-    }
-    path = Path(args.output)
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {path}")
-    serve = snapshot["serve"]["policies"]
-    for policy, metrics in serve.items():
-        print(f"  serve[{policy}]: {metrics['aggregate_sps']} SPS "
-              f"aggregate in {metrics['wall_seconds']}s wall")
-    print(f"  sweep: {snapshot['sweep']['strategies']} strategies in "
-          f"{snapshot['sweep']['wall_seconds']}s wall")
-    return 0
-
-
 if __name__ == "__main__":
-    import sys
-    sys.exit(main())
+    driver = (Path(__file__).resolve().parent.parent
+              / "benchmarks" / "perf" / "bench_serve.py")
+    sys.argv[0] = str(driver)
+    runpy.run_path(str(driver), run_name="__main__")
