@@ -1,13 +1,15 @@
 # Convenience targets for the PRESTO reproduction.
 #
-#   make test         tier-1 test suite (unit + benchmark harness)
-#   make smoke        parallel-sweep determinism smoke (tools/sweep_smoke.py)
-#   make sweep        full-catalog profile of the seven paper pipelines
-#   make golden       regenerate the golden CLI outputs (eyeball the diff!)
-#   make coverage     line-coverage floors (diagnosis + serve subsystems)
-#   make bench        write the BENCH_serve.json performance snapshot
-#   make bench-check  CI perf smoke: assert the pinned scenario's
-#                     deterministic event count (never wall time)
+#   make test          tier-1 test suite (unit + benchmark harness)
+#   make smoke         parallel-sweep determinism smoke (tools/sweep_smoke.py)
+#   make sweep         full-catalog profile of the seven paper pipelines
+#   make golden        regenerate the golden CLI outputs (eyeball the diff!)
+#   make coverage      line-coverage floors (diagnosis + serve + api)
+#   make bench         write the BENCH_serve.json performance snapshot
+#   make bench-check   CI perf smoke: assert the pinned scenario's
+#                      deterministic event count (never wall time)
+#   make plan-examples validate every shipped experiment spec with
+#                      `presto plan` (CI keeps examples/experiments/ green)
 
 PYTHON ?= python
 PYTHONPATH := src
@@ -16,7 +18,7 @@ PYTHONPATH := src
 COVERAGE_FLOOR ?= 80
 
 .PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve \
-	bench bench-check
+	bench bench-check plan-examples
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -30,7 +32,7 @@ sweep:
 golden:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/golden --update-golden -q
 
-coverage: coverage-diagnosis coverage-serve
+coverage: coverage-diagnosis coverage-serve coverage-api
 
 coverage-diagnosis:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --floor $(COVERAGE_FLOOR)
@@ -38,8 +40,17 @@ coverage-diagnosis:
 coverage-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.serve --floor $(COVERAGE_FLOOR)
 
+coverage-api:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.api --floor $(COVERAGE_FLOOR)
+
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_serve.py --output BENCH_serve.json
 
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_serve.py --check
+
+plan-examples:
+	@for spec in examples/experiments/*; do \
+		echo "== presto plan $$spec"; \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli plan $$spec || exit 1; \
+	done

@@ -1,0 +1,54 @@
+"""The declarative Experiment API end to end.
+
+Express studies as data (ExperimentSpec), inspect them before paying
+for them (Session.plan), run them through one facade (Session.run) and
+compose results from *different workloads* into one comparison frame.
+
+Run with:  PYTHONPATH=src python examples/declarative_experiments.py
+"""
+
+from pathlib import Path
+
+from repro.api import (ExperimentSpec, RunSpec, ServeSpec, Session,
+                       comparison_frame, dump_spec, load_spec)
+
+session = Session(stderr=None)
+
+# -- 1. a spec is just data --------------------------------------------------
+
+profile = ExperimentSpec(kind="profile", pipelines=("MP3",),
+                         name="mp3-baseline")
+print("## plan (nothing executed yet)")
+print(session.plan(profile).describe())
+
+# -- 2. plan -> run -> artifact ----------------------------------------------
+
+artifact = session.run(profile)
+print()
+print("## report (byte-identical to `presto profile MP3`)")
+print(artifact.report)
+print()
+print("provenance:", artifact.provenance.describe())
+print(f"kernel events: {artifact.events_processed:,}")
+
+# -- 3. specs round-trip through files ---------------------------------------
+
+path = Path("/tmp/mp3_baseline.json")
+dump_spec(profile, path)
+assert load_spec(path) == profile
+assert load_spec(path).fingerprint() == artifact.fingerprint
+print(f"\nspec saved to {path} and reloaded: fingerprints match")
+
+# -- 4. different workloads compose into one frame ---------------------------
+
+serve = session.run(ExperimentSpec(
+    kind="serve", name="mp3-flac-service", seed=0,
+    run=RunSpec(epochs=1),
+    serve=ServeSpec(tenants=3, trace="steady", policy="cache-aware")))
+
+combined = comparison_frame([artifact, serve])
+print()
+print("## one comparison frame across a profile and a serve run")
+print(combined.select(["experiment", "workload", "fingerprint",
+                       "strategy", "throughput_sps", "tenant",
+                       "sps"]).to_markdown())

@@ -22,6 +22,15 @@ Full-catalog sweeps fan out and memoize via the exec engine::
     engine = SweepEngine(SimulatedBackend(), executor=4,
                          cache=ProfileCache("~/.cache/presto"))
     result = engine.sweep()          # all seven paper pipelines
+
+The declarative front door expresses any study as one serializable
+spec and runs it through the Session facade (``presto run``)::
+
+    from repro import ExperimentSpec, Session
+
+    spec = ExperimentSpec(kind="sweep", pipelines=("MP3", "FLAC"))
+    artifact = Session().run(spec)   # Frame + report + provenance
+    print(artifact.report)
 """
 
 from repro.backends import (AnalyticModel, Environment, InProcessBackend,
@@ -34,14 +43,18 @@ from repro.exec import ProfileCache, SweepEngine, SweepResult
 from repro.pipelines import PipelineSpec, all_pipelines, get_pipeline
 from repro.serve import (JobSpec, PreprocessingService, ServiceReport,
                          generate_trace, sweep_policies)
+from repro.api import (ExperimentPlan, ExperimentSpec, RunArtifact,
+                       Session, load_spec)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalyticModel",
     "AutoTuner",
     "BottleneckDoctor",
     "Environment",
+    "ExperimentPlan",
+    "ExperimentSpec",
     "Frame",
     "InProcessBackend",
     "JobSpec",
@@ -49,8 +62,10 @@ __all__ = [
     "PipelineSpec",
     "PreprocessingService",
     "ProfileCache",
+    "RunArtifact",
     "RunConfig",
     "ServiceReport",
+    "Session",
     "SimulatedBackend",
     "Strategy",
     "StrategyAnalysis",
@@ -61,6 +76,7 @@ __all__ = [
     "enumerate_strategies",
     "generate_trace",
     "get_pipeline",
+    "load_spec",
     "sweep_policies",
     "__version__",
 ]

@@ -1,0 +1,79 @@
+"""The declarative experiment API: one spec, one facade, one artifact.
+
+The paper's methodology is "run many strategy x pipeline x hardware
+configurations and compare them"; this package makes that a data
+problem instead of a flag-wrangling problem:
+
+* :class:`~repro.api.spec.ExperimentSpec` -- a serializable dataclass
+  tree describing one experiment (workload kind, pipelines, run knobs,
+  environment, executor/cache settings, workload sub-specs) with
+  lossless ``to_dict``/``from_dict``, JSON/YAML file loading and
+  content-addressed fingerprinting that reuses the exec layer's
+  canonical descriptions.
+* :class:`~repro.api.session.Session` -- the plan -> run -> report
+  facade: ``plan()`` resolves a spec into an inspectable
+  :class:`~repro.api.plan.ExperimentPlan`, ``run()`` dispatches to the
+  existing engines and returns a
+  :class:`~repro.api.artifact.RunArtifact` (frame + report +
+  events_processed + provenance) for every workload.
+
+Quickstart::
+
+    from repro.api import ExperimentSpec, Session, load_spec
+
+    spec = ExperimentSpec(kind="diagnose", pipelines=("MP3",))
+    artifact = Session().run(spec)
+    print(artifact.report)
+
+    spec = load_spec("examples/experiments/sweep_cv.json")
+    print(Session().plan(spec).describe())
+
+CLI surface: ``presto run experiment.json`` and ``presto plan
+experiment.json``; every classic subcommand is a thin shim that builds
+an ExperimentSpec and calls the Session.
+"""
+
+from repro.api.artifact import Provenance, RunArtifact, comparison_frame
+from repro.api.loader import dump_spec, load_spec, parse_simple_yaml
+from repro.api.plan import ExperimentPlan, PlannedPipeline, build_plan
+from repro.api.resolve import (resolve_backend_name, resolve_pipeline,
+                               resolve_pipeline_name, resolve_policy,
+                               resolve_storage, resolve_strategy_name,
+                               resolve_trace)
+from repro.api.session import Session
+from repro.api.spec import (SPEC_SCHEMA_VERSION, WORKLOAD_KINDS,
+                            DiagnoseSpec, EnvironmentSpec, ExecSpec,
+                            ExperimentSpec, FanoutSpec, RunSpec, ServeSpec,
+                            TuneSpec)
+from repro.errors import SpecError
+
+__all__ = [
+    "DiagnoseSpec",
+    "EnvironmentSpec",
+    "ExecSpec",
+    "ExperimentPlan",
+    "ExperimentSpec",
+    "FanoutSpec",
+    "PlannedPipeline",
+    "Provenance",
+    "RunArtifact",
+    "RunSpec",
+    "SPEC_SCHEMA_VERSION",
+    "ServeSpec",
+    "Session",
+    "SpecError",
+    "TuneSpec",
+    "WORKLOAD_KINDS",
+    "build_plan",
+    "comparison_frame",
+    "dump_spec",
+    "load_spec",
+    "parse_simple_yaml",
+    "resolve_backend_name",
+    "resolve_pipeline",
+    "resolve_pipeline_name",
+    "resolve_policy",
+    "resolve_storage",
+    "resolve_strategy_name",
+    "resolve_trace",
+]

@@ -1,0 +1,110 @@
+"""The common result record every workload returns.
+
+A :class:`RunArtifact` is what :meth:`repro.api.session.Session.run`
+hands back regardless of workload kind: the result :class:`Frame`, the
+rendered report text (byte-identical to the classic CLI output for that
+workload), the deterministic kernel-event count, and
+:class:`Provenance` (spec fingerprint, seed, package/python versions)
+so any artifact can be traced back to the exact spec that produced it.
+
+Because every workload speaks Frame, results from *different* workloads
+compose: :func:`comparison_frame` unions artifact frames into one table
+with ``experiment`` / ``workload`` / ``fingerprint`` columns -- the
+"compare this sweep against that serve run" view the paper's
+many-configurations methodology needs.
+"""
+
+from __future__ import annotations
+
+import platform
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.frame import Frame
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where an artifact came from; enough to reproduce it exactly."""
+
+    fingerprint: str
+    kind: str
+    seed: int
+    spec: dict = field(default_factory=dict, hash=False, compare=False)
+    version: str = ""
+    python: str = ""
+
+    @classmethod
+    def capture(cls, spec) -> "Provenance":
+        """Stamp provenance for ``spec`` (an ExperimentSpec)."""
+        from repro import __version__
+        return cls(fingerprint=spec.fingerprint(), kind=spec.kind,
+                   seed=spec.seed, spec=spec.to_dict(),
+                   version=__version__,
+                   python=platform.python_version())
+
+    def describe(self) -> str:
+        return (f"{self.kind} experiment {self.fingerprint[:12]} "
+                f"(seed {self.seed}, repro {self.version}, "
+                f"python {self.python})")
+
+
+@dataclass
+class RunArtifact:
+    """One workload's complete outcome in the common shape."""
+
+    frame: Frame
+    report: str
+    provenance: Provenance
+    #: Kernel events resolved by the run's simulations (0 for workloads
+    #: that execute nothing simulated, e.g. in-process profiling).
+    events_processed: int = 0
+
+    @property
+    def kind(self) -> str:
+        return self.provenance.kind
+
+    @property
+    def fingerprint(self) -> str:
+        return self.provenance.fingerprint
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (frame flattened to records)."""
+        return {
+            "provenance": {
+                "fingerprint": self.provenance.fingerprint,
+                "kind": self.provenance.kind,
+                "seed": self.provenance.seed,
+                "version": self.provenance.version,
+                "python": self.provenance.python,
+                "spec": self.provenance.spec,
+            },
+            "events_processed": self.events_processed,
+            "records": list(self.frame.rows()),
+            "report": self.report,
+        }
+
+
+def comparison_frame(artifacts: Sequence[RunArtifact],
+                     labels: Optional[Sequence[str]] = None) -> Frame:
+    """Union several artifacts' frames into one comparison table.
+
+    Each row is tagged with the experiment label (the spec ``name`` when
+    set, else the fingerprint prefix), its workload kind and the full
+    fingerprint; columns a workload does not produce are None.
+    """
+    records = []
+    for index, artifact in enumerate(artifacts):
+        if labels is not None and index < len(labels):
+            label = labels[index]
+        else:
+            label = (artifact.provenance.spec.get("name")
+                     or artifact.fingerprint[:12])
+        for row in artifact.frame.rows():
+            records.append({
+                "experiment": label,
+                "workload": artifact.kind,
+                "fingerprint": artifact.fingerprint[:12],
+                **row,
+            })
+    return Frame.from_records(records)

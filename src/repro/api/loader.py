@@ -1,0 +1,252 @@
+"""Spec-file loading: JSON and a dependency-free YAML subset.
+
+``load_spec(path)`` reads an experiment file and returns a validated
+:class:`~repro.api.spec.ExperimentSpec`.  ``*.json`` files are parsed
+with the stdlib; ``*.yaml`` / ``*.yml`` files are parsed by
+:func:`parse_simple_yaml`, a deliberately small subset of YAML that
+covers experiment specs without adding a dependency:
+
+* nested mappings by indentation (spaces only, consistent per level);
+* lists either as ``- item`` block entries (scalars only, indented at
+  or beyond their key, as in standard YAML) or inline ``[a, b, c]``
+  (commas inside quoted scalars are respected);
+* scalars: ``null``/``~``, ``true``/``false``, integers, floats,
+  single- or double-quoted strings, bare strings;
+* ``#`` comments (full-line, or after a value separated by whitespace).
+
+Anchors, multi-line strings, flow mappings and tabs are rejected with
+line-numbered :class:`~repro.errors.SpecError` messages.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.api.spec import ExperimentSpec
+from repro.errors import SpecError
+
+
+def load_spec(path: Union[str, Path]) -> ExperimentSpec:
+    """Load and validate an experiment spec from a JSON or YAML file."""
+    return ExperimentSpec.from_dict(load_spec_dict(path))
+
+
+def load_spec_dict(path: Union[str, Path]) -> dict:
+    """Load the raw spec mapping from a file (no validation)."""
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"spec file not found: {path}")
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"{path}: invalid JSON: {exc}") from None
+    elif path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            payload = parse_simple_yaml(text)
+        except SpecError as exc:
+            raise SpecError(f"{path}: {exc}") from None
+    else:
+        raise SpecError(
+            f"spec file {path} must end in .json, .yaml or .yml")
+    if not isinstance(payload, dict):
+        raise SpecError(
+            f"{path}: top level must be a mapping, "
+            f"got {type(payload).__name__}")
+    return payload
+
+
+def dump_spec(spec: ExperimentSpec, path: Union[str, Path]) -> None:
+    """Write ``spec`` as pretty-printed JSON (the canonical file form)."""
+    Path(path).write_text(
+        json.dumps(spec.to_dict(), indent=2, sort_keys=False) + "\n")
+
+
+# -- the YAML subset ---------------------------------------------------------
+
+def _scalar(token: str, lineno: int) -> Any:
+    token = token.strip()
+    if token in ("null", "~", ""):
+        return None
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if (len(token) >= 2 and token[0] in "'\""
+            and token[-1] == token[0]):
+        return token[1:-1]
+    if token and (token[0].isdigit()
+                  or (token[0] in "+-." and len(token) > 1)):
+        try:
+            return int(token)
+        except ValueError:
+            try:
+                return float(token)
+            except ValueError:
+                pass
+    if token.startswith(("{", "[", "&", "*", "|", ">")):
+        raise SpecError(
+            f"line {lineno}: unsupported YAML syntax {token!r} "
+            f"(the subset allows scalars, '- ' lists of scalars, inline "
+            f"[..] lists as mapping values, and nested mappings)")
+    return token
+
+
+def _strip_comment(text: str) -> str:
+    """Drop a trailing comment (``#`` preceded by whitespace, outside
+    quotes).
+
+    A quote character only *opens* a quoted span at the start of a
+    value (after whitespace, ``:``, ``,`` or ``[``); an apostrophe
+    inside a bare word (``it's``) is plain text, so a comment after it
+    is still stripped.
+    """
+    quote = None
+    for index, char in enumerate(text):
+        if quote:
+            if char == quote:
+                quote = None
+        elif (char in "'\""
+              and (index == 0 or text[index - 1] in " \t:,[")):
+            quote = char
+        elif (char == "#"
+              and (index == 0 or text[index - 1] in " \t")):
+            return text[:index]
+    return text
+
+
+def _inline_list(token: str, lineno: int) -> list:
+    body = token[1:-1].strip()
+    if not body:
+        return []
+    # Split on commas outside quotes so quoted scalars may contain
+    # them.  As in _strip_comment, a quote only *opens* a span at the
+    # start of an element -- an apostrophe inside a bare word (don't)
+    # is plain text, never a separator-swallowing quote.
+    items: list[str] = []
+    current: list[str] = []
+    quote = None
+    at_element_start = True
+    for char in body:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in "'\"" and at_element_start:
+            current.append(char)
+            quote = char
+            at_element_start = False
+        elif char == ",":
+            items.append("".join(current))
+            current = []
+            at_element_start = True
+        else:
+            current.append(char)
+            if char not in " \t":
+                at_element_start = False
+    if quote:
+        raise SpecError(f"line {lineno}: unterminated quote in "
+                        f"inline list {token!r}")
+    items.append("".join(current))
+    if items and not items[-1].strip():
+        items.pop()  # trailing comma, legal in YAML
+    if any(not item.strip() for item in items):
+        raise SpecError(
+            f"line {lineno}: empty element in inline list {token!r}")
+    return [_scalar(item, lineno) for item in items]
+
+
+def parse_simple_yaml(text: str) -> Any:
+    """Parse the YAML subset described in the module docstring."""
+    lines: list[tuple[int, int, str]] = []  # (lineno, indent, content)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw:
+            raise SpecError(
+                f"line {lineno}: tabs are not allowed; indent with spaces")
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append((lineno, indent, stripped.strip()))
+    if not lines:
+        return {}
+    value, consumed = _parse_block(lines, 0, lines[0][1])
+    if consumed != len(lines):
+        lineno = lines[consumed][0]
+        raise SpecError(f"line {lineno}: unexpected de-indent")
+    return value
+
+
+def _parse_block(lines, start: int, indent: int):
+    """Parse one indentation block starting at ``lines[start]``."""
+    lineno, first_indent, content = lines[start]
+    if first_indent != indent:
+        raise SpecError(f"line {lineno}: inconsistent indentation")
+    if content.startswith("- ") or content == "-":
+        return _parse_list(lines, start, indent)
+    return _parse_mapping(lines, start, indent)
+
+
+def _parse_list(lines, start: int, indent: int):
+    items = []
+    index = start
+    while index < len(lines):
+        lineno, line_indent, content = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise SpecError(
+                f"line {lineno}: nested structures under '-' entries are "
+                f"not supported by the YAML subset (use inline [..] lists)")
+        if not content.startswith("- ") and content != "-":
+            break
+        items.append(_scalar(content[1:].strip(), lineno))
+        index += 1
+    return items, index
+
+
+def _parse_mapping(lines, start: int, indent: int):
+    mapping: dict[str, Any] = {}
+    index = start
+    while index < len(lines):
+        lineno, line_indent, content = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise SpecError(f"line {lineno}: unexpected indentation")
+        if content.startswith("- "):
+            break
+        if ":" not in content:
+            raise SpecError(
+                f"line {lineno}: expected 'key: value', got {content!r}")
+        key, _, rest = content.partition(":")
+        key = _scalar(key, lineno)
+        if not isinstance(key, str):
+            raise SpecError(f"line {lineno}: mapping keys must be strings")
+        if key in mapping:
+            raise SpecError(f"line {lineno}: duplicate key {key!r}")
+        rest = rest.strip()
+        if rest:
+            if rest.startswith("[") and rest.endswith("]"):
+                mapping[key] = _inline_list(rest, lineno)
+            else:
+                mapping[key] = _scalar(rest, lineno)
+            index += 1
+            continue
+        # Value is a nested block (or an empty value at end of input).
+        # Standard YAML also allows block-list items at the *same*
+        # indent as their key; accept that spelling too.
+        if (index + 1 < len(lines)
+                and (lines[index + 1][1] > line_indent
+                     or (lines[index + 1][1] == line_indent
+                         and lines[index + 1][2].startswith("- ")))):
+            value, index = _parse_block(lines, index + 1,
+                                        lines[index + 1][1])
+            mapping[key] = value
+        else:
+            mapping[key] = None
+            index += 1
+    return mapping, index

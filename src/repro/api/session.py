@@ -1,0 +1,256 @@
+"""The Session facade: plan -> run -> report for every workload.
+
+One front door over the four separately-grown engines::
+
+    from repro.api import ExperimentSpec, RunSpec, Session
+
+    spec = ExperimentSpec(kind="sweep", pipelines=("MP3", "FLAC"),
+                          run=RunSpec(threads=8))
+    session = Session()
+    plan = session.plan(spec)        # inspect before paying for it
+    artifact = session.run(spec)     # dispatches to the sweep engine
+    print(artifact.report)           # == `presto sweep` stdout, byte-wise
+
+``Session.run`` dispatches on ``spec.kind`` to the existing engines
+(StrategyProfiler/SweepEngine, AutoTuner, BottleneckDoctor,
+PreprocessingService, the fan-out models) and always returns a
+:class:`~repro.api.artifact.RunArtifact` -- frame + report text +
+kernel-event count + provenance -- so results from different workloads
+compose into one comparison frame.  The classic ``presto`` subcommands
+are thin shims over this class; their stdout is the artifact's
+``report`` field verbatim, which the golden suite pins byte-for-byte.
+
+Side-channel output (progress events, cache hit/miss statistics, sweep
+wall-clock) goes to the session's ``stderr`` stream, exactly as the
+historical CLI emitted it; pass ``stderr=None`` to silence it.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.api.artifact import Provenance, RunArtifact
+from repro.api.plan import ExperimentPlan, build_plan
+from repro.api.resolve import resolve_pipeline, resolve_strategy_name
+from repro.api.spec import ExperimentSpec
+from repro.errors import SpecError
+
+
+#: Sentinel: "whatever sys.stderr is when the note is emitted" (so
+#: stream redirection and pytest's capsys see session side-channel
+#: output), as opposed to an explicit stream or ``None`` (silent).
+_CURRENT_STDERR = object()
+
+
+class Session:
+    """Runs validated experiment specs through the existing engines."""
+
+    def __init__(self, stderr=_CURRENT_STDERR):
+        self._stderr = stderr
+        self._last_artifact: Optional[RunArtifact] = None
+
+    @property
+    def stderr(self):
+        """The live side-channel stream (None when silenced)."""
+        if self._stderr is _CURRENT_STDERR:
+            return sys.stderr
+        return self._stderr
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def plan(self, spec: ExperimentSpec) -> ExperimentPlan:
+        """Resolve ``spec`` without executing anything."""
+        return build_plan(spec)
+
+    def run(self, spec: ExperimentSpec) -> RunArtifact:
+        """Execute ``spec``; returns the workload's RunArtifact."""
+        spec.validate()
+        runner = getattr(self, f"_run_{spec.kind}", None)
+        if runner is None:  # pragma: no cover - validate() gates kinds
+            raise SpecError(f"unknown workload kind {spec.kind!r}")
+        artifact = runner(spec)
+        self._last_artifact = artifact
+        return artifact
+
+    @property
+    def last_artifact(self) -> Optional[RunArtifact]:
+        """The artifact of the most recent :meth:`run` (or None)."""
+        return self._last_artifact
+
+    # -- shared plumbing ----------------------------------------------------
+
+    def _note(self, message: str) -> None:
+        if self.stderr is not None:
+            print(message, file=self.stderr)
+
+    def _cache(self, spec: ExperimentSpec):
+        if not spec.executor.cache_dir:
+            return None
+        from repro.exec.cache import ProfileCache
+        return ProfileCache(spec.executor.cache_dir)
+
+    def _report_cache(self, cache) -> None:
+        if cache is not None:
+            self._note(f"cache: {cache.stats.describe()}")
+
+    def _events_of(self, profiles) -> int:
+        """Kernel events across every run of every profile."""
+        return sum(run.events_processed
+                   for profile in profiles for run in profile.runs)
+
+    def _artifact(self, spec: ExperimentSpec, frame, report: str,
+                  events: int = 0) -> RunArtifact:
+        return RunArtifact(frame=frame, report=report,
+                           provenance=Provenance.capture(spec),
+                           events_processed=events)
+
+    # -- workloads ----------------------------------------------------------
+
+    def _run_profile(self, spec: ExperimentSpec) -> RunArtifact:
+        from repro.core.analysis import StrategyAnalysis
+        from repro.core.profiler import StrategyProfiler
+        cache = self._cache(spec)
+        profiler = StrategyProfiler(spec.environment.to_backend(),
+                                    jobs=spec.executor.jobs, cache=cache)
+        profiles = profiler.profile_pipeline(
+            resolve_pipeline(spec.pipelines[0]),
+            config=spec.run.to_run_config())
+        report = StrategyAnalysis(profiles).summary()
+        self._report_cache(cache)
+        return self._artifact(spec, StrategyProfiler.to_frame(profiles),
+                              report, self._events_of(profiles))
+
+    def _run_sweep(self, spec: ExperimentSpec) -> RunArtifact:
+        from repro.core.analysis import StrategyAnalysis
+        from repro.core.profiler import StrategyProfiler
+        from repro.exec import ProgressPrinter, SweepEngine
+        cache = self._cache(spec)
+        engine = SweepEngine(spec.environment.to_backend(),
+                             executor=spec.executor.jobs, cache=cache)
+        if spec.executor.progress and self.stderr is not None:
+            engine.add_listener(ProgressPrinter(self.stderr))
+        result = engine.sweep(
+            [resolve_pipeline(name) for name in spec.pipeline_names()],
+            config=spec.run.to_run_config())
+        sections = [f"## {name}\n{StrategyAnalysis(profiles).summary()}"
+                    for name, profiles in result.profiles.items()]
+        report = "\n\n".join(sections)
+        self._note(f"sweep: {result.job_count} strategies across "
+                   f"{len(result.pipelines)} pipeline(s) in "
+                   f"{result.elapsed:.2f}s")
+        self._report_cache(cache)
+        return self._artifact(
+            spec, StrategyProfiler.to_frame(result.all_profiles()),
+            report, self._events_of(result.all_profiles()))
+
+    def _run_tune(self, spec: ExperimentSpec) -> RunArtifact:
+        from repro.core.autotune import AutoTuner
+        cache = self._cache(spec)
+        tuner = AutoTuner(spec.environment.to_backend(),
+                          jobs=spec.executor.jobs, cache=cache)
+        tune = spec.tune
+        report = tuner.tune(resolve_pipeline(spec.pipelines[0]),
+                            weights=tune.to_weights(),
+                            threads=tune.threads,
+                            compressions=tune.compressions,
+                            cache_modes=tune.cache_modes,
+                            epochs=spec.run.epochs,
+                            screen_keep=tune.screen_keep)
+        text = f"{report.frame().to_markdown()}\n\n{report.describe()}"
+        self._report_cache(cache)
+        return self._artifact(spec, report.frame(), text,
+                              self._events_of(report.profiles))
+
+    def _run_diagnose(self, spec: ExperimentSpec) -> RunArtifact:
+        from repro.diagnosis import BottleneckDoctor, verification_report
+        cache = self._cache(spec)
+        doctor = BottleneckDoctor(spec.environment.to_backend(),
+                                  jobs=spec.executor.jobs, cache=cache)
+        diagnosis = doctor.diagnose(resolve_pipeline(spec.pipelines[0]),
+                                    config=spec.run.to_run_config(),
+                                    sample_count=spec.diagnose.sample_count)
+        text = (f"## diagnosis: {spec.pipelines[0]} "
+                f"({spec.run.threads} threads, {spec.environment.storage})"
+                f"\n{diagnosis.to_markdown()}")
+        events = self._events_of(
+            [diag.profile for diag in diagnosis.strategies])
+        if spec.diagnose.verify_top:
+            verified = doctor.verify(diagnosis,
+                                     top=spec.diagnose.verify_top)
+            events += self._events_of(
+                [item.profile for item in verified
+                 if item.profile is not None])
+            text += f"\n\n{verification_report(verified)}"
+        self._report_cache(cache)
+        return self._artifact(spec, diagnosis.frame(), text, events)
+
+    def _run_serve(self, spec: ExperimentSpec) -> RunArtifact:
+        from repro.core.report import service_summary, tenant_table
+        from repro.serve import (PreprocessingService, diagnose_service,
+                                 generate_trace, sweep_policies)
+        serve = spec.serve
+        environment = spec.environment.to_environment()
+        trace = generate_trace(serve.trace, serve.tenants, seed=spec.seed,
+                               epochs=spec.run.epochs,
+                               threads=spec.run.threads)
+        header = (f"{serve.tenants} tenants, trace={serve.trace}(seed "
+                  f"{spec.seed}), slots={serve.slots}, "
+                  f"{spec.environment.storage}")
+        if serve.policy == "all":
+            result = sweep_policies(trace, slots=serve.slots,
+                                    environment=environment,
+                                    tie_break=serve.tie_break)
+            parts = [f"## serve: {header}, policies compared",
+                     result.frame().to_markdown(), "",
+                     f"best policy by aggregate throughput: "
+                     f"{result.best_policy()}"]
+            for report in result.reports:
+                parts += ["", diagnose_service(report).to_markdown()]
+            events = sum(report.events_processed
+                         for report in result.reports)
+            return self._artifact(spec, result.frame(),
+                                  "\n".join(parts), events)
+        service = PreprocessingService(policy=serve.policy,
+                                       slots=serve.slots,
+                                       environment=environment,
+                                       tie_break=serve.tie_break)
+        report = service.run(trace)
+        parts = [f"## serve: {header}, policy={serve.policy}",
+                 tenant_table(report).to_markdown(), "",
+                 service_summary(report), "",
+                 diagnose_service(report).to_markdown()]
+        return self._artifact(spec, tenant_table(report),
+                              "\n".join(parts), report.events_processed)
+
+    def _run_fanout(self, spec: ExperimentSpec) -> RunArtifact:
+        pipeline_name = spec.pipelines[0]
+        pipeline = resolve_pipeline(pipeline_name)
+        strategy = resolve_strategy_name(pipeline_name,
+                                         spec.fanout.strategy)
+        plan = pipeline.split_at(strategy)
+        config = spec.run.to_run_config()
+        trainers = tuple(spec.fanout.trainers)
+        if spec.fanout.simulate:
+            from repro.serve import fan_out_frame_simulated
+            stats: dict = {}
+            frame = fan_out_frame_simulated(
+                plan, config, trainer_counts=trainers,
+                environment=spec.environment.to_environment(),
+                stats=stats)
+            report = (f"co-simulating fan-out of "
+                      f"{pipeline_name}/{strategy} "
+                      f"(analytic bound vs DES delivery):\n"
+                      f"{frame.to_markdown()}")
+            return self._artifact(spec, frame, report,
+                                  stats.get("events_processed", 0))
+        from repro.core.distributed import fan_out_frame
+        single = spec.environment.to_backend().run(plan, config)
+        frame = fan_out_frame(plan, config,
+                              single_job_sps=single.throughput,
+                              trainer_counts=trainers)
+        report = (f"fanning out {pipeline_name}/{strategy} "
+                  f"(single-trainer T4 = {single.throughput:.0f} SPS):\n"
+                  f"{frame.to_markdown()}")
+        return self._artifact(spec, frame, report,
+                              single.events_processed)

@@ -1,0 +1,461 @@
+"""The declarative experiment specification.
+
+An :class:`ExperimentSpec` is the single serializable description of
+"run this study": one workload kind (``profile | sweep | tune |
+diagnose | serve | fanout``), the pipelines it touches, the run knobs
+(:class:`RunSpec`), the hardware (:class:`EnvironmentSpec`), executor
+and profile-cache settings (:class:`ExecSpec`) and the workload-specific
+sub-specs.  Everything the four historical entry points
+(StrategyProfiler/SweepEngine, AutoTuner, BottleneckDoctor,
+PreprocessingService) take as constructor arguments and ad-hoc CLI
+flags is expressible -- and therefore saveable, diffable and
+replayable -- as one spec.
+
+Round-tripping is lossless: ``ExperimentSpec.from_dict(spec.to_dict())
+== spec`` for every workload kind (pinned by a hypothesis property
+test).  ``from_dict`` validates key names per section and
+:meth:`ExperimentSpec.validate` resolves every registry name through
+:mod:`repro.api.resolve`, so errors are actionable ("unknown pipeline
+'CV3'; did you mean 'CV'? valid pipelines: ...") rather than
+tracebacks.
+
+Fingerprinting reuses :mod:`repro.exec.fingerprint`: the spec
+fingerprint digests the *resolved* canonical descriptions
+(``describe_pipeline`` / ``describe_config`` /
+``describe_environment``) that also key the
+:class:`~repro.exec.cache.ProfileCache`, so every cache entry a run
+produces is a pure function of the spec that requested it, and two
+spellings of the same experiment (CLI flags vs JSON file) share one
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Optional
+
+from repro.api.resolve import (resolve_backend_name, resolve_pipeline,
+                               resolve_pipeline_name, resolve_policy,
+                               resolve_storage, resolve_strategy_name,
+                               resolve_trace)
+from repro.errors import SpecError
+
+#: Workload kinds understood by the Session facade.
+WORKLOAD_KINDS = ("profile", "sweep", "tune", "diagnose", "serve", "fanout")
+
+#: Workloads that operate on exactly one pipeline.
+SINGLE_PIPELINE_KINDS = ("profile", "tune", "diagnose", "fanout")
+
+#: Bump when the spec schema changes so fingerprints of old spec files
+#: cannot collide with differently-interpreted new ones.
+SPEC_SCHEMA_VERSION = 1
+
+_COMPRESSIONS = (None, "GZIP", "ZLIB")
+_CACHE_MODES = ("none", "system", "application")
+_TIE_BREAKS = ("arrival", "tenant")
+
+
+def _require_keys(cls, payload: dict, section: str) -> None:
+    """Reject unknown keys with the list of valid ones."""
+    if not isinstance(payload, dict):
+        raise SpecError(
+            f"spec section {section!r} must be a mapping, "
+            f"got {type(payload).__name__}")
+    valid = {spec_field.name for spec_field in fields(cls)}
+    unknown = sorted(set(payload) - valid)
+    if unknown:
+        raise SpecError(
+            f"unknown key(s) {', '.join(map(repr, unknown))} in spec "
+            f"section {section!r}; valid keys: {', '.join(sorted(valid))}")
+
+
+def _as_tuple(value) -> tuple:
+    """Coerce JSON lists (and scalars) into tuples for frozen specs."""
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Per-run strategy knobs; maps 1:1 onto
+    :class:`~repro.backends.base.RunConfig`."""
+
+    threads: int = 8
+    epochs: int = 1
+    compression: Optional[str] = None
+    cache_mode: str = "none"
+    shuffle_buffer: int = 0
+
+    def validate(self) -> None:
+        _check(isinstance(self.threads, int) and self.threads >= 1,
+               f"run.threads must be a positive integer, "
+               f"got {self.threads!r}")
+        _check(isinstance(self.epochs, int) and self.epochs >= 1,
+               f"run.epochs must be a positive integer, got {self.epochs!r}")
+        _check(self.compression in _COMPRESSIONS,
+               f"run.compression must be one of {_COMPRESSIONS}, "
+               f"got {self.compression!r}")
+        _check(self.cache_mode in _CACHE_MODES,
+               f"run.cache_mode must be one of {_CACHE_MODES}, "
+               f"got {self.cache_mode!r}")
+        _check(isinstance(self.shuffle_buffer, int)
+               and self.shuffle_buffer >= 0,
+               f"run.shuffle_buffer must be >= 0, "
+               f"got {self.shuffle_buffer!r}")
+
+    def to_run_config(self):
+        """The equivalent :class:`~repro.backends.base.RunConfig`."""
+        from repro.backends.base import RunConfig
+        return RunConfig(threads=self.threads, epochs=self.epochs,
+                         compression=self.compression,
+                         cache_mode=self.cache_mode,
+                         shuffle_buffer=self.shuffle_buffer)
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Hardware selection: storage device plus execution backend."""
+
+    storage: str = "ceph-hdd"
+    backend: str = "simulated"
+
+    def validate(self) -> None:
+        resolve_storage(self.storage)
+        resolve_backend_name(self.backend)
+
+    def to_environment(self):
+        """The equivalent :class:`~repro.backends.base.Environment`."""
+        from repro.backends.base import Environment
+        return Environment(storage=resolve_storage(self.storage))
+
+    def to_backend(self):
+        """Instantiate the execution backend on this environment."""
+        environment = self.to_environment()
+        if self.backend == "inprocess":
+            from repro.backends import InProcessBackend
+            return InProcessBackend(environment=environment)
+        from repro.backends import SimulatedBackend
+        return SimulatedBackend(environment)
+
+
+@dataclass(frozen=True)
+class ExecSpec:
+    """Sweep-engine settings: worker fan-out, memoization, progress."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    progress: bool = False
+
+    def validate(self) -> None:
+        _check(isinstance(self.jobs, int) and self.jobs >= 1,
+               f"executor.jobs must be a positive integer, got {self.jobs!r}")
+        _check(self.cache_dir is None or isinstance(self.cache_dir, str),
+               f"executor.cache_dir must be a directory path or null, "
+               f"got {self.cache_dir!r}")
+
+
+@dataclass(frozen=True)
+class TuneSpec:
+    """Auto-tuning grid and objective (``kind: tune``)."""
+
+    preprocessing_weight: float = 0.0
+    storage_weight: float = 0.0
+    throughput_weight: float = 1.0
+    threads: tuple = (8,)
+    compressions: tuple = (None, "GZIP", "ZLIB")
+    cache_modes: tuple = ("none",)
+    screen_keep: float = 0.5
+
+    def __post_init__(self):
+        object.__setattr__(self, "threads", _as_tuple(self.threads))
+        object.__setattr__(self, "compressions",
+                           _as_tuple(self.compressions))
+        object.__setattr__(self, "cache_modes",
+                           _as_tuple(self.cache_modes))
+
+    def validate(self) -> None:
+        weights = (self.preprocessing_weight, self.storage_weight,
+                   self.throughput_weight)
+        _check(all(isinstance(w, (int, float)) and w >= 0 for w in weights),
+               f"tune weights must be non-negative numbers, got {weights}")
+        _check(any(weights),
+               "at least one tune weight must be positive")
+        _check(bool(self.threads)
+               and all(isinstance(t, int) and t >= 1 for t in self.threads),
+               f"tune.threads must be positive integers, "
+               f"got {self.threads!r}")
+        _check(bool(self.compressions)
+               and all(c in _COMPRESSIONS for c in self.compressions),
+               f"tune.compressions must be a non-empty subset of "
+               f"{_COMPRESSIONS}, got {self.compressions!r}")
+        _check(bool(self.cache_modes)
+               and all(m in _CACHE_MODES for m in self.cache_modes),
+               f"tune.cache_modes entries must be among {_CACHE_MODES}, "
+               f"got {self.cache_modes!r}")
+        _check(isinstance(self.screen_keep, (int, float))
+               and 0.0 < self.screen_keep <= 1.0,
+               f"tune.screen_keep must be in (0, 1], "
+               f"got {self.screen_keep!r}")
+
+    def to_weights(self):
+        from repro.core.analysis import ObjectiveWeights
+        return ObjectiveWeights(preprocessing=self.preprocessing_weight,
+                                storage=self.storage_weight,
+                                throughput=self.throughput_weight)
+
+
+@dataclass(frozen=True)
+class DiagnoseSpec:
+    """Bottleneck-doctor options (``kind: diagnose``)."""
+
+    verify_top: int = 0
+    sample_count: Optional[int] = None
+
+    def validate(self) -> None:
+        _check(isinstance(self.verify_top, int) and self.verify_top >= 0,
+               f"diagnose.verify_top must be >= 0, got {self.verify_top!r}")
+        _check(self.sample_count is None
+               or (isinstance(self.sample_count, int)
+                   and self.sample_count >= 1),
+               f"diagnose.sample_count must be a positive integer or null, "
+               f"got {self.sample_count!r}")
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Multi-tenant service scenario (``kind: serve``)."""
+
+    tenants: int = 8
+    trace: str = "steady"
+    policy: str = "fifo"
+    slots: int = 2
+    tie_break: str = "arrival"
+
+    def validate(self) -> None:
+        _check(isinstance(self.tenants, int) and self.tenants >= 1,
+               f"serve.tenants must be a positive integer, "
+               f"got {self.tenants!r}")
+        _check(isinstance(self.slots, int) and self.slots >= 1,
+               f"serve.slots must be a positive integer, got {self.slots!r}")
+        resolve_trace(self.trace)
+        resolve_policy(self.policy, allow_all=True)
+        _check(self.tie_break in _TIE_BREAKS,
+               f"serve.tie_break must be one of {_TIE_BREAKS}, "
+               f"got {self.tie_break!r}")
+
+
+@dataclass(frozen=True)
+class FanoutSpec:
+    """Trainer fan-out study (``kind: fanout``)."""
+
+    strategy: Optional[str] = None
+    trainers: tuple = (1, 2, 4, 8, 16)
+    simulate: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "trainers", _as_tuple(self.trainers))
+
+    def validate(self) -> None:
+        _check(bool(self.trainers)
+               and all(isinstance(t, int) and t >= 1 for t in self.trainers),
+               f"fanout.trainers must be positive integers, "
+               f"got {self.trainers!r}")
+        _check(self.strategy is None or isinstance(self.strategy, str),
+               f"fanout.strategy must be a split name or null, "
+               f"got {self.strategy!r}")
+
+
+#: Sub-spec sections of an ExperimentSpec, in serialization order.
+_SECTIONS = {
+    "run": RunSpec,
+    "environment": EnvironmentSpec,
+    "executor": ExecSpec,
+    "tune": TuneSpec,
+    "diagnose": DiagnoseSpec,
+    "serve": ServeSpec,
+    "fanout": FanoutSpec,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One serializable experiment: workload kind plus every knob.
+
+    ``pipelines`` is the pipeline selection: exactly one name for the
+    single-pipeline kinds (profile/tune/diagnose/fanout), any subset for
+    ``sweep`` (empty selects the paper's seven), and ignored by
+    ``serve`` (the trace generator owns its pipeline mix).  ``seed``
+    feeds the serve trace generator and is recorded in provenance for
+    every workload.
+    """
+
+    kind: str
+    pipelines: tuple = ()
+    run: RunSpec = RunSpec()
+    environment: EnvironmentSpec = EnvironmentSpec()
+    executor: ExecSpec = ExecSpec()
+    tune: TuneSpec = TuneSpec()
+    diagnose: DiagnoseSpec = DiagnoseSpec()
+    serve: ServeSpec = ServeSpec()
+    fanout: FanoutSpec = FanoutSpec()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "pipelines", _as_tuple(self.pipelines))
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> "ExperimentSpec":
+        """Check the whole tree; returns self so calls can chain."""
+        if self.kind not in WORKLOAD_KINDS:
+            raise SpecError(
+                f"unknown workload kind {self.kind!r}; valid kinds: "
+                f"{', '.join(WORKLOAD_KINDS)}")
+        if self.kind in SINGLE_PIPELINE_KINDS:
+            _check(len(self.pipelines) == 1,
+                   f"{self.kind!r} experiments need exactly one pipeline, "
+                   f"got {len(self.pipelines)}: {list(self.pipelines)!r}")
+        for pipeline in self.pipelines:
+            resolve_pipeline_name(pipeline)
+        _check(isinstance(self.seed, int),
+               f"seed must be an integer, got {self.seed!r}")
+        _check(isinstance(self.name, str),
+               f"name must be a string, got {self.name!r}")
+        self.run.validate()
+        self.environment.validate()
+        self.executor.validate()
+        if self.kind == "tune":
+            self.tune.validate()
+        elif self.kind == "diagnose":
+            self.diagnose.validate()
+        elif self.kind == "serve":
+            self.serve.validate()
+        elif self.kind == "fanout":
+            self.fanout.validate()
+            resolve_strategy_name(self.pipelines[0], self.fanout.strategy)
+        return self
+
+    # -- pipeline selection --------------------------------------------------
+
+    def pipeline_names(self) -> tuple:
+        """The resolved pipeline selection for this workload."""
+        if self.kind == "serve":
+            from repro.serve.jobs import DEFAULT_PIPELINE_MIX
+            return tuple(DEFAULT_PIPELINE_MIX)
+        if self.kind == "sweep" and not self.pipelines:
+            from repro.pipelines.registry import PAPER_PIPELINES
+            return tuple(PAPER_PIPELINES)
+        return self.pipelines
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless plain-data form (JSON- and YAML-serializable)."""
+        payload: dict[str, Any] = {
+            "kind": self.kind,
+            "pipelines": list(self.pipelines),
+        }
+        for section in _SECTIONS:
+            sub = getattr(self, section)
+            record = dataclasses.asdict(sub)
+            for key, value in record.items():
+                if isinstance(value, tuple):
+                    record[key] = list(value)
+            payload[section] = record
+        payload["seed"] = self.seed
+        payload["name"] = self.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a spec file).
+
+        Missing sections and keys take their defaults; unknown keys are
+        rejected with the valid key list.  The result is validated.
+        """
+        if not isinstance(payload, dict):
+            raise SpecError(
+                f"experiment spec must be a mapping, "
+                f"got {type(payload).__name__}")
+        _require_keys(cls, payload, "experiment")
+        if "kind" not in payload:
+            raise SpecError(
+                f"experiment spec needs a 'kind'; valid kinds: "
+                f"{', '.join(WORKLOAD_KINDS)}")
+        kwargs: dict[str, Any] = {"kind": payload["kind"]}
+        if "pipelines" in payload:
+            value = payload["pipelines"]
+            if isinstance(value, str):
+                value = (value,)
+            _check(isinstance(value, (list, tuple))
+                   and all(isinstance(p, str) for p in value),
+                   f"'pipelines' must be a list of pipeline names, "
+                   f"got {value!r}")
+            kwargs["pipelines"] = tuple(value)
+        for section, section_cls in _SECTIONS.items():
+            if section in payload:
+                record = payload[section]
+                _require_keys(section_cls, record, section)
+                kwargs[section] = section_cls(**record)
+        for scalar in ("seed", "name"):
+            if scalar in payload:
+                kwargs[scalar] = payload[scalar]
+        return cls(**kwargs).validate()
+
+    def with_overrides(self, **changes) -> "ExperimentSpec":
+        """A copy with top-level fields replaced (convenience)."""
+        return replace(self, **changes)
+
+    # -- fingerprinting ------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """SHA-256 digest of the *resolved* experiment.
+
+        Reuses the exec layer's canonical describe_* vocabulary (the
+        same functions that key the ProfileCache), so the fingerprint
+        changes exactly when the work the spec resolves to changes --
+        renaming a storage device or recalibrating a pipeline moves the
+        fingerprint even though the spec file text is unchanged.
+        """
+        from repro.exec.fingerprint import (SCHEMA_VERSION,
+                                            describe_config,
+                                            describe_environment,
+                                            describe_pipeline)
+        self.validate()
+        payload: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "spec_schema": SPEC_SCHEMA_VERSION,
+            "kind": self.kind,
+            "pipelines": [describe_pipeline(resolve_pipeline(name))
+                          for name in self.pipeline_names()],
+            "config": describe_config(self.run.to_run_config()),
+            "environment": describe_environment(
+                self.environment.to_environment()),
+            "backend": self.environment.backend,
+            "seed": self.seed,
+        }
+        if self.kind == "tune":
+            payload["tune"] = dataclasses.asdict(self.tune)
+        elif self.kind == "diagnose":
+            payload["diagnose"] = dataclasses.asdict(self.diagnose)
+        elif self.kind == "serve":
+            payload["serve"] = dataclasses.asdict(self.serve)
+        elif self.kind == "fanout":
+            payload["fanout"] = {
+                **dataclasses.asdict(self.fanout),
+                "strategy": resolve_strategy_name(self.pipelines[0],
+                                                  self.fanout.strategy),
+            }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()

@@ -118,6 +118,10 @@ class StrategyRunResult:
     #: Application-level caching needs the whole dataset in RAM; the
     #: paper's CV/NLP last strategies "failed to run" (Sec. 4.2 obs. 4).
     app_cache_failed: bool = False
+    #: Kernel events the run's private simulation resolved (0 for
+    #: backends that execute nothing simulated).  Deterministic, so the
+    #: declarative API reports it as a machine-independent cost metric.
+    events_processed: int = 0
 
     @property
     def throughput(self) -> float:

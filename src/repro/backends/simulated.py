@@ -185,6 +185,7 @@ class SimulatedBackend:
                 machine.drop_page_cache()
             if config.cache_mode == CACHE_APPLICATION and app_cache_fits:
                 app_cache_ready = True
+        result.events_processed = sim.events_processed
         return result
 
     # -- offline phase ------------------------------------------------------
@@ -199,12 +200,15 @@ class SimulatedBackend:
     def offline_process(self, sim: Simulation, machine: Machine,
                         cluster: StorageCluster, plan: SplitPlan,
                         config: RunConfig,
+                        link_tag: str = "",
                         ) -> Generator[Event, None, OfflineResult]:
         """Materialise ``plan`` as a process generator.
 
         ``yield from`` this inside any simulation process (the service
         runs one per tenant); the return value is the
-        :class:`~repro.backends.base.OfflineResult`.
+        :class:`~repro.backends.base.OfflineResult`.  ``link_tag``
+        labels the cluster-link transfers for tie-break policies (the
+        serve layer passes the tenant id).
         """
         pipeline = plan.pipeline
         source = pipeline.source
@@ -257,7 +261,7 @@ class SimulatedBackend:
                         metadata.release()
                 read_bytes = k * source_bytes_ps
                 counters["read"] += read_bytes
-                yield read_link.transfer(read_bytes)
+                yield read_link.transfer(read_bytes, link_tag)
                 yield Timeout(sim, k * overhead_ps)
                 for holds_gil, cpu_seconds in offline_charges:
                     if holds_gil:
@@ -281,7 +285,7 @@ class SimulatedBackend:
                     yield from native(compress_seconds)
                 write_bytes = k * stored_bytes_ps
                 counters["write"] += write_bytes
-                yield write_link.transfer(write_bytes)
+                yield write_link.transfer(write_bytes, link_tag)
 
         processes = [sim.process(worker(jobs), name=f"offline-{i}")
                      for i, jobs in enumerate(partition_jobs(
@@ -317,6 +321,7 @@ class SimulatedBackend:
                       populate_app_cache: bool = False,
                       app_tensor_bytes_ps: float = 0.0,
                       chunk_namespace=None,
+                      link_tag: str = "",
                       ) -> Generator[Event, None, EpochResult]:
         """Run one training epoch as a process generator.
 
@@ -324,7 +329,9 @@ class SimulatedBackend:
         sharing a namespace (tenants reading one deduplicated artifact)
         hit each other's cached chunks, while distinct namespaces keep
         tenants' private copies isolated.  ``None`` keeps the historical
-        single-job keys.
+        single-job keys.  ``link_tag`` labels this job's storage-link
+        transfers for the link tie-break policy (the serve layer passes
+        the tenant id under ``tie_break="tenant"``).
         """
         pipeline = plan.pipeline
         count = pipeline.sample_count
@@ -456,7 +463,7 @@ class SimulatedBackend:
                         if trace is not None:
                             trace.open_seconds += sim._now - bracket
                     bracket = sim._now
-                    yield read_link.transfer(disk_bytes)
+                    yield read_link.transfer(disk_bytes, link_tag)
                     if trace is not None:
                         trace.read_seconds += sim._now - bracket
                     page_cache.insert(chunk_key, disk_bytes)

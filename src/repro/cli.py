@@ -2,6 +2,8 @@
 
 Subcommands::
 
+    presto run experiment.json        run a declarative experiment spec
+    presto plan experiment.json       inspect a spec without running it
     presto pipelines                  list the profiled pipelines
     presto datasets                   Table 2 dataset metadata
     presto profile CV                 profile all strategies of a pipeline
@@ -15,11 +17,25 @@ Subcommands::
     presto fanout CV                  per-trainer throughput under fan-out
     presto serve --tenants 8          multi-tenant service co-simulation
 
+Every workload subcommand (profile/sweep/tune/diagnose/serve/fanout) is
+a thin shim: it builds an :class:`~repro.api.spec.ExperimentSpec` from
+its flags and hands it to the :class:`~repro.api.session.Session`
+facade, so ``presto profile CV --threads 16`` and a spec file with the
+same contents are the *same experiment* -- same engines, same cache
+keys, same fingerprint, byte-identical report.  ``presto run`` executes
+a saved spec (JSON or the YAML subset), ``presto plan`` prints its
+resolved plan without executing anything.
+
+Unknown pipeline / policy / trace / storage names exit with status 2
+and the list of valid registry names (shared resolvers in
+:mod:`repro.api.resolve`), never a traceback.
+
 All commands run on the simulated backend (deterministic, full scale);
 ``profile --backend inprocess`` switches to real miniature execution.
-``profile``, ``tune`` and ``sweep`` accept ``--jobs N`` to fan profiling
-out over a worker pool and ``--cache DIR`` to memoize profiles on disk;
-progress and cache statistics go to stderr, results to stdout.
+``profile``, ``tune``, ``diagnose`` and ``sweep`` accept ``--jobs N``
+to fan profiling out over a worker pool and ``--cache DIR`` to memoize
+profiles on disk; progress and cache statistics go to stderr, results
+to stdout.
 """
 
 from __future__ import annotations
@@ -28,21 +44,14 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.backends import (Environment, InProcessBackend, RunConfig,
-                            SimulatedBackend)
-from repro.core.analysis import ObjectiveWeights, StrategyAnalysis
-from repro.core.autotune import AutoTuner
-from repro.core.profiler import StrategyProfiler
+from repro.api import (DiagnoseSpec, EnvironmentSpec, ExecSpec,
+                       ExperimentSpec, FanoutSpec, RunSpec, ServeSpec,
+                       Session, TuneSpec, load_spec)
 from repro.core.report import bottleneck_report
 from repro.datasets.catalog import table2_frame
-from repro.diagnosis import BottleneckDoctor, verification_report
 from repro.errors import ReproError
-from repro.exec import ProfileCache, ProgressPrinter, SweepEngine
-from repro.pipelines.registry import (PAPER_PIPELINES, get_pipeline,
-                                      registered_names)
-from repro.serve import POLICY_NAMES, TRACE_KINDS
+from repro.pipelines.registry import PAPER_PIPELINES, get_pipeline
 from repro.sim.fio import run_fio
-from repro.sim.storage import DEVICE_PROFILES
 from repro.units import MB
 
 
@@ -52,11 +61,21 @@ def _build_parser() -> argparse.ArgumentParser:
         description="PRESTO: preprocessing strategy profiling & tuning")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser(
+        "run", help="run a declarative experiment spec file (JSON/YAML)")
+    run.add_argument("spec", metavar="SPEC_FILE",
+                     help="path to an experiment spec (.json/.yaml/.yml)")
+
+    plan = sub.add_parser(
+        "plan", help="resolve and print a spec's plan without running it")
+    plan.add_argument("spec", metavar="SPEC_FILE",
+                      help="path to an experiment spec (.json/.yaml/.yml)")
+
     sub.add_parser("pipelines", help="list profiled pipelines")
     sub.add_parser("datasets", help="print Table 2 dataset metadata")
 
     profile = sub.add_parser("profile", help="profile a pipeline")
-    profile.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    profile.add_argument("pipeline", metavar="PIPELINE")
     profile.add_argument("--threads", type=int, default=8)
     profile.add_argument("--epochs", type=int, default=1)
     profile.add_argument("--compression", choices=["GZIP", "ZLIB"],
@@ -65,28 +84,25 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=["none", "system", "application"],
                          default="none",
                          help="epoch-to-epoch data caching behaviour")
-    profile.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
-                         default="ceph-hdd")
+    profile.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
     profile.add_argument("--backend", choices=["simulated", "inprocess"],
                          default="simulated")
     _add_engine_options(profile)
 
     sweep = sub.add_parser(
         "sweep", help="profile every paper pipeline in one parallel run")
-    sweep.add_argument("--pipelines", nargs="+",
-                       choices=sorted(PAPER_PIPELINES),
+    sweep.add_argument("--pipelines", nargs="+", metavar="PIPELINE",
                        default=list(PAPER_PIPELINES),
                        help="subset of pipelines (default: all seven)")
     sweep.add_argument("--threads", type=int, default=8)
     sweep.add_argument("--epochs", type=int, default=1)
-    sweep.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
-                       default="ceph-hdd")
+    sweep.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress on stderr")
     _add_engine_options(sweep)
 
     tune = sub.add_parser("tune", help="auto-tune a pipeline")
-    tune.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    tune.add_argument("pipeline", metavar="PIPELINE")
     tune.add_argument("--wp", type=float, default=0.0,
                       help="preprocessing-time weight")
     tune.add_argument("--ws", type=float, default=0.0,
@@ -98,17 +114,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bottleneck = sub.add_parser("bottleneck",
                                 help="per-strategy bottleneck report")
-    bottleneck.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    bottleneck.add_argument("pipeline", metavar="PIPELINE")
     bottleneck.add_argument("--threads", type=int, default=8)
 
     diagnose = sub.add_parser(
         "diagnose",
         help="attribute epoch time to resources and recommend rewrites")
-    diagnose.add_argument("pipeline", choices=sorted(registered_names()))
+    diagnose.add_argument("pipeline", metavar="PIPELINE")
     diagnose.add_argument("--threads", type=int, default=8)
     diagnose.add_argument("--epochs", type=int, default=1)
-    diagnose.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
-                          default="ceph-hdd")
+    diagnose.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
     diagnose.add_argument("--sample-count", type=int, default=None,
                           metavar="N",
                           help="diagnose an N-sample subset (cheap look)")
@@ -118,24 +133,23 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_options(diagnose)
 
     fio = sub.add_parser("fio", help="run the Table 3 storage probe")
-    fio.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
-                     default="ceph-hdd")
+    fio.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
 
     cost = sub.add_parser("cost", help="dollar cost per strategy")
-    cost.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    cost.add_argument("pipeline", metavar="PIPELINE")
     cost.add_argument("--epochs", type=int, default=10)
     cost.add_argument("--months", type=float, default=1.0,
                       help="storage retention in months")
 
     amortize = sub.add_parser(
         "amortize", help="offline-time break-even across epoch horizons")
-    amortize.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    amortize.add_argument("pipeline", metavar="PIPELINE")
     amortize.add_argument("--horizons", type=int, nargs="+",
                           default=[1, 5, 20, 100])
 
     fanout = sub.add_parser(
         "fanout", help="per-trainer throughput when serving many jobs")
-    fanout.add_argument("pipeline", choices=sorted(PAPER_PIPELINES))
+    fanout.add_argument("pipeline", metavar="PIPELINE")
     fanout.add_argument("--strategy", default=None,
                         help="split name (default: last strategy)")
     fanout.add_argument("--trainers", type=int, nargs="+",
@@ -149,11 +163,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulate a multi-tenant preprocessing service on one "
              "shared cluster")
     serve.add_argument("--tenants", type=int, default=8, metavar="J")
-    serve.add_argument("--policy", choices=[*POLICY_NAMES, "all"],
-                       default="fifo",
+    serve.add_argument("--policy", metavar="POLICY", default="fifo",
                        help="scheduler policy ('all' compares every one)")
-    serve.add_argument("--trace", choices=sorted(TRACE_KINDS),
-                       default="steady",
+    serve.add_argument("--trace", metavar="KIND", default="steady",
                        help="arrival-trace shape")
     serve.add_argument("--seed", type=int, default=0,
                        help="trace-generator seed (runs are deterministic)")
@@ -162,36 +174,58 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--epochs", type=int, default=2)
     serve.add_argument("--threads", type=int, default=8,
                        help="reader threads per tenant job")
-    serve.add_argument("--storage", choices=sorted(DEVICE_PROFILES),
-                       default="ceph-hdd")
+    serve.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
+    serve.add_argument("--tie-break", choices=["arrival", "tenant"],
+                       default="arrival", dest="tie_break",
+                       help="ordering of simultaneous storage-link "
+                            "completions (tenant = deterministic "
+                            "(timestamp, tenant id) order)")
     return parser
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
-    """The sweep-engine knobs shared by profile/tune/sweep."""
+    """The sweep-engine knobs shared by profile/tune/diagnose/sweep."""
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="parallel profiling workers (default: 1)")
     parser.add_argument("--cache", default=None, metavar="DIR",
                         help="persist memoized profiles in DIR")
 
 
-def _profile_cache(args) -> Optional[ProfileCache]:
-    if not args.cache:
-        return None
-    # ``--cache`` used to select the epoch caching behaviour; that knob
-    # is now ``--cache-mode``.  Its old values double as plausible
-    # directory names, so reject them loudly instead of silently
-    # memoizing profiles into a directory called "application".
+def _exec_spec(args, progress: bool = False) -> ExecSpec:
     if args.cache in ("none", "system", "application"):
+        # ``--cache`` used to select the epoch caching behaviour; that
+        # knob is now ``--cache-mode``.  Its old values double as
+        # plausible directory names, so reject them loudly instead of
+        # silently memoizing profiles into a directory called
+        # "application".
         raise ReproError(
             f"--cache now names a profile-cache directory; use "
             f"--cache-mode {args.cache} for epoch caching behaviour")
-    return ProfileCache(args.cache)
+    return ExecSpec(jobs=args.jobs, cache_dir=args.cache,
+                    progress=progress)
 
 
-def _report_cache(cache: Optional[ProfileCache]) -> None:
-    if cache is not None:
-        print(f"cache: {cache.stats.describe()}", file=sys.stderr)
+def _print_artifact(spec: ExperimentSpec) -> int:
+    artifact = Session().run(spec)
+    print(artifact.report)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = load_spec(args.spec)
+    session = Session()
+    artifact = session.run(spec)
+    print(artifact.report)
+    print(f"run: {artifact.provenance.describe()}, "
+          f"{artifact.events_processed:,} kernel events",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    spec = load_spec(args.spec)
+    print(Session().plan(spec).describe())
+    return 0
 
 
 def _cmd_pipelines() -> int:
@@ -208,89 +242,59 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_profile(args) -> int:
-    environment = Environment(storage=DEVICE_PROFILES[args.storage])
-    if args.backend == "inprocess":
-        backend = InProcessBackend(environment=environment)
-    else:
-        backend = SimulatedBackend(environment)
-    config = RunConfig(threads=args.threads, epochs=args.epochs,
-                       compression=args.compression,
-                       cache_mode=args.cache_mode)
-    cache = _profile_cache(args)
-    profiler = StrategyProfiler(backend, jobs=args.jobs, cache=cache)
-    profiles = profiler.profile_pipeline(get_pipeline(args.pipeline),
-                                         config=config)
-    analysis = StrategyAnalysis(profiles)
-    print(analysis.summary())
-    _report_cache(cache)
-    return 0
+    return _print_artifact(ExperimentSpec(
+        kind="profile",
+        pipelines=(args.pipeline,),
+        run=RunSpec(threads=args.threads, epochs=args.epochs,
+                    compression=args.compression,
+                    cache_mode=args.cache_mode),
+        environment=EnvironmentSpec(storage=args.storage,
+                                    backend=args.backend),
+        executor=_exec_spec(args)))
 
 
 def _cmd_sweep(args) -> int:
-    environment = Environment(storage=DEVICE_PROFILES[args.storage])
-    cache = _profile_cache(args)
-    engine = SweepEngine(SimulatedBackend(environment), executor=args.jobs,
-                         cache=cache)
-    if not args.quiet:
-        engine.add_listener(ProgressPrinter(sys.stderr))
-    config = RunConfig(threads=args.threads, epochs=args.epochs)
-    result = engine.sweep([get_pipeline(name) for name in args.pipelines],
-                          config=config)
-    first = True
-    for name, profiles in result.profiles.items():
-        if not first:
-            print()
-        first = False
-        print(f"## {name}")
-        print(StrategyAnalysis(profiles).summary())
-    print(f"sweep: {result.job_count} strategies across "
-          f"{len(result.pipelines)} pipeline(s) in {result.elapsed:.2f}s",
-          file=sys.stderr)
-    _report_cache(cache)
-    return 0
+    return _print_artifact(ExperimentSpec(
+        kind="sweep",
+        pipelines=tuple(args.pipelines),
+        run=RunSpec(threads=args.threads, epochs=args.epochs),
+        environment=EnvironmentSpec(storage=args.storage),
+        executor=_exec_spec(args, progress=not args.quiet)))
 
 
 def _cmd_tune(args) -> int:
-    weights = ObjectiveWeights(preprocessing=args.wp, storage=args.ws,
-                               throughput=args.wt)
-    cache = _profile_cache(args)
-    tuner = AutoTuner(SimulatedBackend(), jobs=args.jobs, cache=cache)
-    report = tuner.tune(get_pipeline(args.pipeline), weights=weights,
-                        threads=tuple(args.threads))
-    print(report.frame().to_markdown())
-    print()
-    print(report.describe())
-    _report_cache(cache)
-    return 0
+    return _print_artifact(ExperimentSpec(
+        kind="tune",
+        pipelines=(args.pipeline,),
+        tune=TuneSpec(preprocessing_weight=args.wp,
+                      storage_weight=args.ws,
+                      throughput_weight=args.wt,
+                      threads=tuple(args.threads)),
+        executor=_exec_spec(args)))
 
 
 def _cmd_bottleneck(args) -> int:
+    from repro.api import resolve_pipeline
+    from repro.backends import RunConfig
     config = RunConfig(threads=args.threads)
-    print(bottleneck_report(get_pipeline(args.pipeline), config=config))
+    print(bottleneck_report(resolve_pipeline(args.pipeline), config=config))
     return 0
 
 
 def _cmd_diagnose(args) -> int:
-    environment = Environment(storage=DEVICE_PROFILES[args.storage])
-    cache = _profile_cache(args)
-    doctor = BottleneckDoctor(SimulatedBackend(environment),
-                              jobs=args.jobs, cache=cache)
-    config = RunConfig(threads=args.threads, epochs=args.epochs)
-    diagnosis = doctor.diagnose(get_pipeline(args.pipeline), config=config,
-                                sample_count=args.sample_count)
-    print(f"## diagnosis: {args.pipeline} ({args.threads} threads, "
-          f"{args.storage})")
-    print(diagnosis.to_markdown())
-    if args.verify_top:
-        verified = doctor.verify(diagnosis, top=args.verify_top)
-        print()
-        print(verification_report(verified))
-    _report_cache(cache)
-    return 0
+    return _print_artifact(ExperimentSpec(
+        kind="diagnose",
+        pipelines=(args.pipeline,),
+        run=RunSpec(threads=args.threads, epochs=args.epochs),
+        environment=EnvironmentSpec(storage=args.storage),
+        diagnose=DiagnoseSpec(verify_top=args.verify_top,
+                              sample_count=args.sample_count),
+        executor=_exec_spec(args)))
 
 
 def _cmd_fio(args) -> int:
-    profile = DEVICE_PROFILES[args.storage]
+    from repro.api import resolve_storage
+    profile = resolve_storage(args.storage)
     print(f"fio profile of {profile.name}:")
     header = (f"{'Threads':>8s} {'Files/Thread':>13s} {'Bandwidth':>12s} "
               f"{'IOPS':>9s}")
@@ -303,9 +307,12 @@ def _cmd_fio(args) -> int:
 
 
 def _cmd_cost(args) -> int:
+    from repro.api import resolve_pipeline
+    from repro.backends import SimulatedBackend
     from repro.core.economics import PriceSheet, cost_frame
+    from repro.core.profiler import StrategyProfiler
     profiler = StrategyProfiler(SimulatedBackend())
-    profiles = profiler.profile_pipeline(get_pipeline(args.pipeline))
+    profiles = profiler.profile_pipeline(resolve_pipeline(args.pipeline))
     frame = cost_frame(profiles, PriceSheet(), epochs=args.epochs,
                        project_months=args.months)
     print(f"dollar cost for {args.epochs} epochs, "
@@ -315,68 +322,35 @@ def _cmd_cost(args) -> int:
 
 
 def _cmd_amortize(args) -> int:
+    from repro.api import resolve_pipeline
+    from repro.backends import SimulatedBackend
     from repro.core.amortization import amortization_frame
+    from repro.core.profiler import StrategyProfiler
     profiler = StrategyProfiler(SimulatedBackend())
-    profiles = profiler.profile_pipeline(get_pipeline(args.pipeline))
+    profiles = profiler.profile_pipeline(resolve_pipeline(args.pipeline))
     frame = amortization_frame(profiles, horizons=tuple(args.horizons))
     print(frame.to_markdown())
     return 0
 
 
 def _cmd_fanout(args) -> int:
-    from repro.core.distributed import fan_out_frame
-    pipeline = get_pipeline(args.pipeline)
-    strategy = args.strategy or pipeline.strategy_names()[-1]
-    plan = pipeline.split_at(strategy)
-    config = RunConfig()
-    if args.simulate:
-        from repro.serve import fan_out_frame_simulated
-        frame = fan_out_frame_simulated(
-            plan, config, trainer_counts=tuple(args.trainers))
-        print(f"co-simulating fan-out of {args.pipeline}/{strategy} "
-              f"(analytic bound vs DES delivery):")
-        print(frame.to_markdown())
-        return 0
-    single = SimulatedBackend().run(plan, config).throughput
-    frame = fan_out_frame(plan, config, single_job_sps=single,
-                          trainer_counts=tuple(args.trainers))
-    print(f"fanning out {args.pipeline}/{strategy} "
-          f"(single-trainer T4 = {single:.0f} SPS):")
-    print(frame.to_markdown())
-    return 0
+    return _print_artifact(ExperimentSpec(
+        kind="fanout",
+        pipelines=(args.pipeline,),
+        fanout=FanoutSpec(strategy=args.strategy,
+                          trainers=tuple(args.trainers),
+                          simulate=args.simulate)))
 
 
 def _cmd_serve(args) -> int:
-    from repro.core.report import service_summary, tenant_table
-    from repro.serve import (PreprocessingService, diagnose_service,
-                             generate_trace, sweep_policies)
-    environment = Environment(storage=DEVICE_PROFILES[args.storage])
-    trace = generate_trace(args.trace, args.tenants, seed=args.seed,
-                           epochs=args.epochs, threads=args.threads)
-    header = (f"{args.tenants} tenants, trace={args.trace}(seed "
-              f"{args.seed}), slots={args.slots}, {args.storage}")
-    if args.policy == "all":
-        result = sweep_policies(trace, slots=args.slots,
-                                environment=environment)
-        print(f"## serve: {header}, policies compared")
-        print(result.frame().to_markdown())
-        print()
-        print(f"best policy by aggregate throughput: "
-              f"{result.best_policy()}")
-        for report in result.reports:
-            print()
-            print(diagnose_service(report).to_markdown())
-        return 0
-    service = PreprocessingService(policy=args.policy, slots=args.slots,
-                                   environment=environment)
-    report = service.run(trace)
-    print(f"## serve: {header}, policy={args.policy}")
-    print(tenant_table(report).to_markdown())
-    print()
-    print(service_summary(report))
-    print()
-    print(diagnose_service(report).to_markdown())
-    return 0
+    return _print_artifact(ExperimentSpec(
+        kind="serve",
+        run=RunSpec(threads=args.threads, epochs=args.epochs),
+        environment=EnvironmentSpec(storage=args.storage),
+        serve=ServeSpec(tenants=args.tenants, trace=args.trace,
+                        policy=args.policy, slots=args.slots,
+                        tie_break=args.tie_break),
+        seed=args.seed))
 
 
 def main_entry() -> None:
@@ -395,6 +369,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _dispatch(args) -> int:
     handlers = {
+        "run": lambda: _cmd_run(args),
+        "plan": lambda: _cmd_plan(args),
         "pipelines": lambda: _cmd_pipelines(),
         "datasets": lambda: _cmd_datasets(),
         "profile": lambda: _cmd_profile(args),

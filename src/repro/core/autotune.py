@@ -106,27 +106,35 @@ class AutoTuner:
 
     def _screen(self, candidates: list[Strategy],
                 keep: float) -> list[Strategy]:
-        """Keep the analytically-most-promising fraction of the grid.
+        return screen_strategies(candidates, keep, self.analytic)
 
-        Every distinct split point always survives (screening tunes the
-        knob dimensions, never silently removes a split from the search).
-        """
-        if keep >= 1.0 or len(candidates) <= 2:
-            return candidates
-        estimated = [
-            (self.analytic.estimate(strategy.plan, strategy.config
-                                    ).throughput, index, strategy)
-            for index, strategy in enumerate(candidates)
-        ]
-        n_keep = max(2, int(round(len(candidates) * keep)))
-        by_quality = sorted(estimated, key=lambda item: -item[0])
-        kept = {index for _, index, _ in by_quality[:n_keep]}
-        # Guarantee split-point coverage.
-        seen_splits: dict[str, int] = {}
-        for estimate, index, strategy in by_quality:
-            name = strategy.split_name
-            if name not in seen_splits:
-                seen_splits[name] = index
-        kept.update(seen_splits.values())
-        return [strategy for index, strategy in
-                enumerate(candidates) if index in kept]
+
+def screen_strategies(candidates: list[Strategy], keep: float,
+                      model: AnalyticModel) -> list[Strategy]:
+    """Keep the analytically-most-promising fraction of the grid.
+
+    Every distinct split point always survives (screening tunes the
+    knob dimensions, never silently removes a split from the search).
+    Shared by :class:`AutoTuner` and the declarative API's
+    :func:`repro.api.plan.build_plan`, so planned and executed job
+    counts can never drift apart.
+    """
+    if keep >= 1.0 or len(candidates) <= 2:
+        return candidates
+    estimated = [
+        (model.estimate(strategy.plan, strategy.config).throughput,
+         index, strategy)
+        for index, strategy in enumerate(candidates)
+    ]
+    n_keep = max(2, int(round(len(candidates) * keep)))
+    by_quality = sorted(estimated, key=lambda item: -item[0])
+    kept = {index for _, index, _ in by_quality[:n_keep]}
+    # Guarantee split-point coverage.
+    seen_splits: dict[str, int] = {}
+    for estimate, index, strategy in by_quality:
+        name = strategy.split_name
+        if name not in seen_splits:
+            seen_splits[name] = index
+    kept.update(seen_splits.values())
+    return [strategy for index, strategy in
+            enumerate(candidates) if index in kept]

@@ -67,6 +67,9 @@ class VerifiedRewrite:
     diagnosis: StrategyDiagnosis
     rewrite: Rewrite
     measured_sps: float
+    #: The verification run's own profile (None for legacy callers);
+    #: lets cost accounting include what verification executed.
+    profile: Optional[StrategyProfile] = None
 
     @property
     def measured_speedup(self) -> float:
@@ -255,5 +258,5 @@ class BottleneckDoctor:
                         else profile.throughput)
             verified.append(VerifiedRewrite(
                 diagnosis=strategy_diagnosis, rewrite=rewrite,
-                measured_sps=measured))
+                measured_sps=measured, profile=profile))
         return verified

@@ -48,6 +48,16 @@ class NonDeterministicSplitError(PipelineError):
     """
 
 
+class SpecError(ReproError):
+    """An experiment specification is invalid or names unknown entities.
+
+    Raised by the declarative API (:mod:`repro.api`) with actionable
+    messages: every "unknown name" error lists the valid registry names
+    so a typo in a spec file or on the command line is a one-line fix,
+    never a traceback.
+    """
+
+
 class ProfilingError(ReproError):
     """A profiling run could not be completed."""
 

@@ -101,6 +101,7 @@ def encode_run(run: StrategyRunResult) -> dict[str, Any]:
             for epoch in run.epochs
         ],
         "app_cache_failed": run.app_cache_failed,
+        "events_processed": run.events_processed,
     }
 
 
@@ -123,6 +124,9 @@ def decode_run(payload: dict[str, Any]) -> StrategyRunResult:
         offline=None if offline is None else OfflineResult(**offline),
         epochs=[_decode_epoch(epoch) for epoch in payload["epochs"]],
         app_cache_failed=payload["app_cache_failed"],
+        # Absent in pre-v2 payload files written before the counter
+        # existed; those decode as 0 (unknown) rather than missing.
+        events_processed=payload.get("events_processed", 0),
     )
 
 

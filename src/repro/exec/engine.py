@@ -86,7 +86,7 @@ def _execute_payload(payload: _JobPayload,
     return runs, time.perf_counter() - started
 
 
-def _strategies_for(pipeline: PipelineSpec,
+def strategies_for(pipeline: PipelineSpec,
                     config: RunConfig) -> list[Strategy]:
     """Every legal split of ``pipeline`` under ``config`` (compressing
     the unprocessed representation is meaningless -- paper Sec. 4.3)."""
@@ -228,7 +228,7 @@ class SweepEngine:
                          ) -> list[StrategyProfile]:
         """Profile every legal split of ``pipeline`` under one config."""
         config = config or RunConfig()
-        return self.profile(_strategies_for(pipeline, config),
+        return self.profile(strategies_for(pipeline, config),
                             sample_count=sample_count)
 
     def sweep(self, pipelines: Optional[Sequence[PipelineSpec]] = None,
@@ -247,7 +247,7 @@ class SweepEngine:
         flat: list[Strategy] = []
         counts: list[tuple[str, int]] = []
         for pipeline in pipelines:
-            strategies = _strategies_for(pipeline, config)
+            strategies = strategies_for(pipeline, config)
             flat.extend(strategies)
             counts.append((pipeline.name, len(strategies)))
         started = time.perf_counter()

@@ -61,6 +61,7 @@ def simulate_fan_out(plan: SplitPlan, config: RunConfig, trainers: int,
 def fan_out_frame_simulated(plan: SplitPlan, config: RunConfig,
                             trainer_counts: Sequence[int] = (1, 2, 4, 8),
                             environment: Optional[Environment] = None,
+                            stats: Optional[dict] = None,
                             ) -> Frame:
     """Analytic bound vs co-simulated delivery across fan-out widths.
 
@@ -68,9 +69,15 @@ def fan_out_frame_simulated(plan: SplitPlan, config: RunConfig,
     (``analytic_sps``), the simulated mean per-trainer delivery
     (``simulated_sps``) and their ratio.  A ratio well under 1.0 is the
     contention the formula cannot see (metadata queueing, CPU pool).
+
+    When a ``stats`` dict is supplied, ``stats["events_processed"]``
+    accumulates the kernel events of every simulation this runs (the
+    single-job calibration plus one service run per trainer count) --
+    the declarative API's cost accounting.
     """
-    single_job_sps = SimulatedBackend(environment).run(
-        plan, config).throughput
+    single = SimulatedBackend(environment).run(plan, config)
+    single_job_sps = single.throughput
+    events = single.events_processed
     records = []
     for trainers in trainer_counts:
         analytic = estimate_fan_out(plan, config, trainers,
@@ -78,6 +85,7 @@ def fan_out_frame_simulated(plan: SplitPlan, config: RunConfig,
                                     environment=environment)
         report = simulate_fan_out(plan, config, trainers,
                                   environment=environment)
+        events += report.events_processed
         simulated = (sum(job.throughput for job in report.tenants)
                      / len(report.tenants))
         records.append({
@@ -88,4 +96,6 @@ def fan_out_frame_simulated(plan: SplitPlan, config: RunConfig,
             if analytic.delivered_sps > 0 else 0.0,
             "network_bound": analytic.network_is_bottleneck,
         })
+    if stats is not None:
+        stats["events_processed"] = events
     return Frame.from_records(records)

@@ -264,13 +264,27 @@ class PreprocessingService:
     def __init__(self, policy="fifo", slots: int = 2,
                  environment: Optional[Environment] = None,
                  backend: Optional[SimulatedBackend] = None,
-                 materialize_offline: bool = True):
+                 materialize_offline: bool = True,
+                 tie_break: Optional[str] = None):
         if slots < 1:
             raise ProfilingError("need at least one execution slot")
+        if tie_break == "arrival":
+            tie_break = None  # the CLI/spec spelling of the default
+        if tie_break not in (None, "tenant"):
+            raise ProfilingError(
+                f"tie_break must be None, 'arrival' or 'tenant', "
+                f"got {tie_break!r}")
         self.policy: SchedulerPolicy = get_policy(policy)
         self.slots = slots
         self.environment = environment or Environment()
         self.backend = backend or SimulatedBackend(self.environment)
+        #: ``"tenant"`` orders mathematically simultaneous storage-link
+        #: completions by (timestamp, tenant id) instead of admission
+        #: order, pinning knife-edge thrash scenarios (serve64_hot_raw)
+        #: to stable identities under future kernel changes.  ``None``
+        #: (alias ``"arrival"``, the CLI/spec spelling) keeps the
+        #: historical admission-order behaviour.
+        self.tie_break = tie_break
         #: ``False`` serves pre-materialised artifacts (fan-out studies):
         #: offline phases are skipped entirely.
         self.materialize_offline = materialize_offline
@@ -332,8 +346,10 @@ class PreprocessingService:
             dispatch_cost=cal.DISPATCH_COST,
             dispatch_convoy=cal.DISPATCH_CONVOY,
             gil_convoy=cal.GIL_CONVOY)
-        self._cluster = StorageCluster(sim, environment.storage,
-                                       memory_link=self._machine.memory_link)
+        self._cluster = StorageCluster(
+            sim, environment.storage,
+            memory_link=self._machine.memory_link,
+            tie_break="tag" if self.tie_break == "tenant" else "admission")
         self._queue = []
         self._running = []
         self._free_slots = self.slots
@@ -393,7 +409,8 @@ class PreprocessingService:
                 result = yield from self.backend.epoch_process(
                     sim, self._machine, self._cluster, job.plan,
                     job.config, epoch, stored_bytes_ps=stored_bytes_ps,
-                    chunk_namespace=namespace)
+                    chunk_namespace=namespace,
+                    link_tag=self._link_tag(job))
                 job.epochs.append(result)
         finally:
             job.finished = sim.now
@@ -414,7 +431,8 @@ class PreprocessingService:
         event = self._sim.event()
         self._offline_events[key] = event
         result = yield from self.backend.offline_process(
-            self._sim, self._machine, self._cluster, job.plan, job.config)
+            self._sim, self._machine, self._cluster, job.plan, job.config,
+            link_tag=self._link_tag(job))
         job.offline = result
         self._materialized.add(job.artifact)
         event.succeed(result)
@@ -429,6 +447,10 @@ class PreprocessingService:
     def _namespace(self, job: TenantJob) -> tuple:
         """Page-cache chunk namespace; shared exactly when deduped."""
         return self._dedup_key(job)
+
+    def _link_tag(self, job: TenantJob) -> str:
+        """Storage-link transfer label under the tenant tie-break."""
+        return job.spec.tenant if self.tie_break == "tenant" else ""
 
     # -- scheduling ----------------------------------------------------------
 

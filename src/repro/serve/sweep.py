@@ -33,12 +33,13 @@ class _PolicyPayload:
     jobs: tuple
     slots: int
     environment: Optional[Environment]
+    tie_break: Optional[str] = None
 
 
 def _run_policy(payload: _PolicyPayload) -> ServiceReport:
     service = PreprocessingService(
         policy=payload.policy, slots=payload.slots,
-        environment=payload.environment)
+        environment=payload.environment, tie_break=payload.tie_break)
     return service.run(list(payload.jobs))
 
 
@@ -83,10 +84,12 @@ def sweep_policies(jobs: Sequence[JobSpec],
                    policies: Sequence[str] = POLICY_NAMES,
                    slots: int = 2,
                    environment: Optional[Environment] = None,
-                   executor: ExecutorSpec = None) -> PolicySweepResult:
+                   executor: ExecutorSpec = None,
+                   tie_break: Optional[str] = None) -> PolicySweepResult:
     """Run ``jobs`` under every policy; results in ``policies`` order."""
     payloads = [_PolicyPayload(policy=policy, jobs=tuple(jobs),
-                               slots=slots, environment=environment)
+                               slots=slots, environment=environment,
+                               tie_break=tie_break)
                 for policy in policies]
     resolved = resolve_executor(executor)
     if isinstance(resolved, ProcessExecutor):

@@ -31,15 +31,16 @@ class StorageCluster:
     """Simulated remote object store (Ceph over a 10 Gb/s link)."""
 
     def __init__(self, sim: Simulation, profile: DeviceProfile,
-                 memory_link: Optional[SharedBandwidth] = None):
+                 memory_link: Optional[SharedBandwidth] = None,
+                 tie_break: str = "admission"):
         self.sim = sim
         self.profile = profile
         self.read_link = SharedBandwidth(
             sim, profile.aggregate_bw, profile.stream_bw,
-            name=f"{profile.name}-read")
+            name=f"{profile.name}-read", tie_break=tie_break)
         self.write_link = SharedBandwidth(
             sim, profile.write_bw, profile.stream_bw,
-            name=f"{profile.name}-write")
+            name=f"{profile.name}-write", tie_break=tie_break)
         self.metadata = Resource(sim, profile.metadata_slots,
                                  name=f"{profile.name}-mds")
         #: Client-side memory path used to serve page-cache hits.
@@ -65,7 +66,11 @@ class StorageCluster:
         """Read ``nbytes`` under ``key``; returns ``"cache"`` or ``"storage"``.
 
         ``open_file`` should be true in file-per-sample mode (the paper's
-        ``unprocessed`` strategies) and false for sequential record streams.
+        ``unprocessed`` strategies) and false for sequential record
+        streams.  Callers that need the links' ``"tag"`` tie-break (the
+        serve layer's per-tenant transfers) call
+        ``read_link.transfer(nbytes, tag)`` directly, as the simulated
+        backend's hot loops do.
         """
         if page_cache is not None and page_cache.lookup(key):
             self.cache_bytes_read += nbytes

@@ -1,0 +1,138 @@
+"""Property test: spec round-trips are identity for every workload kind.
+
+``ExperimentSpec.from_dict(spec.to_dict()) == spec`` over randomly
+populated spec trees -- the lossless-serialization contract of the
+declarative API.  Uses hypothesis when available (derandomized, like
+the fingerprint property suite); otherwise a fixed-seed random sweep.
+"""
+
+import random
+
+from repro.api import (DiagnoseSpec, EnvironmentSpec, ExecSpec,
+                       ExperimentSpec, FanoutSpec, RunSpec, ServeSpec,
+                       TuneSpec)
+from repro.api.spec import SINGLE_PIPELINE_KINDS, WORKLOAD_KINDS
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is optional
+    HAVE_HYPOTHESIS = False
+
+N_EXAMPLES = 60
+
+PIPELINES = ("CV", "CV2-JPG", "NLP", "NILM", "MP3", "FLAC")
+STORAGES = ("ceph-hdd", "ceph-ssd")
+COMPRESSIONS = (None, "GZIP", "ZLIB")
+CACHE_MODES = ("none", "system", "application")
+TRACES = ("steady", "bursty", "diurnal")
+POLICIES = ("fifo", "fair-share", "cache-aware", "all")
+TIE_BREAKS = ("arrival", "tenant")
+
+
+def make_spec(kind_index: int, pipeline_indices: tuple, threads: int,
+              epochs: int, compression_index: int, cache_index: int,
+              jobs: int, progress: bool, tenants: int, trace_index: int,
+              policy_index: int, slots: int, tie_index: int,
+              verify_top: int, sample_count: int, wp: float, ws: float,
+              tune_threads: tuple, screen_keep: float, trainers: tuple,
+              simulate: bool, storage_index: int, seed: int,
+              name: str) -> ExperimentSpec:
+    """Build a valid spec from plain drawable primitives."""
+    kind = WORKLOAD_KINDS[kind_index]
+    if kind in SINGLE_PIPELINE_KINDS:
+        pipelines = (PIPELINES[pipeline_indices[0]],)
+    elif kind == "serve":
+        pipelines = ()
+    else:
+        pipelines = tuple(dict.fromkeys(
+            PIPELINES[i] for i in pipeline_indices))
+    return ExperimentSpec(
+        kind=kind,
+        pipelines=pipelines,
+        run=RunSpec(threads=threads, epochs=epochs,
+                    compression=COMPRESSIONS[compression_index],
+                    cache_mode=CACHE_MODES[cache_index]),
+        environment=EnvironmentSpec(storage=STORAGES[storage_index]),
+        executor=ExecSpec(jobs=jobs, progress=progress),
+        tune=TuneSpec(preprocessing_weight=wp, storage_weight=ws,
+                      threads=tuple(tune_threads),
+                      screen_keep=screen_keep),
+        diagnose=DiagnoseSpec(verify_top=verify_top,
+                              sample_count=sample_count or None),
+        serve=ServeSpec(tenants=tenants, trace=TRACES[trace_index],
+                        policy=POLICIES[policy_index], slots=slots,
+                        tie_break=TIE_BREAKS[tie_index]),
+        fanout=FanoutSpec(trainers=tuple(trainers), simulate=simulate),
+        seed=seed, name=name)
+
+
+def check_round_trip(spec: ExperimentSpec) -> None:
+    spec.validate()
+    payload = spec.to_dict()
+    rebuilt = ExperimentSpec.from_dict(payload)
+    assert rebuilt == spec
+    assert rebuilt.to_dict() == payload
+    assert rebuilt.fingerprint() == spec.fingerprint()
+
+
+if HAVE_HYPOTHESIS:
+    spec_strategy = st.builds(
+        make_spec,
+        st.integers(0, len(WORKLOAD_KINDS) - 1),
+        st.lists(st.integers(0, len(PIPELINES) - 1), min_size=1,
+                 max_size=3).map(tuple),
+        st.integers(1, 64),
+        st.integers(1, 4),
+        st.integers(0, len(COMPRESSIONS) - 1),
+        st.integers(0, len(CACHE_MODES) - 1),
+        st.integers(1, 8),
+        st.booleans(),
+        st.integers(1, 128),
+        st.integers(0, len(TRACES) - 1),
+        st.integers(0, len(POLICIES) - 1),
+        st.integers(1, 16),
+        st.integers(0, len(TIE_BREAKS) - 1),
+        st.integers(0, 3),
+        st.integers(0, 4096),
+        st.floats(0.0, 4.0, allow_nan=False),
+        st.floats(0.1, 4.0, allow_nan=False),
+        st.lists(st.integers(1, 32), min_size=1, max_size=3).map(tuple),
+        st.floats(0.1, 1.0, allow_nan=False),
+        st.lists(st.integers(1, 32), min_size=1, max_size=4).map(tuple),
+        st.booleans(),
+        st.integers(0, len(STORAGES) - 1),
+        st.integers(0, 2 ** 31),
+        st.text(alphabet="abc-", max_size=8))
+
+    @given(spec_strategy)
+    @settings(max_examples=N_EXAMPLES, derandomize=True, deadline=None)
+    def test_spec_round_trip_is_identity(spec):
+        check_round_trip(spec)
+
+else:  # pragma: no cover - exercised only without hypothesis
+    def test_spec_round_trip_is_identity():
+        rng = random.Random(0xC0FFEE)
+        for _ in range(N_EXAMPLES):
+            spec = make_spec(
+                rng.randrange(len(WORKLOAD_KINDS)),
+                tuple(rng.randrange(len(PIPELINES))
+                      for _ in range(rng.randint(1, 3))),
+                rng.randint(1, 64), rng.randint(1, 4),
+                rng.randrange(len(COMPRESSIONS)),
+                rng.randrange(len(CACHE_MODES)),
+                rng.randint(1, 8), rng.random() < 0.5,
+                rng.randint(1, 128), rng.randrange(len(TRACES)),
+                rng.randrange(len(POLICIES)), rng.randint(1, 16),
+                rng.randrange(len(TIE_BREAKS)), rng.randint(0, 3),
+                rng.randint(0, 4096), rng.uniform(0, 4),
+                rng.uniform(0.1, 4),
+                tuple(rng.randint(1, 32)
+                      for _ in range(rng.randint(1, 3))),
+                rng.uniform(0.1, 1.0),
+                tuple(rng.randint(1, 32)
+                      for _ in range(rng.randint(1, 4))),
+                rng.random() < 0.5, rng.randrange(len(STORAGES)),
+                rng.randrange(2 ** 31), "seeded")
+            check_round_trip(spec)

@@ -1,14 +1,17 @@
-"""Golden regression tests for ``presto sweep`` / ``diagnose`` / ``serve``.
+"""Golden regression tests for ``presto sweep``/``diagnose``/``serve``/``run``.
 
 Three pipelines (MP3, FLAC, NILM) are covered by the profiling
 commands, and the serving layer pins two trace/policy combinations
 (the steady baseline under FIFO, and the contended bursty scenario
-under the cache-aware policy).  The simulated backend is a
+under the cache-aware policy).  The declarative path is pinned through
+``presto run`` on a shipped example spec.  The simulated backend is a
 deterministic DES, so byte-identical output is the contract -- any
 drift (model changes, report format changes, ranking changes) must
 show up here and be acknowledged by regenerating the goldens with
 ``pytest tests/golden --update-golden``.
 """
+
+from pathlib import Path
 
 import pytest
 
@@ -32,6 +35,11 @@ SERVE_CASES = {
                                  "--seed", "0"],
 }
 
+#: Declarative-path cases; argv paths are relative to the repo root.
+RUN_CASES = {
+    "run_sweep_cv": ["run", "examples/experiments/sweep_cv.json"],
+}
+
 
 @pytest.mark.parametrize("name", sorted(SWEEP_CASES))
 def test_sweep_output_matches_golden(golden, name):
@@ -46,6 +54,12 @@ def test_diagnose_output_matches_golden(golden, name):
 @pytest.mark.parametrize("name", sorted(SERVE_CASES))
 def test_serve_output_matches_golden(golden, name):
     golden.check(name, SERVE_CASES[name])
+
+
+@pytest.mark.parametrize("name", sorted(RUN_CASES))
+def test_run_output_matches_golden(golden, name, monkeypatch):
+    monkeypatch.chdir(Path(__file__).resolve().parents[2])
+    golden.check(name, RUN_CASES[name])
 
 
 def test_diagnose_attribution_is_well_formed(golden, capsys):

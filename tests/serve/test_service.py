@@ -169,3 +169,48 @@ class TestReportRendering:
         assert report.tenant("solo").spec.tenant == "solo"
         with pytest.raises(ProfilingError):
             report.tenant("nobody")
+
+
+class TestTenantTieBreak:
+    """The explicit (timestamp, tenant id) completion tie-break."""
+
+    def test_invalid_tie_break_rejected(self):
+        with pytest.raises(ProfilingError, match="tie_break"):
+            PreprocessingService(tie_break="random")
+
+    def test_arrival_is_an_alias_for_the_default(self):
+        """The CLI/spec spelling works at the library layer too."""
+        assert PreprocessingService(tie_break="arrival").tie_break is None
+        assert PreprocessingService().tie_break is None
+        assert PreprocessingService(tie_break="tenant").tie_break \
+            == "tenant"
+
+    def test_tenant_tie_break_pins_knife_edge_runs(self):
+        """Full co-tenancy on one hot raw artifact (the page-cache
+        thrash regime): the tenant tie-break must give bit-identical
+        reports across repeated runs."""
+        def run():
+            trace = bursty_trace(tenants=6, seed=0, burst_size=6,
+                                 pipelines=("CV2-JPG",),
+                                 hot_pipeline="CV2-JPG",
+                                 hot_split="unprocessed", epochs=1)
+            service = PreprocessingService(policy="fifo", slots=6,
+                                           tie_break="tenant")
+            return service.run(trace)
+
+        first, second = run(), run()
+        assert first.makespan == second.makespan
+        assert first.events_processed == second.events_processed
+        assert [job.epoch_durations for job in first.tenants] \
+            == [job.epoch_durations for job in second.tenants]
+
+    def test_tenant_tie_break_preserves_single_tenant_results(self):
+        """With one tenant there are no cross-tenant ties to break, so
+        the kernel option must not perturb the simulation at all."""
+        trace = [_spec("solo")]
+        default = PreprocessingService(slots=1).run(trace)
+        tagged = PreprocessingService(slots=1, tie_break="tenant").run(trace)
+        assert tagged.makespan == default.makespan
+        assert tagged.events_processed == default.events_processed
+        assert tagged.tenants[0].epoch_durations \
+            == default.tenants[0].epoch_durations

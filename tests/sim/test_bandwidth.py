@@ -194,6 +194,101 @@ def test_equal_transfers_complete_together_in_admission_order():
     assert order == [0, 1, 2, 3]
 
 
+def test_tag_tie_break_orders_simultaneous_completions_by_tag():
+    """Under tie_break="tag", a batch of mathematically simultaneous
+    completions resolves in (timestamp, tag) order -- tenant identity,
+    not admission order or float ulps, decides knife-edge scenarios."""
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=80 * MB,
+                           per_stream_bw=20 * MB, tie_break="tag")
+    order = []
+
+    def proc(tag):
+        yield link.transfer(20 * MB, tag)
+        order.append(tag)
+
+    def main():
+        # Admitted in reverse-tag order; completion must sort by tag.
+        yield all_of(sim, [sim.process(proc(tag))
+                           for tag in ("t3", "t2", "t1", "t0")])
+
+    sim.run_process(main())
+    assert sim.now == pytest.approx(1.0)
+    assert order == ["t0", "t1", "t2", "t3"]
+
+
+def test_tag_tie_break_falls_back_to_admission_within_a_tag():
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=80 * MB,
+                           per_stream_bw=20 * MB, tie_break="tag")
+    order = []
+
+    def proc(tag, index):
+        yield link.transfer(20 * MB, tag)
+        order.append((tag, index))
+
+    def main():
+        yield all_of(sim, [sim.process(proc(tag, index))
+                           for index, tag in enumerate(
+                               ("b", "a", "b", "a"))])
+
+    sim.run_process(main())
+    assert order == [("a", 1), ("a", 3), ("b", 0), ("b", 2)]
+
+
+def test_default_tie_break_ignores_tags():
+    """Admission mode is byte-compatible: tags ride along unused."""
+    sim = Simulation()
+    link = SharedBandwidth(sim, aggregate_bw=80 * MB,
+                           per_stream_bw=20 * MB)
+    order = []
+
+    def proc(tag):
+        yield link.transfer(20 * MB, tag)
+        order.append(tag)
+
+    def main():
+        yield all_of(sim, [sim.process(proc(tag))
+                           for tag in ("t3", "t2", "t1", "t0")])
+
+    sim.run_process(main())
+    assert order == ["t3", "t2", "t1", "t0"]  # admission order
+
+
+def test_tag_tie_break_leaves_timestamps_unchanged():
+    """The tie-break only permutes within a same-instant batch; every
+    completion timestamp and byte counter is identical to default."""
+    def run(tie_break):
+        sim = Simulation()
+        link = SharedBandwidth(sim, aggregate_bw=60 * MB,
+                               per_stream_bw=30 * MB,
+                               tie_break=tie_break)
+        finishes = []
+
+        def proc(tag, nbytes):
+            yield link.transfer(nbytes, tag)
+            finishes.append((tag, sim.now))
+
+        def main():
+            jobs = [("z", 30 * MB), ("y", 30 * MB), ("x", 45 * MB)]
+            yield all_of(sim, [sim.process(proc(tag, nbytes))
+                               for tag, nbytes in jobs])
+
+        sim.run_process(main())
+        return {tag: when for tag, when in finishes}, link.bytes_moved
+
+    default_times, default_bytes = run("admission")
+    tagged_times, tagged_bytes = run("tag")
+    assert tagged_times == default_times
+    assert tagged_bytes == default_bytes
+
+
+def test_unknown_tie_break_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError, match="tie_break"):
+        SharedBandwidth(sim, aggregate_bw=10 * MB, tie_break="random")
+
+
 def test_no_active_rescan_attributes_remain():
     """The O(n) hot path is gone: the link keeps a heap, not a list of
     actives that arrival/completion must rescan."""

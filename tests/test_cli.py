@@ -214,9 +214,27 @@ def test_cli_reports_engine_errors_cleanly(capsys):
     assert "presto: error:" in capsys.readouterr().err
 
 
-def test_unknown_pipeline_exits():
-    with pytest.raises(SystemExit):
-        main(["profile", "VIDEO"])
+def test_unknown_pipeline_exits_with_valid_names(capsys):
+    """Unknown registry names exit 2 with the valid list, no traceback."""
+    assert main(["profile", "VIDEO"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown pipeline 'VIDEO'" in err
+    assert "CV2-JPG" in err and "FLAC" in err
+
+
+def test_unknown_names_exit_2_across_registries(capsys):
+    cases = [
+        (["diagnose", "CV3"], "did you mean 'CV'?"),
+        (["serve", "--policy", "lru"], "valid policies:"),
+        (["serve", "--trace", "spiky"], "unknown trace 'spiky'"),
+        (["sweep", "--storage", "floppy"], "unknown storage device"),
+        (["fanout", "CV", "--strategy", "bogus"], "valid strategies:"),
+    ]
+    for argv, fragment in cases:
+        assert main(argv) == 2, argv
+        err = capsys.readouterr().err
+        assert "presto: error:" in err, argv
+        assert fragment in err, (argv, err)
 
 
 def test_unknown_command_exits():
