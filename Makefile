@@ -4,7 +4,7 @@
 #   make smoke         parallel-sweep determinism smoke (tools/sweep_smoke.py)
 #   make sweep         full-catalog profile of the seven paper pipelines
 #   make golden        regenerate the golden CLI outputs (eyeball the diff!)
-#   make coverage      line-coverage floors (diagnosis + serve + api)
+#   make coverage      line-coverage floors (diagnosis + serve + api + ctl)
 #   make bench         write the BENCH_serve.json performance snapshot
 #   make bench-check   CI perf smoke: assert the pinned scenario's
 #                      deterministic event count (never wall time)
@@ -18,7 +18,7 @@ PYTHONPATH := src
 COVERAGE_FLOOR ?= 80
 
 .PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve \
-	bench bench-check plan-examples
+	coverage-api coverage-ctl bench bench-check plan-examples
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -32,7 +32,7 @@ sweep:
 golden:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/golden --update-golden -q
 
-coverage: coverage-diagnosis coverage-serve coverage-api
+coverage: coverage-diagnosis coverage-serve coverage-api coverage-ctl
 
 coverage-diagnosis:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --floor $(COVERAGE_FLOOR)
@@ -42,6 +42,9 @@ coverage-serve:
 
 coverage-api:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.api --floor $(COVERAGE_FLOOR)
+
+coverage-ctl:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.ctl --floor $(COVERAGE_FLOOR)
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_serve.py --output BENCH_serve.json

@@ -18,7 +18,9 @@ Scenarios
                           dataset whose working set exceeds the page
                           cache: sustained storage-stream concurrency,
                           the regime where the historical O(n) link
-                          rescans went quadratic.
+                          rescans went quadratic.  Runs under the
+                          ``tenant`` tie-break so equal-score ordering
+                          is pinned by name, not arrival.
 * ``serve128``         -- 128 tenants; scale check above the pinned one.
 * ``link10k``          -- kernel microbenchmark: 10,000 transfers over
                           one max-min fair link at 512-way concurrency,
@@ -47,7 +49,7 @@ SERVE_SCENARIOS = {
         trace=dict(kind="bursty", tenants=64, seed=0, burst_size=8,
                    pipelines=("CV2-PNG", "CV2-JPG"),
                    hot_pipeline="CV2-PNG", hot_split="unprocessed"),
-        policies=("cache-aware",), slots=64),
+        policies=("cache-aware",), slots=64, tie_break="tenant"),
     "serve128": dict(
         trace=dict(kind="bursty", tenants=128, seed=0),
         policies=("cache-aware",), slots=16),
@@ -74,7 +76,8 @@ def run_serve_scenario(name: str) -> dict:
     policies = {}
     for policy in spec["policies"]:
         trace = build_trace(**spec["trace"])
-        service = PreprocessingService(policy=policy, slots=spec["slots"])
+        service = PreprocessingService(policy=policy, slots=spec["slots"],
+                                       tie_break=spec.get("tie_break"))
         started = time.perf_counter()
         report = service.run(trace)
         wall = time.perf_counter() - started
@@ -93,6 +96,7 @@ def run_serve_scenario(name: str) -> dict:
     return {
         "trace": dict(spec["trace"]),
         "slots": spec["slots"],
+        "tie_break": spec.get("tie_break"),
         "policies": policies,
     }
 

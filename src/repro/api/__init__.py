@@ -42,12 +42,13 @@ from repro.api.resolve import (resolve_backend_name, resolve_pipeline,
                                resolve_trace)
 from repro.api.session import Session
 from repro.api.spec import (SPEC_SCHEMA_VERSION, WORKLOAD_KINDS,
-                            DiagnoseSpec, EnvironmentSpec, ExecSpec,
-                            ExperimentSpec, FanoutSpec, RunSpec, ServeSpec,
-                            TuneSpec)
+                            ControlSpec, DiagnoseSpec, EnvironmentSpec,
+                            ExecSpec, ExperimentSpec, FanoutSpec, RunSpec,
+                            ServeSpec, TuneSpec)
 from repro.errors import SpecError
 
 __all__ = [
+    "ControlSpec",
     "DiagnoseSpec",
     "EnvironmentSpec",
     "ExecSpec",

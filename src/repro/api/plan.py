@@ -72,18 +72,34 @@ class ExperimentPlan:
                  f"fingerprint: {self.fingerprint}",
                  f"backend: {spec.environment.backend}, "
                  f"storage {spec.environment.storage}"]
-        if spec.kind == "serve":
-            serve = spec.serve
+        if spec.kind in ("serve", "control"):
+            sub = spec.serve if spec.kind == "serve" else spec.control
             lines.append(
-                f"trace: {serve.trace}(seed {spec.seed}), "
-                f"{serve.tenants} tenants, policy {serve.policy}, "
-                f"slots {serve.slots}")
+                f"trace: {sub.trace}(seed {spec.seed}), "
+                f"{sub.tenants} tenants, policy {sub.policy}, "
+                f"slots {sub.slots}")
+            if spec.kind == "control":
+                control = spec.control
+                features = [f"retry x{control.max_attempts}"]
+                if control.fault_rate:
+                    features.append(f"faults {control.fault_rate:g}")
+                if control.admission_limit is not None:
+                    features.append(
+                        f"admission {control.admission_limit}/tenant")
+                if control.preempt:
+                    features.append("preemption")
+                if control.autoscale:
+                    features.append(
+                        f"autoscale <= {control.max_slots or 2 * control.slots}"
+                        f" slots")
+                lines.append(f"control: {', '.join(features)}")
             lines.append("pipeline mix:")
         else:
             lines.append(f"pipelines: {len(self.pipelines)}")
         for pipeline in self.pipelines:
             lines.append(f"  {pipeline.describe()}")
-        label = {"serve": "tenant jobs", "tune": "profiling jobs (after "
+        label = {"serve": "tenant jobs", "control": "tenant jobs",
+                 "tune": "profiling jobs (after "
                  "analytic screening)"}.get(spec.kind, "profiling jobs")
         lines.append(f"{label}: {self.job_count}")
         if self.verify_jobs:
@@ -118,12 +134,18 @@ def build_plan(spec: ExperimentSpec) -> ExperimentPlan:
     simulated = spec.environment.backend == "simulated"
     verify_jobs = (spec.diagnose.verify_top
                    if spec.kind == "diagnose" else 0)
-    if spec.kind == "serve":
-        job_count = spec.serve.tenants
-        policies = (_policy_count(spec.serve.policy))
+    if spec.kind in ("serve", "control"):
+        sub = spec.serve if spec.kind == "serve" else spec.control
+        job_count = sub.tenants
+        policies = _policy_count(sub.policy)
         # Tenants each run (offline + epochs) phases of ~max_jobs batches.
-        events = (spec.serve.tenants * (epochs + 1)
+        events = (sub.tenants * (epochs + 1)
                   * cal.MAX_JOBS_PER_RUN * _EVENTS_PER_BATCH * policies)
+        if spec.kind == "control" and spec.control.fault_rate:
+            # Crashed attempts re-run partial work; scale by the worst
+            # case of every faulty job burning its full retry budget.
+            events *= 1 + spec.control.fault_rate * \
+                (spec.control.max_attempts - 1)
     elif spec.kind == "fanout":
         runs = (len(spec.fanout.trainers) + 1 if spec.fanout.simulate
                 else 1)

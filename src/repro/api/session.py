@@ -185,8 +185,26 @@ class Session:
         self._report_cache(cache)
         return self._artifact(spec, diagnosis.frame(), text, events)
 
-    def _run_serve(self, spec: ExperimentSpec) -> RunArtifact:
+    def _serve_sections(self, spec: ExperimentSpec, sub,
+                        report) -> list:
+        """The single-policy serve report sections.
+
+        ``sub`` is a ServeSpec or ControlSpec (same scenario fields).
+        Shared so a control run's service view renders *byte-for-byte*
+        what ``presto serve`` prints -- the differential guarantee.
+        """
         from repro.core.report import service_summary, tenant_table
+        from repro.serve import diagnose_service
+        header = (f"{sub.tenants} tenants, trace={sub.trace}(seed "
+                  f"{spec.seed}), slots={sub.slots}, "
+                  f"{spec.environment.storage}")
+        return [f"## serve: {header}, policy={sub.policy}",
+                tenant_table(report).to_markdown(), "",
+                service_summary(report), "",
+                diagnose_service(report).to_markdown()]
+
+    def _run_serve(self, spec: ExperimentSpec) -> RunArtifact:
+        from repro.core.report import tenant_table
         from repro.serve import (PreprocessingService, diagnose_service,
                                  generate_trace, sweep_policies)
         serve = spec.serve
@@ -194,10 +212,10 @@ class Session:
         trace = generate_trace(serve.trace, serve.tenants, seed=spec.seed,
                                epochs=spec.run.epochs,
                                threads=spec.run.threads)
-        header = (f"{serve.tenants} tenants, trace={serve.trace}(seed "
-                  f"{spec.seed}), slots={serve.slots}, "
-                  f"{spec.environment.storage}")
         if serve.policy == "all":
+            header = (f"{serve.tenants} tenants, trace={serve.trace}(seed "
+                      f"{spec.seed}), slots={serve.slots}, "
+                      f"{spec.environment.storage}")
             result = sweep_policies(trace, slots=serve.slots,
                                     environment=environment,
                                     tie_break=serve.tie_break)
@@ -216,11 +234,31 @@ class Session:
                                        environment=environment,
                                        tie_break=serve.tie_break)
         report = service.run(trace)
-        parts = [f"## serve: {header}, policy={serve.policy}",
-                 tenant_table(report).to_markdown(), "",
-                 service_summary(report), "",
-                 diagnose_service(report).to_markdown()]
+        parts = self._serve_sections(spec, serve, report)
         return self._artifact(spec, tenant_table(report),
+                              "\n".join(parts), report.events_processed)
+
+    def _run_control(self, spec: ExperimentSpec) -> RunArtifact:
+        from repro.ctl import Dispatcher, control_summary, control_table
+        from repro.serve import generate_trace
+        control = spec.control
+        environment = spec.environment.to_environment()
+        trace = generate_trace(control.trace, control.tenants,
+                               seed=spec.seed, epochs=spec.run.epochs,
+                               threads=spec.run.threads,
+                               fault_rate=control.fault_rate)
+        dispatcher = Dispatcher(policy=control.policy, slots=control.slots,
+                                environment=environment,
+                                tie_break=control.tie_break,
+                                retry=control.retry_policy(),
+                                admission_limit=control.admission_limit,
+                                preempt=control.preempt,
+                                autoscale=control.autoscale_config())
+        report = dispatcher.run(trace)
+        parts = self._serve_sections(spec, control, report.service)
+        parts += ["", "## control plane", control_summary(report), "",
+                  control_table(report).to_markdown()]
+        return self._artifact(spec, control_table(report),
                               "\n".join(parts), report.events_processed)
 
     def _run_fanout(self, spec: ExperimentSpec) -> RunArtifact:

@@ -2,7 +2,7 @@
 
 An :class:`ExperimentSpec` is the single serializable description of
 "run this study": one workload kind (``profile | sweep | tune |
-diagnose | serve | fanout``), the pipelines it touches, the run knobs
+diagnose | serve | control | fanout``), the pipelines it touches, the run knobs
 (:class:`RunSpec`), the hardware (:class:`EnvironmentSpec`), executor
 and profile-cache settings (:class:`ExecSpec`) and the workload-specific
 sub-specs.  Everything the four historical entry points
@@ -44,7 +44,8 @@ from repro.api.resolve import (resolve_backend_name, resolve_pipeline,
 from repro.errors import SpecError
 
 #: Workload kinds understood by the Session facade.
-WORKLOAD_KINDS = ("profile", "sweep", "tune", "diagnose", "serve", "fanout")
+WORKLOAD_KINDS = ("profile", "sweep", "tune", "diagnose", "serve",
+                  "control", "fanout")
 
 #: Workloads that operate on exactly one pipeline.
 SINGLE_PIPELINE_KINDS = ("profile", "tune", "diagnose", "fanout")
@@ -254,6 +255,90 @@ class ServeSpec:
 
 
 @dataclass(frozen=True)
+class ControlSpec:
+    """Control-plane scenario over the service (``kind: control``).
+
+    The first five fields mirror :class:`ServeSpec` (the underlying
+    service run); the rest configure the control features.  With the
+    control defaults (no faults, no admission limit, no preemption, no
+    autoscaling) a control run reproduces the equivalent serve run
+    byte-for-byte -- the differential guarantee ``tests/ctl`` pins.
+    """
+
+    tenants: int = 8
+    trace: str = "steady"
+    policy: str = "fifo"
+    slots: int = 2
+    tie_break: str = "arrival"
+    max_attempts: int = 3
+    backoff_base: float = 60.0
+    backoff_factor: float = 2.0
+    fault_rate: float = 0.0
+    admission_limit: Optional[int] = None
+    preempt: bool = False
+    autoscale: bool = False
+    max_slots: int = 0
+    autoscale_interval: float = 600.0
+
+    def validate(self) -> None:
+        _check(isinstance(self.tenants, int) and self.tenants >= 1,
+               f"control.tenants must be a positive integer, "
+               f"got {self.tenants!r}")
+        _check(isinstance(self.slots, int) and self.slots >= 1,
+               f"control.slots must be a positive integer, "
+               f"got {self.slots!r}")
+        resolve_trace(self.trace)
+        resolve_policy(self.policy, allow_all=False)
+        _check(self.tie_break in _TIE_BREAKS,
+               f"control.tie_break must be one of {_TIE_BREAKS}, "
+               f"got {self.tie_break!r}")
+        _check(isinstance(self.max_attempts, int) and self.max_attempts >= 1,
+               f"control.max_attempts must be a positive integer, "
+               f"got {self.max_attempts!r}")
+        _check(isinstance(self.backoff_base, (int, float))
+               and self.backoff_base >= 0,
+               f"control.backoff_base must be >= 0, "
+               f"got {self.backoff_base!r}")
+        _check(isinstance(self.backoff_factor, (int, float))
+               and self.backoff_factor >= 1.0,
+               f"control.backoff_factor must be >= 1, "
+               f"got {self.backoff_factor!r}")
+        _check(isinstance(self.fault_rate, (int, float))
+               and 0.0 <= self.fault_rate <= 1.0,
+               f"control.fault_rate must be within [0, 1], "
+               f"got {self.fault_rate!r}")
+        _check(self.admission_limit is None
+               or (isinstance(self.admission_limit, int)
+                   and self.admission_limit >= 1),
+               f"control.admission_limit must be a positive integer or "
+               f"null, got {self.admission_limit!r}")
+        _check(isinstance(self.max_slots, int)
+               and (self.max_slots == 0 or self.max_slots >= self.slots),
+               f"control.max_slots must be 0 (auto) or >= slots, "
+               f"got {self.max_slots!r}")
+        _check(isinstance(self.autoscale_interval, (int, float))
+               and self.autoscale_interval > 0,
+               f"control.autoscale_interval must be positive, "
+               f"got {self.autoscale_interval!r}")
+
+    def retry_policy(self):
+        """The equivalent :class:`~repro.ctl.retry.RetryPolicy`."""
+        from repro.ctl.retry import RetryPolicy
+        return RetryPolicy(max_attempts=self.max_attempts,
+                           backoff_base=float(self.backoff_base),
+                           backoff_factor=float(self.backoff_factor))
+
+    def autoscale_config(self):
+        """The autoscaler bounds, or ``None`` when autoscaling is off."""
+        if not self.autoscale:
+            return None
+        from repro.ctl.dispatcher import AutoscaleConfig
+        max_slots = self.max_slots or 2 * self.slots
+        return AutoscaleConfig(min_slots=1, max_slots=max_slots,
+                               interval=float(self.autoscale_interval))
+
+
+@dataclass(frozen=True)
 class FanoutSpec:
     """Trainer fan-out study (``kind: fanout``)."""
 
@@ -282,6 +367,7 @@ _SECTIONS = {
     "tune": TuneSpec,
     "diagnose": DiagnoseSpec,
     "serve": ServeSpec,
+    "control": ControlSpec,
     "fanout": FanoutSpec,
 }
 
@@ -306,6 +392,7 @@ class ExperimentSpec:
     tune: TuneSpec = TuneSpec()
     diagnose: DiagnoseSpec = DiagnoseSpec()
     serve: ServeSpec = ServeSpec()
+    control: ControlSpec = ControlSpec()
     fanout: FanoutSpec = FanoutSpec()
     seed: int = 0
     name: str = ""
@@ -340,6 +427,8 @@ class ExperimentSpec:
             self.diagnose.validate()
         elif self.kind == "serve":
             self.serve.validate()
+        elif self.kind == "control":
+            self.control.validate()
         elif self.kind == "fanout":
             self.fanout.validate()
             resolve_strategy_name(self.pipelines[0], self.fanout.strategy)
@@ -349,7 +438,7 @@ class ExperimentSpec:
 
     def pipeline_names(self) -> tuple:
         """The resolved pipeline selection for this workload."""
-        if self.kind == "serve":
+        if self.kind in ("serve", "control"):
             from repro.serve.jobs import DEFAULT_PIPELINE_MIX
             return tuple(DEFAULT_PIPELINE_MIX)
         if self.kind == "sweep" and not self.pipelines:
@@ -450,6 +539,8 @@ class ExperimentSpec:
             payload["diagnose"] = dataclasses.asdict(self.diagnose)
         elif self.kind == "serve":
             payload["serve"] = dataclasses.asdict(self.serve)
+        elif self.kind == "control":
+            payload["control"] = dataclasses.asdict(self.control)
         elif self.kind == "fanout":
             payload["fanout"] = {
                 **dataclasses.asdict(self.fanout),

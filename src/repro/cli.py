@@ -16,6 +16,8 @@ Subcommands::
     presto amortize CV                offline-time break-even horizons
     presto fanout CV                  per-trainer throughput under fan-out
     presto serve --tenants 8          multi-tenant service co-simulation
+    presto ctl --fault-rate 0.2       serving control plane (retry/DLQ,
+                                      admission, preemption, autoscaling)
 
 Every workload subcommand (profile/sweep/tune/diagnose/serve/fanout) is
 a thin shim: it builds an :class:`~repro.api.spec.ExperimentSpec` from
@@ -44,9 +46,9 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.api import (DiagnoseSpec, EnvironmentSpec, ExecSpec,
-                       ExperimentSpec, FanoutSpec, RunSpec, ServeSpec,
-                       Session, TuneSpec, load_spec)
+from repro.api import (ControlSpec, DiagnoseSpec, EnvironmentSpec,
+                       ExecSpec, ExperimentSpec, FanoutSpec, RunSpec,
+                       ServeSpec, Session, TuneSpec, load_spec)
 from repro.core.report import bottleneck_report
 from repro.datasets.catalog import table2_frame
 from repro.errors import ReproError
@@ -180,6 +182,53 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="ordering of simultaneous storage-link "
                             "completions (tenant = deterministic "
                             "(timestamp, tenant id) order)")
+
+    ctl = sub.add_parser(
+        "ctl",
+        help="run the serving control plane: dispatcher, execution "
+             "ledger, retry/DLQ, admission, preemption, autoscaling")
+    ctl.add_argument("--tenants", type=int, default=8, metavar="J")
+    ctl.add_argument("--policy", metavar="POLICY", default="fifo",
+                     help="scheduler policy (fifo/fair-share/cache-aware)")
+    ctl.add_argument("--trace", metavar="KIND", default="steady",
+                     help="arrival-trace shape")
+    ctl.add_argument("--seed", type=int, default=0,
+                     help="trace-generator seed (runs are deterministic)")
+    ctl.add_argument("--slots", type=int, default=2,
+                     help="initial concurrent execution slots")
+    ctl.add_argument("--epochs", type=int, default=2)
+    ctl.add_argument("--threads", type=int, default=8,
+                     help="reader threads per tenant job")
+    ctl.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
+    ctl.add_argument("--tie-break", choices=["arrival", "tenant"],
+                     default="arrival", dest="tie_break")
+    ctl.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                     dest="max_attempts",
+                     help="executions before a crashing job dead-letters")
+    ctl.add_argument("--backoff-base", type=float, default=60.0,
+                     metavar="S", dest="backoff_base",
+                     help="retry backoff base in simulated seconds")
+    ctl.add_argument("--backoff-factor", type=float, default=2.0,
+                     metavar="F", dest="backoff_factor",
+                     help="exponential retry backoff factor")
+    ctl.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                     dest="fault_rate",
+                     help="seeded fraction of jobs that crash mid-run")
+    ctl.add_argument("--admission-limit", type=int, default=None,
+                     metavar="N", dest="admission_limit",
+                     help="max in-flight jobs per tenant (default: "
+                          "unlimited)")
+    ctl.add_argument("--preempt", action="store_true",
+                     help="let the policy preempt running jobs at epoch "
+                          "boundaries")
+    ctl.add_argument("--autoscale", action="store_true",
+                     help="autoscale slots from serve.doctor findings")
+    ctl.add_argument("--max-slots", type=int, default=0, metavar="N",
+                     dest="max_slots",
+                     help="autoscale ceiling (default: 2x --slots)")
+    ctl.add_argument("--autoscale-interval", type=float, default=600.0,
+                     metavar="S", dest="autoscale_interval",
+                     help="autoscaler tick in simulated seconds")
     return parser
 
 
@@ -353,6 +402,26 @@ def _cmd_serve(args) -> int:
         seed=args.seed))
 
 
+def _cmd_ctl(args) -> int:
+    return _print_artifact(ExperimentSpec(
+        kind="control",
+        run=RunSpec(threads=args.threads, epochs=args.epochs),
+        environment=EnvironmentSpec(storage=args.storage),
+        control=ControlSpec(tenants=args.tenants, trace=args.trace,
+                            policy=args.policy, slots=args.slots,
+                            tie_break=args.tie_break,
+                            max_attempts=args.max_attempts,
+                            backoff_base=args.backoff_base,
+                            backoff_factor=args.backoff_factor,
+                            fault_rate=args.fault_rate,
+                            admission_limit=args.admission_limit,
+                            preempt=args.preempt,
+                            autoscale=args.autoscale,
+                            max_slots=args.max_slots,
+                            autoscale_interval=args.autoscale_interval),
+        seed=args.seed))
+
+
 def main_entry() -> None:
     """Console-script entry point (``presto`` after installation)."""
     sys.exit(main())
@@ -383,6 +452,7 @@ def _dispatch(args) -> int:
         "amortize": lambda: _cmd_amortize(args),
         "fanout": lambda: _cmd_fanout(args),
         "serve": lambda: _cmd_serve(args),
+        "ctl": lambda: _cmd_ctl(args),
     }
     return handlers[args.command]()
 

@@ -1,0 +1,29 @@
+"""Online serving control plane over the preprocessing service.
+
+The :mod:`repro.serve` layer replays a fixed trace; this package puts a
+production-shaped control loop in front of it: a :class:`Dispatcher`
+with submit/cancel/retry, an append-only :class:`ExecutionLedger` of
+every job-state transition, retry with exponential backoff feeding a
+dead-letter queue, per-tenant admission control, policy-driven
+preemption and doctor-driven slot autoscaling -- all co-simulated on
+the deterministic DES kernel.  See ``docs/control_plane.md``.
+"""
+
+from repro.ctl.dispatcher import (AutoscaleConfig, Dispatcher)
+from repro.ctl.ledger import (ADMITTED, CANCELLED, DEADLETTER, EVENTS,
+                              FAILED, NEW, PENDING, PREEMPTED, RUNNING,
+                              STATES, SUCCEEDED, TERMINAL_STATES,
+                              TRANSITIONS, DeadLetter, ExecutionLedger,
+                              LedgerEntry, next_state)
+from repro.ctl.report import (AutoscaleEvent, ControlReport, JobRecord,
+                              control_summary, control_table)
+from repro.ctl.retry import RetryPolicy
+
+__all__ = [
+    "ADMITTED", "CANCELLED", "DEADLETTER", "EVENTS", "FAILED", "NEW",
+    "PENDING", "PREEMPTED", "RUNNING", "STATES", "SUCCEEDED",
+    "TERMINAL_STATES", "TRANSITIONS",
+    "AutoscaleConfig", "AutoscaleEvent", "ControlReport", "DeadLetter",
+    "Dispatcher", "ExecutionLedger", "JobRecord", "LedgerEntry",
+    "RetryPolicy", "control_summary", "control_table", "next_state",
+]

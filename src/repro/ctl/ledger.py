@@ -1,0 +1,228 @@
+"""The append-only execution ledger and the job lifecycle state machine.
+
+Every job admitted to the control plane moves through a fixed lifecycle::
+
+    NEW --submit--> PENDING --admit--> ADMITTED --start--> RUNNING
+    RUNNING --succeed--> SUCCEEDED                    (terminal)
+    RUNNING --fail-----> FAILED --retry--> PENDING    (attempts remain)
+                         FAILED --exhaust--> DEADLETTER (terminal; the DLQ)
+    RUNNING --preempt--> PREEMPTED --requeue--> PENDING
+    PENDING | ADMITTED | RUNNING --cancel--> CANCELLED (terminal)
+
+The single source of truth for what is legal is :data:`TRANSITIONS`, a
+total map over ``(state, event)`` pairs; anything not in the table
+raises :class:`~repro.errors.LedgerError`.  The exhaustive
+transition-table test in ``tests/ctl`` walks every pair, so the table
+cannot silently drift from the dispatcher's behaviour.
+
+The :class:`ExecutionLedger` records each transition as an immutable
+:class:`LedgerEntry` stamped with the *simulation* clock.  Appends must
+be monotone in time (the DES kernel guarantees its clock never runs
+backwards, so a non-monotone append means control-plane code recorded a
+stale timestamp).  Subscribers registered with
+:meth:`ExecutionLedger.subscribe` see every entry as it is appended --
+the job-lifecycle event feed a dashboard or a test consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import LedgerError
+
+# -- states ----------------------------------------------------------------
+
+#: Job lifecycle states, in rough lifecycle order.
+NEW = "NEW"
+PENDING = "PENDING"
+ADMITTED = "ADMITTED"
+RUNNING = "RUNNING"
+SUCCEEDED = "SUCCEEDED"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+PREEMPTED = "PREEMPTED"
+DEADLETTER = "DEADLETTER"
+
+STATES = (NEW, PENDING, ADMITTED, RUNNING, SUCCEEDED, FAILED, CANCELLED,
+          PREEMPTED, DEADLETTER)
+
+#: States a job never leaves.  FAILED and PREEMPTED are *transient*:
+#: the dispatcher always follows them with retry/exhaust or requeue.
+TERMINAL_STATES = frozenset({SUCCEEDED, CANCELLED, DEADLETTER})
+
+# -- events ----------------------------------------------------------------
+
+SUBMIT = "submit"
+ADMIT = "admit"
+START = "start"
+SUCCEED = "succeed"
+FAIL = "fail"
+CANCEL = "cancel"
+PREEMPT = "preempt"
+REQUEUE = "requeue"
+RETRY = "retry"
+EXHAUST = "exhaust"
+
+EVENTS = (SUBMIT, ADMIT, START, SUCCEED, FAIL, CANCEL, PREEMPT, REQUEUE,
+          RETRY, EXHAUST)
+
+#: The lifecycle transition table: ``(state, event) -> next state``.
+#: Total over the legal pairs; every other pair is illegal and raises.
+TRANSITIONS = {
+    (NEW, SUBMIT): PENDING,
+    (PENDING, ADMIT): ADMITTED,
+    (PENDING, CANCEL): CANCELLED,
+    (ADMITTED, START): RUNNING,
+    (ADMITTED, CANCEL): CANCELLED,
+    (RUNNING, SUCCEED): SUCCEEDED,
+    (RUNNING, FAIL): FAILED,
+    (RUNNING, CANCEL): CANCELLED,
+    (RUNNING, PREEMPT): PREEMPTED,
+    (PREEMPTED, REQUEUE): PENDING,
+    (FAILED, RETRY): PENDING,
+    (FAILED, EXHAUST): DEADLETTER,
+}
+
+
+def next_state(state: str, event: str) -> str:
+    """The state reached by ``event`` from ``state``; raises if illegal."""
+    if state not in STATES:
+        raise LedgerError(f"unknown job state {state!r}; known: {STATES}")
+    if event not in EVENTS:
+        raise LedgerError(f"unknown ledger event {event!r}; "
+                          f"known: {EVENTS}")
+    try:
+        return TRANSITIONS[(state, event)]
+    except KeyError:
+        raise LedgerError(
+            f"illegal transition: event {event!r} in state {state!r}; "
+            f"legal events here: "
+            f"{sorted(ev for (st, ev) in TRANSITIONS if st == state)}"
+        ) from None
+
+
+# -- entries ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One immutable job-state transition record."""
+
+    seq: int                 #: position in the ledger (0-based, dense)
+    time: float              #: simulation clock at the transition
+    job_id: str
+    attempt: int             #: 1-based execution attempt the entry belongs to
+    event: str               #: the lifecycle event (see :data:`EVENTS`)
+    from_state: str
+    to_state: str
+    detail: str = ""         #: free-form context (crash reason, backoff...)
+
+    def describe(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return (f"[{self.seq:04d}] t={self.time:10.1f}s {self.job_id} "
+                f"attempt {self.attempt}: {self.from_state} "
+                f"--{self.event}--> {self.to_state}{extra}")
+
+
+class ExecutionLedger:
+    """Append-only record of every job-state transition.
+
+    The ledger owns the per-job current state: the *only* way to move a
+    job through its lifecycle is :meth:`record`, which validates the
+    transition against :data:`TRANSITIONS` and the monotone-time
+    invariant before appending.  Entries are never mutated or removed.
+    """
+
+    def __init__(self):
+        self._entries: list[LedgerEntry] = []
+        self._states: dict[str, str] = {}
+        self._attempts: dict[str, int] = {}
+        self._subscribers: list[Callable[[LedgerEntry], None]] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, job_id: str, event: str, time: float,
+               attempt: Optional[int] = None,
+               detail: str = "") -> LedgerEntry:
+        """Validate and append one transition; returns the new entry."""
+        state = self._states.get(job_id, NEW)
+        to_state = next_state(state, event)
+        if self._entries and time < self._entries[-1].time:
+            raise LedgerError(
+                f"non-monotone ledger append: t={time} after "
+                f"t={self._entries[-1].time} ({job_id} {event!r})")
+        if attempt is None:
+            attempt = self._attempts.get(job_id, 0)
+        if event == SUBMIT and attempt == 0:
+            attempt = 1
+        entry = LedgerEntry(seq=len(self._entries), time=time,
+                            job_id=job_id, attempt=attempt, event=event,
+                            from_state=state, to_state=to_state,
+                            detail=detail)
+        self._entries.append(entry)
+        self._states[job_id] = to_state
+        self._attempts[job_id] = attempt
+        for subscriber in self._subscribers:
+            subscriber(entry)
+        return entry
+
+    def subscribe(self, callback: Callable[[LedgerEntry], None]) -> None:
+        """Deliver every future entry to ``callback`` as it is appended."""
+        self._subscribers.append(callback)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple:
+        """Every entry in append order (a defensive immutable view)."""
+        return tuple(self._entries)
+
+    def state(self, job_id: str) -> str:
+        """Current lifecycle state of ``job_id`` (:data:`NEW` if unseen)."""
+        return self._states.get(job_id, NEW)
+
+    def jobs(self) -> tuple:
+        """Every job id the ledger has seen, in first-appearance order."""
+        return tuple(self._states)
+
+    def entries_for(self, job_id: str) -> tuple:
+        return tuple(entry for entry in self._entries
+                     if entry.job_id == job_id)
+
+    def dead_letters(self) -> tuple:
+        """Job ids currently resting in the dead-letter queue."""
+        return tuple(job_id for job_id, state in self._states.items()
+                     if state == DEADLETTER)
+
+    def attempts(self, job_id: str) -> int:
+        """Execution attempts recorded for ``job_id`` so far."""
+        return self._attempts.get(job_id, 0)
+
+    def counts(self) -> dict:
+        """Current-state histogram over every job."""
+        histogram: dict[str, int] = {}
+        for state in self._states.values():
+            histogram[state] = histogram.get(state, 0) + 1
+        return histogram
+
+    def describe(self) -> str:
+        """The full transition log, one line per entry."""
+        return "\n".join(entry.describe() for entry in self._entries)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One exhausted job as surfaced in the control report's DLQ view."""
+
+    job_id: str
+    tenant: str
+    attempts: int
+    reason: str = ""
+
+    def describe(self) -> str:
+        return (f"{self.job_id} (tenant {self.tenant}): "
+                f"{self.attempts} attempt(s) exhausted"
+                + (f" -- {self.reason}" if self.reason else ""))

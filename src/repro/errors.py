@@ -58,6 +58,20 @@ class SpecError(ReproError):
     """
 
 
+class ControlError(ReproError):
+    """The serving control plane was configured or driven incorrectly."""
+
+
+class LedgerError(ControlError):
+    """An illegal job-state transition or a non-monotone ledger append.
+
+    The execution ledger is append-only and every entry must follow the
+    lifecycle transition table (:data:`repro.ctl.ledger.TRANSITIONS`);
+    violating either invariant is a programming error in the control
+    plane, never a recoverable condition.
+    """
+
+
 class ProfilingError(ReproError):
     """A profiling run could not be completed."""
 

@@ -55,6 +55,14 @@ class JobSpec:
     compression: Optional[str] = None
     priority: float = 1.0
     slo_stretch: Optional[float] = 2.5
+    #: Fault injection: crash at the start of this epoch (``None`` = never).
+    #: Only the control plane (:mod:`repro.ctl`) honours these fields; the
+    #: plain service ignores them, so existing traces stay byte-identical.
+    crash_epoch: Optional[int] = None
+    #: The crash fires on the first this-many execution attempts, after
+    #: which the job runs clean -- the transient-fault shape that lets a
+    #: retry policy actually rescue the job.
+    crash_attempts: int = 1
 
     def __post_init__(self):
         if self.arrival < 0:
@@ -66,6 +74,12 @@ class JobSpec:
         if self.slo_stretch is not None and self.slo_stretch <= 0:
             raise ProfilingError(
                 f"job {self.tenant!r}: slo_stretch must be positive")
+        if self.crash_epoch is not None and self.crash_epoch < 0:
+            raise ProfilingError(
+                f"job {self.tenant!r}: crash_epoch must be >= 0")
+        if self.crash_attempts < 1:
+            raise ProfilingError(
+                f"job {self.tenant!r}: crash_attempts must be >= 1")
 
     @property
     def artifact(self) -> tuple:
@@ -232,12 +246,52 @@ _GENERATORS = {
 
 
 def generate_trace(kind: str, tenants: int, seed: int = 0,
+                   fault_rate: float = 0.0, fault_attempts: int = 2,
                    **kwargs) -> list[JobSpec]:
-    """Generate a named trace shape (see :data:`TRACE_KINDS`)."""
+    """Generate a named trace shape (see :data:`TRACE_KINDS`).
+
+    ``fault_rate`` marks that fraction of jobs (seeded, independent of
+    the arrival randomness) with a mid-run crash via
+    :func:`inject_faults`; at the default 0.0 the trace is byte-for-byte
+    what it was before fault injection existed.
+    """
     if kind not in _GENERATORS:
         raise ProfilingError(
             f"unknown trace kind {kind!r}; known: {sorted(_GENERATORS)}")
-    return _GENERATORS[kind](tenants, seed=seed, **kwargs)
+    jobs = _GENERATORS[kind](tenants, seed=seed, **kwargs)
+    if fault_rate:
+        jobs = inject_faults(jobs, fault_rate, seed=seed,
+                             max_crash_attempts=fault_attempts)
+    return jobs
+
+
+def inject_faults(jobs: Sequence[JobSpec], fault_rate: float,
+                  seed: int = 0,
+                  max_crash_attempts: int = 2) -> list[JobSpec]:
+    """Seed a fraction of ``jobs`` with a mid-run crash.
+
+    Each selected job gets a ``crash_epoch`` drawn uniformly over its
+    epochs and a ``crash_attempts`` count in ``[1, max_crash_attempts]``
+    -- so some faults are rescued by a single retry while others burn
+    through more of the retry budget.  The fault stream uses its own
+    namespaced RNG: injecting at rate 0.0 < r <= 1.0 never perturbs the
+    arrival/pipeline randomness of the underlying trace.
+    """
+    if not 0.0 <= fault_rate <= 1.0:
+        raise ProfilingError(
+            f"fault_rate must be within [0, 1], got {fault_rate!r}")
+    if max_crash_attempts < 1:
+        raise ProfilingError("max_crash_attempts must be >= 1")
+    rng = random.Random(f"faults-{seed}")
+    out = []
+    for job in jobs:
+        if rng.random() < fault_rate:
+            out.append(replace(
+                job, crash_epoch=rng.randrange(max(job.epochs, 1)),
+                crash_attempts=rng.randint(1, max_crash_attempts)))
+        else:
+            out.append(job)
+    return out
 
 
 def with_epochs(jobs: Sequence[JobSpec], epochs: int) -> list[JobSpec]:

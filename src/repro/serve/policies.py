@@ -21,7 +21,7 @@ deterministic: ties are always broken by enqueue order.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.errors import ProfilingError
 
@@ -43,6 +43,18 @@ class SchedulerPolicy:
     def select(self, queue: Sequence["TenantJob"],
                state: "ServiceState") -> "TenantJob":
         raise NotImplementedError
+
+    def preempt(self, queue: Sequence["TenantJob"],
+                state: "ServiceState") -> Optional["TenantJob"]:
+        """Pick a *running* job to preempt for the waiting queue.
+
+        Called by the control plane (never the plain service) when jobs
+        are queued and every slot is busy.  Returning a member of
+        ``state.running`` asks the dispatcher to interrupt that job at
+        its next epoch boundary and requeue it; returning ``None``
+        declines.  Must be deterministic.  The default never preempts.
+        """
+        return None
 
     def describe(self) -> str:
         return self.name
@@ -71,10 +83,34 @@ class FairSharePolicy(SchedulerPolicy):
 
     name = "fair-share"
 
+    #: A running tenant must have consumed this many times the waiting
+    #: tenant's weighted service seconds before it is preempted -- a
+    #: deadband that keeps the control plane from thrashing.
+    preempt_ratio = 4.0
+
     def select(self, queue, state):
         return min(queue, key=lambda job: (
             state.tenant_busy_seconds(job.spec.tenant) / job.spec.priority,
             job.enqueue_index))
+
+    def preempt(self, queue, state):
+        if not queue or not state.running:
+            return None
+
+        def weighted(job):
+            return (state.tenant_busy_seconds(job.spec.tenant)
+                    / job.spec.priority)
+
+        contender = min(queue, key=lambda job: (weighted(job),
+                                                job.enqueue_index))
+        victim = max(state.running, key=lambda job: (weighted(job),
+                                                     -job.enqueue_index))
+        if victim.spec.tenant == contender.spec.tenant:
+            return None
+        if weighted(victim) > self.preempt_ratio * weighted(contender) \
+                and weighted(victim) > 0:
+            return victim
+        return None
 
 
 class CacheAwarePolicy(SchedulerPolicy):

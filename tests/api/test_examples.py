@@ -24,6 +24,11 @@ EQUIVALENTS = {
     "serve_bursty_64.yaml": ["serve", "--tenants", "64", "--trace",
                              "bursty", "--policy", "cache-aware",
                              "--slots", "16", "--seed", "0"],
+    "control_faulty_8.yaml": ["ctl", "--tenants", "8", "--trace",
+                              "steady", "--policy", "fair-share",
+                              "--fault-rate", "0.25",
+                              "--admission-limit", "2", "--autoscale",
+                              "--max-slots", "4", "--seed", "1"],
 }
 
 

@@ -8,9 +8,9 @@ the fingerprint property suite); otherwise a fixed-seed random sweep.
 
 import random
 
-from repro.api import (DiagnoseSpec, EnvironmentSpec, ExecSpec,
-                       ExperimentSpec, FanoutSpec, RunSpec, ServeSpec,
-                       TuneSpec)
+from repro.api import (ControlSpec, DiagnoseSpec, EnvironmentSpec,
+                       ExecSpec, ExperimentSpec, FanoutSpec, RunSpec,
+                       ServeSpec, TuneSpec)
 from repro.api.spec import SINGLE_PIPELINE_KINDS, WORKLOAD_KINDS
 
 try:
@@ -43,7 +43,7 @@ def make_spec(kind_index: int, pipeline_indices: tuple, threads: int,
     kind = WORKLOAD_KINDS[kind_index]
     if kind in SINGLE_PIPELINE_KINDS:
         pipelines = (PIPELINES[pipeline_indices[0]],)
-    elif kind == "serve":
+    elif kind in ("serve", "control"):
         pipelines = ()
     else:
         pipelines = tuple(dict.fromkeys(
@@ -64,6 +64,14 @@ def make_spec(kind_index: int, pipeline_indices: tuple, threads: int,
         serve=ServeSpec(tenants=tenants, trace=TRACES[trace_index],
                         policy=POLICIES[policy_index], slots=slots,
                         tie_break=TIE_BREAKS[tie_index]),
+        control=ControlSpec(tenants=tenants, trace=TRACES[trace_index],
+                            # "all" is serve-only; control runs one policy
+                            policy=POLICIES[policy_index % 3],
+                            slots=slots, tie_break=TIE_BREAKS[tie_index],
+                            max_attempts=epochs,
+                            fault_rate=min(wp / 4.0, 1.0),
+                            admission_limit=verify_top or None,
+                            preempt=progress, autoscale=simulate),
         fanout=FanoutSpec(trainers=tuple(trainers), simulate=simulate),
         seed=seed, name=name)
 

@@ -1,0 +1,144 @@
+"""Exhaustive transition-table and ledger unit tests.
+
+Walks every ``(state, event)`` pair: each one either transitions per
+:data:`repro.ctl.ledger.TRANSITIONS` or raises ``LedgerError`` -- the
+table is total over legality, so the dispatcher cannot silently rely on
+an edge the ledger would reject.
+"""
+
+import pytest
+
+from repro.ctl import ledger as lc
+from repro.ctl.ledger import (EVENTS, STATES, TERMINAL_STATES, TRANSITIONS,
+                              DeadLetter, ExecutionLedger, next_state)
+from repro.errors import ControlError, LedgerError, ReproError
+
+
+class TestTransitionTable:
+    def test_every_pair_transitions_or_raises(self):
+        """The exhaustive walk: all |STATES| x |EVENTS| pairs."""
+        legal = 0
+        for state in STATES:
+            for event in EVENTS:
+                if (state, event) in TRANSITIONS:
+                    result = next_state(state, event)
+                    assert result == TRANSITIONS[(state, event)]
+                    assert result in STATES
+                    legal += 1
+                else:
+                    with pytest.raises(LedgerError):
+                        next_state(state, event)
+        assert legal == len(TRANSITIONS)
+
+    def test_documented_lifecycle_edges(self):
+        assert next_state(lc.NEW, lc.SUBMIT) == lc.PENDING
+        assert next_state(lc.PENDING, lc.ADMIT) == lc.ADMITTED
+        assert next_state(lc.ADMITTED, lc.START) == lc.RUNNING
+        assert next_state(lc.RUNNING, lc.SUCCEED) == lc.SUCCEEDED
+        assert next_state(lc.RUNNING, lc.FAIL) == lc.FAILED
+        assert next_state(lc.FAILED, lc.RETRY) == lc.PENDING
+        assert next_state(lc.FAILED, lc.EXHAUST) == lc.DEADLETTER
+        assert next_state(lc.RUNNING, lc.PREEMPT) == lc.PREEMPTED
+        assert next_state(lc.PREEMPTED, lc.REQUEUE) == lc.PENDING
+        for state in (lc.PENDING, lc.ADMITTED, lc.RUNNING):
+            assert next_state(state, lc.CANCEL) == lc.CANCELLED
+
+    def test_terminal_states_have_no_outgoing_edges(self):
+        for terminal in TERMINAL_STATES:
+            assert not any(state == terminal for state, _ in TRANSITIONS)
+
+    def test_every_state_reaches_a_terminal_state(self):
+        """No job can get stuck: every non-terminal state has a path out."""
+        reaches = set(TERMINAL_STATES)
+        changed = True
+        while changed:
+            changed = False
+            for (state, _), target in TRANSITIONS.items():
+                if target in reaches and state not in reaches:
+                    reaches.add(state)
+                    changed = True
+        assert reaches == set(STATES)
+
+    def test_unknown_state_and_event_raise(self):
+        with pytest.raises(LedgerError, match="unknown job state"):
+            next_state("LIMBO", lc.SUBMIT)
+        with pytest.raises(LedgerError, match="unknown ledger event"):
+            next_state(lc.NEW, "teleport")
+
+    def test_ledger_error_is_a_control_and_repro_error(self):
+        assert issubclass(LedgerError, ControlError)
+        assert issubclass(ControlError, ReproError)
+
+
+class TestExecutionLedger:
+    def run_lifecycle(self, ledger, job_id, start=0.0):
+        ledger.record(job_id, lc.SUBMIT, start)
+        ledger.record(job_id, lc.ADMIT, start + 1.0, attempt=1)
+        ledger.record(job_id, lc.START, start + 2.0, attempt=1)
+        ledger.record(job_id, lc.SUCCEED, start + 9.0, attempt=1)
+
+    def test_full_lifecycle_and_queries(self):
+        ledger = ExecutionLedger()
+        assert ledger.state("job-000") == lc.NEW
+        self.run_lifecycle(ledger, "job-000")
+        assert len(ledger) == 4
+        assert ledger.state("job-000") == lc.SUCCEEDED
+        assert ledger.jobs() == ("job-000",)
+        assert ledger.attempts("job-000") == 1
+        assert ledger.counts() == {lc.SUCCEEDED: 1}
+        assert [entry.seq for entry in ledger.entries] == [0, 1, 2, 3]
+        assert len(ledger.entries_for("job-000")) == 4
+        assert ledger.entries_for("job-999") == ()
+        assert ledger.dead_letters() == ()
+
+    def test_illegal_transition_raises_and_appends_nothing(self):
+        ledger = ExecutionLedger()
+        ledger.record("j", lc.SUBMIT, 0.0)
+        with pytest.raises(LedgerError, match="illegal transition"):
+            ledger.record("j", lc.SUCCEED, 1.0)
+        assert len(ledger) == 1
+        assert ledger.state("j") == lc.PENDING
+
+    def test_non_monotone_append_raises(self):
+        ledger = ExecutionLedger()
+        ledger.record("j", lc.SUBMIT, 5.0)
+        with pytest.raises(LedgerError, match="non-monotone"):
+            ledger.record("j", lc.ADMIT, 3.0)
+        # Equal timestamps are fine: many transitions share an instant.
+        ledger.record("j", lc.ADMIT, 5.0)
+        assert len(ledger) == 2
+
+    def test_subscribers_see_every_entry_in_order(self):
+        ledger = ExecutionLedger()
+        seen = []
+        ledger.record("j", lc.SUBMIT, 0.0)
+        ledger.subscribe(seen.append)
+        ledger.record("j", lc.ADMIT, 1.0)
+        ledger.record("j", lc.START, 2.0)
+        assert [entry.event for entry in seen] == [lc.ADMIT, lc.START]
+        assert seen == list(ledger.entries[1:])
+
+    def test_deadletter_path(self):
+        ledger = ExecutionLedger()
+        ledger.record("j", lc.SUBMIT, 0.0)
+        ledger.record("j", lc.ADMIT, 1.0, attempt=1)
+        ledger.record("j", lc.START, 1.0, attempt=1)
+        ledger.record("j", lc.FAIL, 4.0, attempt=1, detail="crash")
+        ledger.record("j", lc.EXHAUST, 4.0, attempt=1)
+        assert ledger.state("j") == lc.DEADLETTER
+        assert ledger.dead_letters() == ("j",)
+        assert "crash" in ledger.describe()
+
+    def test_describe_renders_every_entry(self):
+        ledger = ExecutionLedger()
+        self.run_lifecycle(ledger, "job-007")
+        text = ledger.describe()
+        assert text.count("job-007") == 4
+        assert "--submit-->" in text and "--succeed-->" in text
+
+    def test_dead_letter_describe(self):
+        letter = DeadLetter(job_id="job-003", tenant="t1", attempts=3,
+                            reason="injected crash at epoch 1")
+        assert letter.describe() == ("job-003 (tenant t1): 3 attempt(s) "
+                                     "exhausted -- injected crash at "
+                                     "epoch 1")

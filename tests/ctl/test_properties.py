@@ -1,0 +1,157 @@
+"""Property test: ledger invariants hold under random interleavings.
+
+Replays randomly drawn submit/cancel/crash/retry schedules through the
+dispatcher and asserts the control plane's core invariants on the
+resulting ledger:
+
+* legal transitions only -- replaying every entry through
+  :func:`repro.ctl.ledger.next_state` from scratch reproduces the
+  recorded chain;
+* no lost jobs -- every submitted job reaches a terminal state;
+* DLQ iff attempts exhausted -- a job rests in the dead-letter queue
+  exactly when its failure count equals the retry budget;
+* event order matches simulation time -- ledger sequence numbers are
+  dense and timestamps never decrease.
+
+Uses hypothesis when available (derandomized, like the spec round-trip
+suite); otherwise a fixed-seed random sweep over the same generator.
+"""
+
+import random
+
+from repro.ctl import (DEADLETTER, TERMINAL_STATES, Dispatcher,
+                       RetryPolicy)
+from repro.ctl import ledger as lc
+from repro.ctl.ledger import next_state
+from repro.serve import JobSpec
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is optional
+    HAVE_HYPOTHESIS = False
+
+N_EXAMPLES = 15
+
+POLICIES = ("fifo", "fair-share", "cache-aware")
+
+
+def make_scenario(policy_index, slots, limited, preempt, max_attempts,
+                  jobs):
+    """Build a (dispatcher, cancels) pair from drawable primitives.
+
+    ``jobs`` is a sequence of ``(tenant_index, arrival, epochs,
+    crash_epoch_or_none, crash_attempts, cancel_at_or_none)`` tuples.
+    """
+    dispatcher = Dispatcher(
+        policy=POLICIES[policy_index], slots=slots,
+        admission_limit=1 if limited else None, preempt=preempt,
+        retry=RetryPolicy(max_attempts=max_attempts, backoff_base=5.0,
+                          backoff_factor=2.0))
+    cancels = []
+    for (tenant, arrival, epochs, crash_epoch, crash_attempts,
+         cancel_at) in jobs:
+        job_id = dispatcher.submit(JobSpec(
+            tenant=f"t{tenant}", pipeline="MP3",
+            split="spectrogram-encoded", arrival=float(arrival),
+            epochs=epochs, crash_epoch=crash_epoch,
+            crash_attempts=crash_attempts))
+        if cancel_at is not None:
+            dispatcher.cancel(job_id, at=float(cancel_at))
+            cancels.append(job_id)
+    return dispatcher, cancels
+
+
+def check_invariants(dispatcher):
+    report = dispatcher.run()
+    ledger = report.ledger
+    max_attempts = dispatcher.retry_policy.max_attempts
+
+    # Event order matches simulation time: dense seq, monotone clock.
+    times = [entry.time for entry in ledger.entries]
+    assert [entry.seq for entry in ledger.entries] == \
+        list(range(len(ledger)))
+    assert times == sorted(times)
+
+    # Legal transitions only: replay every entry from scratch.
+    state = {}
+    for entry in ledger.entries:
+        assert entry.from_state == state.get(entry.job_id, lc.NEW)
+        assert entry.to_state == next_state(entry.from_state, entry.event)
+        state[entry.job_id] = entry.to_state
+
+    # No lost jobs: every submission shows up and terminates.
+    assert set(state) == {record.job_id for record in report.records}
+    for record in report.records:
+        final = state[record.job_id]
+        assert final in TERMINAL_STATES
+        assert ledger.state(record.job_id) == final
+        # Only injected crashes can fail a simulated job.
+        if record.failures:
+            assert record.job.spec.crash_epoch is not None
+        # DLQ iff the retry budget is exhausted.
+        assert (final == DEADLETTER) == (record.failures == max_attempts)
+        assert record.failures <= max_attempts
+    assert sorted(ledger.dead_letters()) == \
+        sorted(letter.job_id for letter in report.dead_letters)
+    for letter in report.dead_letters:
+        assert letter.attempts == max_attempts
+
+    # The report's outcome partition covers every job exactly once.
+    assert (report.succeeded + report.cancelled + report.dead
+            == report.submitted == len(report.records))
+
+    # Admission control: per-tenant in-flight share never exceeded.
+    if dispatcher.admission_limit is not None:
+        inflight = {}
+        by_id = {record.job_id: record for record in report.records}
+        for entry in ledger.entries:
+            tenant = by_id[entry.job_id].job.spec.tenant
+            if entry.event == lc.ADMIT:
+                inflight[tenant] = inflight.get(tenant, 0) + 1
+                assert inflight[tenant] <= dispatcher.admission_limit
+            elif entry.event in (lc.SUCCEED, lc.FAIL, lc.PREEMPT) or (
+                    entry.event == lc.CANCEL
+                    and entry.from_state != lc.PENDING):
+                inflight[tenant] -= 1
+
+
+if HAVE_HYPOTHESIS:
+    job_strategy = st.tuples(
+        st.integers(0, 1),                       # tenant
+        st.integers(0, 20),                      # arrival
+        st.integers(1, 3),                       # epochs
+        st.one_of(st.none(), st.integers(0, 2)),  # crash epoch
+        st.integers(1, 3),                       # crash attempts
+        st.one_of(st.none(), st.integers(0, 40)))  # cancel time
+
+    scenario_strategy = st.tuples(
+        st.integers(0, len(POLICIES) - 1),
+        st.integers(1, 2),                       # slots
+        st.booleans(),                           # admission limit on?
+        st.booleans(),                           # preemption on?
+        st.integers(1, 3),                       # retry budget
+        st.lists(job_strategy, min_size=1, max_size=4))
+
+    @given(scenario_strategy)
+    @settings(max_examples=N_EXAMPLES, derandomize=True, deadline=None)
+    def test_ledger_invariants_hold_under_random_interleavings(scenario):
+        dispatcher, _ = make_scenario(*scenario)
+        check_invariants(dispatcher)
+
+else:  # pragma: no cover - exercised only without hypothesis
+    def test_ledger_invariants_hold_under_random_interleavings():
+        rng = random.Random(0xD15BA7C)
+        for _ in range(N_EXAMPLES):
+            jobs = [(rng.randint(0, 1), rng.randint(0, 20),
+                     rng.randint(1, 3),
+                     rng.choice([None, rng.randint(0, 2)]),
+                     rng.randint(1, 3),
+                     rng.choice([None, rng.randint(0, 40)]))
+                    for _ in range(rng.randint(1, 4))]
+            dispatcher, _ = make_scenario(
+                rng.randrange(len(POLICIES)), rng.randint(1, 2),
+                rng.random() < 0.5, rng.random() < 0.5,
+                rng.randint(1, 3), jobs)
+            check_invariants(dispatcher)

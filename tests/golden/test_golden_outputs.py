@@ -1,4 +1,6 @@
-"""Golden regression tests for ``presto sweep``/``diagnose``/``serve``/``run``.
+"""Golden regression tests for the ``presto`` report commands.
+
+Covers ``sweep``/``diagnose``/``serve``/``ctl``/``run``.
 
 Three pipelines (MP3, FLAC, NILM) are covered by the profiling
 commands, and the serving layer pins two trace/policy combinations
@@ -35,6 +37,13 @@ SERVE_CASES = {
                                  "--seed", "0"],
 }
 
+CTL_CASES = {
+    "ctl_steady_faulty": ["ctl", "--tenants", "4", "--policy",
+                          "fair-share", "--trace", "steady", "--seed",
+                          "5", "--fault-rate", "0.5", "--max-attempts",
+                          "2", "--backoff-base", "30"],
+}
+
 #: Declarative-path cases; argv paths are relative to the repo root.
 RUN_CASES = {
     "run_sweep_cv": ["run", "examples/experiments/sweep_cv.json"],
@@ -54,6 +63,11 @@ def test_diagnose_output_matches_golden(golden, name):
 @pytest.mark.parametrize("name", sorted(SERVE_CASES))
 def test_serve_output_matches_golden(golden, name):
     golden.check(name, SERVE_CASES[name])
+
+
+@pytest.mark.parametrize("name", sorted(CTL_CASES))
+def test_ctl_output_matches_golden(golden, name):
+    golden.check(name, CTL_CASES[name])
 
 
 @pytest.mark.parametrize("name", sorted(RUN_CASES))
