@@ -4,7 +4,8 @@
 #   make smoke         parallel-sweep determinism smoke (tools/sweep_smoke.py)
 #   make sweep         full-catalog profile of the seven paper pipelines
 #   make golden        regenerate the golden CLI outputs (eyeball the diff!)
-#   make coverage      line-coverage floors (diagnosis + serve + api + ctl)
+#   make coverage      line-coverage floors (diagnosis + serve + api +
+#                      ctl + stream)
 #   make bench         write the BENCH_serve.json performance snapshot
 #   make bench-check   CI perf smoke: assert the pinned scenario's
 #                      deterministic event count (never wall time)
@@ -18,7 +19,8 @@ PYTHONPATH := src
 COVERAGE_FLOOR ?= 80
 
 .PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve \
-	coverage-api coverage-ctl bench bench-check plan-examples
+	coverage-api coverage-ctl coverage-stream bench bench-check \
+	plan-examples
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -32,7 +34,8 @@ sweep:
 golden:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/golden --update-golden -q
 
-coverage: coverage-diagnosis coverage-serve coverage-api coverage-ctl
+coverage: coverage-diagnosis coverage-serve coverage-api coverage-ctl \
+	coverage-stream
 
 coverage-diagnosis:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --floor $(COVERAGE_FLOOR)
@@ -45,6 +48,9 @@ coverage-api:
 
 coverage-ctl:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.ctl --floor $(COVERAGE_FLOOR)
+
+coverage-stream:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.stream --floor $(COVERAGE_FLOOR)
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_serve.py --output BENCH_serve.json

@@ -7,6 +7,8 @@ Runs the pinned scenarios from :mod:`scenarios` and writes
 * **sweep**       -- MP3+FLAC strategy sweep (profiling hot path);
 * **serve**       -- the scaled serve scenarios (8/64/128 tenants and
                      the storage-thrashing hot-raw variant);
+* **stream**      -- the streaming-inference scenarios (per-request
+                     latency SLOs, bounded queues);
 * **link10k**     -- the pure-kernel 10k-transfer link microbenchmark;
 * **kernel_comparison** -- wall seconds and events/sec of the pre-PR
                      O(n)-rescan kernel vs this checkout, as measured on
@@ -78,12 +80,15 @@ def _comparison(post: dict) -> dict:
 def run_suite(full: bool = False) -> dict:
     serve = {name: scenarios.run_serve_scenario(name)
              for name in scenarios.SERVE_SCENARIOS}
+    stream = {name: scenarios.run_stream_scenario(name)
+              for name in scenarios.STREAM_SCENARIOS}
     link = scenarios.run_link_microbench()
     snapshot = {
         "schema": 2,
         "python": platform.python_version(),
         "sweep": scenarios.run_sweep(),
         "serve": serve,
+        "stream": stream,
         "link10k": link,
     }
     if full:
@@ -123,6 +128,14 @@ def check_against_baseline() -> int:
                         f"{name}[{policy}].{key}: expected "
                         f"{expected[key]}, got {metrics[key]}")
             checked.append(f"{name} events={metrics['events']}")
+    for name in scenarios.STREAM_CHECK_SCENARIOS:
+        metrics = scenarios.run_stream_scenario(name)
+        expected = baseline["stream"][name]
+        for key in ("events", "makespan_s"):
+            if metrics[key] != expected[key]:
+                failures.append(f"{name}.{key}: expected "
+                                f"{expected[key]}, got {metrics[key]}")
+        checked.append(f"{name} events={metrics['events']}")
     link = scenarios.run_link_microbench()
     for key in ("events", "simulated_seconds"):
         if link[key] != baseline["link10k"][key]:
@@ -141,7 +154,7 @@ def check_against_baseline() -> int:
 
 
 def update_baseline() -> int:
-    payload = {"serve": {}, "link10k": {}}
+    payload = {"serve": {}, "stream": {}, "link10k": {}}
     for name in scenarios.CHECK_SCENARIOS:
         payload["serve"][name] = {
             policy: {"events": metrics["events"],
@@ -149,6 +162,10 @@ def update_baseline() -> int:
             for policy, metrics in
             scenarios.run_serve_scenario(name)["policies"].items()
         }
+    for name in scenarios.STREAM_CHECK_SCENARIOS:
+        metrics = scenarios.run_stream_scenario(name)
+        payload["stream"][name] = {"events": metrics["events"],
+                                   "makespan_s": metrics["makespan_s"]}
     link = scenarios.run_link_microbench()
     payload["link10k"] = {"events": link["events"],
                           "simulated_seconds": link["simulated_seconds"]}
@@ -184,6 +201,11 @@ def main() -> int:
             print(f"  serve[{name}/{policy}]: {metrics['wall_seconds']}s "
                   f"wall, {metrics['events']} events "
                   f"({metrics['events_per_sec']}/s)")
+    for name, metrics in snapshot["stream"].items():
+        print(f"  stream[{name}]: {metrics['wall_seconds']}s wall, "
+              f"{metrics['events']} events "
+              f"({metrics['events_per_sec']}/s), "
+              f"p99 {metrics['p99_latency_s']}s")
     link = snapshot["link10k"]
     print(f"  link10k: {link['wall_seconds']}s wall, "
           f"{link['events']} events ({link['events_per_sec']}/s)")

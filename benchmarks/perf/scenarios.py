@@ -22,6 +22,11 @@ Scenarios
                           ``tenant`` tie-break so equal-score ordering
                           is pinned by name, not arrival.
 * ``serve128``         -- 128 tenants; scale check above the pinned one.
+* ``stream64``         -- 64 bursty tenant request streams through the
+                          streaming inference engine (bounded queues,
+                          per-request deadlines): the latency-path
+                          analogue of ``serve64``, pinned by event count
+                          in the CI bench-check set.
 * ``link10k``          -- kernel microbenchmark: 10,000 transfers over
                           one max-min fair link at 512-way concurrency,
                           no model code at all.
@@ -59,6 +64,15 @@ SERVE_SCENARIOS = {
 #: the default-mix bursty scenario; serve64_hot_raw is the pinned
 #: kernel-speedup acceptance scenario (sustained storage concurrency).
 CHECK_SCENARIOS = ("serve64", "serve64_hot_raw")
+
+#: Streaming-inference scenario definitions (generate_stream kwargs).
+STREAM_SCENARIOS = {
+    "stream64": dict(tenants=64, seed=0, arrival="burst", rate=2.0,
+                     requests=48, batch=32, workers=4, queue_bound=8),
+}
+
+#: Stream scenarios the CI smoke replays alongside CHECK_SCENARIOS.
+STREAM_CHECK_SCENARIOS = ("stream64",)
 
 LINK_STREAMS = 512
 LINK_TRANSFERS = 10_000
@@ -98,6 +112,35 @@ def run_serve_scenario(name: str) -> dict:
         "slots": spec["slots"],
         "tie_break": spec.get("tie_break"),
         "policies": policies,
+    }
+
+
+def run_stream_scenario(name: str) -> dict:
+    """Run one pinned streaming-inference scenario.
+
+    Deterministic like the serve scenarios: the event count and every
+    simulated latency metric must be bit-identical across hosts; only
+    the wall seconds measure this checkout's kernel speed.
+    """
+    from repro.stream import StreamingService, generate_stream
+    spec = STREAM_SCENARIOS[name]
+    kwargs = dict(spec)
+    tenants = kwargs.pop("tenants")
+    seed = kwargs.pop("seed")
+    streams = generate_stream(tenants, seed=seed, **kwargs)
+    started = time.perf_counter()
+    report = StreamingService().run(streams, seed=seed)
+    wall = time.perf_counter() - started
+    return {
+        "spec": dict(spec),
+        "wall_seconds": round(wall, 3),
+        "events": report.events_processed,
+        "events_per_sec": int(report.events_processed / wall),
+        "makespan_s": round(report.makespan, 3),
+        "p99_latency_s": round(report.p99_latency, 3),
+        "miss_fraction": round(report.miss_fraction, 4),
+        "shed": report.total_shed,
+        "cache_hit_ratio": round(report.cache_hit_ratio, 4),
     }
 
 

@@ -36,15 +36,15 @@ an ExperimentSpec and calls the Session.
 from repro.api.artifact import Provenance, RunArtifact, comparison_frame
 from repro.api.loader import dump_spec, load_spec, parse_simple_yaml
 from repro.api.plan import ExperimentPlan, PlannedPipeline, build_plan
-from repro.api.resolve import (resolve_backend_name, resolve_pipeline,
-                               resolve_pipeline_name, resolve_policy,
-                               resolve_storage, resolve_strategy_name,
-                               resolve_trace)
+from repro.api.resolve import (resolve_arrival, resolve_backend_name,
+                               resolve_pipeline, resolve_pipeline_name,
+                               resolve_policy, resolve_storage,
+                               resolve_strategy_name, resolve_trace)
 from repro.api.session import Session
 from repro.api.spec import (SPEC_SCHEMA_VERSION, WORKLOAD_KINDS,
                             ControlSpec, DiagnoseSpec, EnvironmentSpec,
                             ExecSpec, ExperimentSpec, FanoutSpec, RunSpec,
-                            ServeSpec, TuneSpec)
+                            ServeSpec, StreamSpec, TuneSpec)
 from repro.errors import SpecError
 
 __all__ = [
@@ -63,6 +63,7 @@ __all__ = [
     "ServeSpec",
     "Session",
     "SpecError",
+    "StreamSpec",
     "TuneSpec",
     "WORKLOAD_KINDS",
     "build_plan",
@@ -70,6 +71,7 @@ __all__ = [
     "dump_spec",
     "load_spec",
     "parse_simple_yaml",
+    "resolve_arrival",
     "resolve_backend_name",
     "resolve_pipeline",
     "resolve_pipeline_name",

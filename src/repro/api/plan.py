@@ -94,11 +94,20 @@ class ExperimentPlan:
                         f" slots")
                 lines.append(f"control: {', '.join(features)}")
             lines.append("pipeline mix:")
+        elif spec.kind == "stream":
+            stream = spec.stream
+            lines.append(
+                f"arrivals: {stream.arrival}(seed {spec.seed}) "
+                f"@{stream.rate:g}/s, {stream.tenants} tenant streams, "
+                f"{stream.requests} requests x batch {stream.batch}, "
+                f"workers {stream.workers}")
+            lines.append("pipeline mix:")
         else:
             lines.append(f"pipelines: {len(self.pipelines)}")
         for pipeline in self.pipelines:
             lines.append(f"  {pipeline.describe()}")
         label = {"serve": "tenant jobs", "control": "tenant jobs",
+                 "stream": "tenant streams",
                  "tune": "profiling jobs (after "
                  "analytic screening)"}.get(spec.kind, "profiling jobs")
         lines.append(f"{label}: {self.job_count}")
@@ -146,6 +155,12 @@ def build_plan(spec: ExperimentSpec) -> ExperimentPlan:
             # case of every faulty job burning its full retry budget.
             events *= 1 + spec.control.fault_rate * \
                 (spec.control.max_attempts - 1)
+    elif spec.kind == "stream":
+        stream = spec.stream
+        job_count = stream.tenants
+        # Each request batch walks the epoch body's resource sequence.
+        events = (stream.tenants * stream.requests * _EVENTS_PER_BATCH
+                  if simulated else 0)
     elif spec.kind == "fanout":
         runs = (len(spec.fanout.trainers) + 1 if spec.fanout.simulate
                 else 1)

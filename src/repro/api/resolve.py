@@ -101,6 +101,14 @@ def resolve_trace(kind: str) -> str:
     return kind
 
 
+def resolve_arrival(kind: str) -> str:
+    """Validate a streaming arrival-process shape name."""
+    from repro.stream.requests import ARRIVAL_KINDS
+    if kind not in ARRIVAL_KINDS:
+        raise _unknown("arrival", kind, ARRIVAL_KINDS)
+    return kind
+
+
 def resolve_backend_name(name: str) -> str:
     """Validate an execution-backend name."""
     if name not in BACKEND_NAMES:

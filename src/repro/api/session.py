@@ -261,6 +261,32 @@ class Session:
         return self._artifact(spec, control_table(report),
                               "\n".join(parts), report.events_processed)
 
+    def _run_stream(self, spec: ExperimentSpec) -> RunArtifact:
+        from repro.core.report import stream_summary, stream_table
+        from repro.stream import (StreamingService, diagnose_stream,
+                                  generate_stream)
+        stream = spec.stream
+        environment = spec.environment.to_environment()
+        streams = generate_stream(
+            stream.tenants, seed=spec.seed, arrival=stream.arrival,
+            rate=stream.rate, requests=stream.requests,
+            batch=stream.batch, workers=stream.workers,
+            queue_bound=stream.queue_bound,
+            slo_stretch=stream.slo_stretch, shed=stream.shed)
+        service = StreamingService(environment=environment)
+        report = service.run(streams, seed=spec.seed)
+        header = (f"{stream.tenants} tenant streams, "
+                  f"arrival={stream.arrival}(seed {spec.seed}) "
+                  f"@{stream.rate:g}/s, batch={stream.batch}, "
+                  f"workers={stream.workers}, "
+                  f"{spec.environment.storage}")
+        parts = [f"## stream: {header}",
+                 stream_table(report).to_markdown(), "",
+                 stream_summary(report), "",
+                 diagnose_stream(report).to_markdown()]
+        return self._artifact(spec, stream_table(report),
+                              "\n".join(parts), report.events_processed)
+
     def _run_fanout(self, spec: ExperimentSpec) -> RunArtifact:
         pipeline_name = spec.pipelines[0]
         pipeline = resolve_pipeline(pipeline_name)

@@ -2,7 +2,8 @@
 
 An :class:`ExperimentSpec` is the single serializable description of
 "run this study": one workload kind (``profile | sweep | tune |
-diagnose | serve | control | fanout``), the pipelines it touches, the run knobs
+diagnose | serve | control | fanout | stream``), the pipelines it
+touches, the run knobs
 (:class:`RunSpec`), the hardware (:class:`EnvironmentSpec`), executor
 and profile-cache settings (:class:`ExecSpec`) and the workload-specific
 sub-specs.  Everything the four historical entry points
@@ -37,15 +38,15 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Optional
 
-from repro.api.resolve import (resolve_backend_name, resolve_pipeline,
-                               resolve_pipeline_name, resolve_policy,
-                               resolve_storage, resolve_strategy_name,
-                               resolve_trace)
+from repro.api.resolve import (resolve_arrival, resolve_backend_name,
+                               resolve_pipeline, resolve_pipeline_name,
+                               resolve_policy, resolve_storage,
+                               resolve_strategy_name, resolve_trace)
 from repro.errors import SpecError
 
 #: Workload kinds understood by the Session facade.
 WORKLOAD_KINDS = ("profile", "sweep", "tune", "diagnose", "serve",
-                  "control", "fanout")
+                  "control", "fanout", "stream")
 
 #: Workloads that operate on exactly one pipeline.
 SINGLE_PIPELINE_KINDS = ("profile", "tune", "diagnose", "fanout")
@@ -339,6 +340,56 @@ class ControlSpec:
 
 
 @dataclass(frozen=True)
+class StreamSpec:
+    """Streaming inference scenario (``kind: stream``).
+
+    Describes a seeded tenant population of request streams: the
+    arrival process shape and rate, requests per tenant, the
+    batch-size-vs-latency knob, prefetch width (workers per tenant),
+    admission control (queue bound, shed-vs-block on overflow) and the
+    per-request latency SLO as a stretch over the uncontended analytic
+    batch time (``None``/0 disables deadlines).
+    """
+
+    tenants: int = 4
+    arrival: str = "poisson"
+    rate: float = 1.0
+    requests: int = 32
+    batch: int = 32
+    workers: int = 2
+    queue_bound: int = 0
+    slo_stretch: Optional[float] = 3.0
+    shed: bool = False
+
+    def validate(self) -> None:
+        _check(isinstance(self.tenants, int) and self.tenants >= 1,
+               f"stream.tenants must be a positive integer, "
+               f"got {self.tenants!r}")
+        resolve_arrival(self.arrival)
+        _check(isinstance(self.rate, (int, float)) and self.rate > 0,
+               f"stream.rate must be a positive number, got {self.rate!r}")
+        _check(isinstance(self.requests, int) and self.requests >= 1,
+               f"stream.requests must be a positive integer, "
+               f"got {self.requests!r}")
+        _check(isinstance(self.batch, int) and self.batch >= 1,
+               f"stream.batch must be a positive integer, "
+               f"got {self.batch!r}")
+        _check(isinstance(self.workers, int) and self.workers >= 1,
+               f"stream.workers must be a positive integer, "
+               f"got {self.workers!r}")
+        _check(isinstance(self.queue_bound, int) and self.queue_bound >= 0,
+               f"stream.queue_bound must be >= 0 (0 = unbounded), "
+               f"got {self.queue_bound!r}")
+        _check(self.slo_stretch is None
+               or (isinstance(self.slo_stretch, (int, float))
+                   and self.slo_stretch > 0),
+               f"stream.slo_stretch must be a positive number or null, "
+               f"got {self.slo_stretch!r}")
+        _check(isinstance(self.shed, bool),
+               f"stream.shed must be a boolean, got {self.shed!r}")
+
+
+@dataclass(frozen=True)
 class FanoutSpec:
     """Trainer fan-out study (``kind: fanout``)."""
 
@@ -368,6 +419,7 @@ _SECTIONS = {
     "diagnose": DiagnoseSpec,
     "serve": ServeSpec,
     "control": ControlSpec,
+    "stream": StreamSpec,
     "fanout": FanoutSpec,
 }
 
@@ -393,6 +445,7 @@ class ExperimentSpec:
     diagnose: DiagnoseSpec = DiagnoseSpec()
     serve: ServeSpec = ServeSpec()
     control: ControlSpec = ControlSpec()
+    stream: StreamSpec = StreamSpec()
     fanout: FanoutSpec = FanoutSpec()
     seed: int = 0
     name: str = ""
@@ -429,6 +482,8 @@ class ExperimentSpec:
             self.serve.validate()
         elif self.kind == "control":
             self.control.validate()
+        elif self.kind == "stream":
+            self.stream.validate()
         elif self.kind == "fanout":
             self.fanout.validate()
             resolve_strategy_name(self.pipelines[0], self.fanout.strategy)
@@ -438,7 +493,7 @@ class ExperimentSpec:
 
     def pipeline_names(self) -> tuple:
         """The resolved pipeline selection for this workload."""
-        if self.kind in ("serve", "control"):
+        if self.kind in ("serve", "control", "stream"):
             from repro.serve.jobs import DEFAULT_PIPELINE_MIX
             return tuple(DEFAULT_PIPELINE_MIX)
         if self.kind == "sweep" and not self.pipelines:
@@ -541,6 +596,8 @@ class ExperimentSpec:
             payload["serve"] = dataclasses.asdict(self.serve)
         elif self.kind == "control":
             payload["control"] = dataclasses.asdict(self.control)
+        elif self.kind == "stream":
+            payload["stream"] = dataclasses.asdict(self.stream)
         elif self.kind == "fanout":
             payload["fanout"] = {
                 **dataclasses.asdict(self.fanout),

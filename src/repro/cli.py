@@ -18,6 +18,8 @@ Subcommands::
     presto serve --tenants 8          multi-tenant service co-simulation
     presto ctl --fault-rate 0.2       serving control plane (retry/DLQ,
                                       admission, preemption, autoscaling)
+    presto stream --arrival burst     streaming inference with per-request
+                                      latency SLOs and backpressure
 
 Every workload subcommand (profile/sweep/tune/diagnose/serve/fanout) is
 a thin shim: it builds an :class:`~repro.api.spec.ExperimentSpec` from
@@ -48,7 +50,7 @@ from typing import Optional, Sequence
 
 from repro.api import (ControlSpec, DiagnoseSpec, EnvironmentSpec,
                        ExecSpec, ExperimentSpec, FanoutSpec, RunSpec,
-                       ServeSpec, Session, TuneSpec, load_spec)
+                       ServeSpec, Session, StreamSpec, TuneSpec, load_spec)
 from repro.core.report import bottleneck_report
 from repro.datasets.catalog import table2_frame
 from repro.errors import ReproError
@@ -229,6 +231,40 @@ def _build_parser() -> argparse.ArgumentParser:
     ctl.add_argument("--autoscale-interval", type=float, default=600.0,
                      metavar="S", dest="autoscale_interval",
                      help="autoscaler tick in simulated seconds")
+
+    stream = sub.add_parser(
+        "stream",
+        help="simulate streaming inference: per-request latency SLOs, "
+             "batching, backpressure")
+    stream.add_argument("--tenants", type=int, default=4, metavar="J")
+    stream.add_argument("--arrival", metavar="KIND", default="poisson",
+                        help="arrival-process shape "
+                             "(poisson/burst/diurnal)")
+    stream.add_argument("--rate", type=float, default=1.0, metavar="R",
+                        help="mean request arrival rate per tenant "
+                             "(requests/s)")
+    stream.add_argument("--requests", type=int, default=32, metavar="N",
+                        help="requests per tenant stream")
+    stream.add_argument("--batch", type=int, default=32, metavar="K",
+                        help="samples per request batch (latency knob)")
+    stream.add_argument("--workers", type=int, default=2, metavar="W",
+                        help="concurrent request workers per tenant")
+    stream.add_argument("--queue-bound", type=int, default=0, metavar="Q",
+                        dest="queue_bound",
+                        help="backpressure queue depth per tenant "
+                             "(0 = unbounded)")
+    stream.add_argument("--slo-stretch", type=float, default=3.0,
+                        metavar="F", dest="slo_stretch",
+                        help="latency budget as a multiple of the "
+                             "analytic batch service time (0 disables "
+                             "deadlines)")
+    stream.add_argument("--shed", action="store_true",
+                        help="shed requests arriving at a full queue "
+                             "instead of blocking the arrival process")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="arrival-schedule seed (runs are "
+                             "deterministic)")
+    stream.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
     return parser
 
 
@@ -422,6 +458,19 @@ def _cmd_ctl(args) -> int:
         seed=args.seed))
 
 
+def _cmd_stream(args) -> int:
+    return _print_artifact(ExperimentSpec(
+        kind="stream",
+        environment=EnvironmentSpec(storage=args.storage),
+        stream=StreamSpec(tenants=args.tenants, arrival=args.arrival,
+                          rate=args.rate, requests=args.requests,
+                          batch=args.batch, workers=args.workers,
+                          queue_bound=args.queue_bound,
+                          slo_stretch=args.slo_stretch or None,
+                          shed=args.shed),
+        seed=args.seed))
+
+
 def main_entry() -> None:
     """Console-script entry point (``presto`` after installation)."""
     sys.exit(main())
@@ -453,6 +502,7 @@ def _dispatch(args) -> int:
         "fanout": lambda: _cmd_fanout(args),
         "serve": lambda: _cmd_serve(args),
         "ctl": lambda: _cmd_ctl(args),
+        "stream": lambda: _cmd_stream(args),
     }
     return handlers[args.command]()
 

@@ -106,6 +106,30 @@ def service_summary(report) -> str:
             f"{report.total_slo_violations}")
 
 
+def stream_table(report) -> Frame:
+    """Per-tenant streaming metrics, one row per request stream.
+
+    ``report`` is a :class:`repro.stream.report.StreamReport` (taken
+    duck-typed so this layer does not import the streaming layer above
+    it): p50/p99 request latency, deadline-miss fraction, sheds,
+    out-of-order completions, peak queue depth and delivered
+    requests/second per tenant.
+    """
+    return Frame.from_records(
+        [tenant.to_record() for tenant in report.tenants])
+
+
+def stream_summary(report) -> str:
+    """One-line operator summary of a streaming run."""
+    shed = f", shed {report.total_shed}" if report.total_shed else ""
+    return (f"stream: {len(report.tenants)} tenant stream(s), "
+            f"{report.total_requests} request(s), makespan "
+            f"{fmt_duration(report.makespan)}, p99 latency "
+            f"{fmt_duration(report.p99_latency)}, deadline misses "
+            f"{report.miss_fraction:.0%}{shed}, cache hit "
+            f"{report.cache_hit_ratio:.0%}")
+
+
 def profile_summary(profile: StrategyProfile) -> str:
     """One-paragraph human summary of a single strategy profile."""
     run = profile.result

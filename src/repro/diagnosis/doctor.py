@@ -222,6 +222,19 @@ class BottleneckDoctor:
         from repro.serve.doctor import diagnose_service
         return diagnose_service(report)
 
+    def diagnose_stream(self, report):
+        """Rank latency rewrites for a streaming run.
+
+        ``report`` is a :class:`repro.stream.report.StreamReport`; the
+        return value is a
+        :class:`repro.stream.doctor.StreamDiagnosis` whose findings are
+        per-tenant latency rewrites (shrink-batch, raise-prefetch,
+        shed-admission) anchored by predicted p99 deltas.  Imported
+        lazily: the streaming layer sits above diagnosis in the stack.
+        """
+        from repro.stream.doctor import diagnose_stream
+        return diagnose_stream(report)
+
     # -- verification --------------------------------------------------------
 
     def verify(self, diagnosis: PipelineDiagnosis,

@@ -7,7 +7,7 @@ time and execution knobs.  Traces are generated deterministically from a
 seed so every service simulation -- and therefore every golden output --
 is reproducible bit-for-bit.
 
-Three load shapes cover the scenarios the paper's Sec. 7 discussion and
+Four load shapes cover the scenarios the paper's Sec. 7 discussion and
 the data-stall literature care about:
 
 * ``steady``  -- evenly spaced arrivals, mixed pipelines; the baseline.
@@ -16,6 +16,8 @@ the data-stall literature care about:
   cache co-location have something to win.
 * ``diurnal`` -- arrivals follow a sinusoidal day/night intensity curve,
   producing alternating contention peaks and idle valleys.
+* ``poisson`` -- memoryless arrivals with exponential inter-arrival
+  gaps, the M/G/k reference shape for queueing-style studies.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from repro.errors import ProfilingError
 from repro.pipelines.base import SplitPlan
 
 #: Trace shapes understood by :func:`generate_trace`.
-TRACE_KINDS = ("steady", "bursty", "diurnal")
+TRACE_KINDS = ("steady", "bursty", "diurnal", "poisson")
 
 #: Default pipeline mix for generated traces (small/medium datasets so
 #: service simulations stay fast; all are registry-reconstructible).
@@ -238,10 +240,41 @@ def diurnal_trace(tenants: int, seed: int = 0,
     return jobs
 
 
+def poisson_trace(tenants: int, seed: int = 0,
+                  pipelines: Sequence[str] = DEFAULT_PIPELINE_MIX,
+                  interval: float = 120.0, epochs: int = 2,
+                  threads: int = 8,
+                  jobs_per_tenant: int = 1) -> list[JobSpec]:
+    """Memoryless arrivals: exponential gaps at mean ``interval``.
+
+    Same mean load as ``steady`` but with the clumping a Poisson
+    process produces -- short pile-ups and long quiet gaps, the
+    canonical open-loop arrival model.  The pipeline mix is drawn from
+    the same RNG stream *after* each gap, so the schedule and the mix
+    are reproducible together from the seed alone.
+    """
+    _validate(tenants, pipelines, jobs_per_tenant)
+    if interval <= 0:
+        raise ProfilingError("interval must be positive")
+    rng = random.Random(seed)
+    arrival = 0.0
+    jobs = []
+    for index in range(tenants * jobs_per_tenant):
+        arrival += rng.expovariate(1.0 / interval)
+        pipeline = rng.choice(tuple(pipelines))
+        jobs.append(JobSpec(
+            tenant=f"tenant-{index % tenants}", pipeline=pipeline,
+            split=_materialized_split(rng, pipeline),
+            arrival=arrival, epochs=epochs, threads=threads,
+            priority=_priority(rng)))
+    return jobs
+
+
 _GENERATORS = {
     "steady": steady_trace,
     "bursty": bursty_trace,
     "diurnal": diurnal_trace,
+    "poisson": poisson_trace,
 }
 
 

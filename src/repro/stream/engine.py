@@ -1,0 +1,440 @@
+"""The streaming inference service simulator.
+
+:class:`StreamingService` co-simulates per-tenant request/response
+streams on the same DES substrate the serve layer uses: one shared
+:class:`~repro.sim.cluster.StorageCluster` and one
+:class:`~repro.sim.cpu.Machine` (CPU pool, GIL, dispatch lock, page
+cache).  Each tenant runs an *arrival process* (replaying its seeded
+schedule) feeding ``workers`` concurrent request processors through a
+queue with optional depth bounds (block or shed on overflow).
+
+Each request executes the same per-job resource sequence as one batched
+job of a training epoch -- opens, page-cache-aware network read,
+deserialization, online CPU/GIL work, dispatch hand-off -- with every
+expression kept in the exact shape of
+:meth:`~repro.backends.simulated.SimulatedBackend.epoch_process`.  That
+shape is load-bearing: the differential wall replays a training epoch's
+job partition (:func:`~repro.stream.requests.epoch_request_plans`)
+through this engine and requires the epoch timings back to ~1e-12.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Sequence
+
+from repro import calibration as cal
+from repro.backends.base import CACHE_SYSTEM, Environment, RunConfig
+from repro.backends.simulated import SimulatedBackend
+from repro.errors import ProfilingError, SimulationError
+from repro.pipelines.base import SplitPlan
+from repro.sim.cluster import StorageCluster
+from repro.sim.cpu import Machine
+from repro.sim.events import Event, Simulation, Timeout
+from repro.stream.report import (RequestRecord, StreamReport,
+                                 TenantStreamResult)
+from repro.stream.requests import StreamTenantSpec, request_plans
+
+
+class _Shard:
+    """One dispatch queue: shared by all of a tenant's workers, or (for
+    pinned differential streams) private to a single worker."""
+
+    __slots__ = ("queue", "idle", "space")
+
+    def __init__(self):
+        self.queue: deque = deque()
+        #: Events of workers parked on an empty queue (FIFO hand-off).
+        self.idle: list = []
+        #: Events of the arrival process blocked on a full queue.
+        self.space: list = []
+
+
+@dataclass
+class _TenantStream:
+    """Runtime state plus hot-loop bindings for one tenant stream.
+
+    The binding fields cache every per-request constant exactly as the
+    epoch worker's hot-loop bindings do, so the request body below can
+    keep the epoch body's expression shapes verbatim.
+    """
+
+    spec: StreamTenantSpec
+    plan: SplitPlan
+    result: TenantStreamResult
+    records: list = field(default_factory=list)
+    shards: list = field(default_factory=list)
+    pinned: bool = False
+    closed: bool = False
+    depth: int = 0          # requests waiting in queues (not in service)
+    # -- request-body bindings (set once before simulation start) --
+    namespace: tuple = ()
+    stored_name: str = ""
+    stored_bytes_ps: float = 0.0
+    stored_bytes_ps_raw: float = 0.0
+    opens_per_sample: float = 0.0
+    open_latency: float = 0.0
+    open_factor: float = 1.0
+    overhead_ps: float = 0.0
+    deser_ps: Optional[float] = None
+    online_charges: tuple = ()
+
+    def shard_for(self, record: RequestRecord) -> _Shard:
+        return self.shards[record.pinned] if self.pinned else self.shards[0]
+
+
+class StreamingService:
+    """Run tenant request streams on one shared simulated cluster."""
+
+    def __init__(self, environment: Optional[Environment] = None,
+                 backend: Optional[SimulatedBackend] = None):
+        self.environment = environment or Environment()
+        self.backend = backend or SimulatedBackend(self.environment)
+        # Per-run state, initialised in run().
+        self._sim: Simulation = None  # type: ignore[assignment]
+        self._machine: Machine = None  # type: ignore[assignment]
+        self._cluster: StorageCluster = None  # type: ignore[assignment]
+
+    # -- public entry point --------------------------------------------------
+
+    def run(self, streams: Sequence[StreamTenantSpec], seed: int = 0,
+            plans: Optional[dict] = None) -> StreamReport:
+        """Simulate every tenant stream; returns the stream report.
+
+        ``plans`` optionally overrides the seeded request expansion with
+        explicit per-tenant :class:`~repro.stream.requests.RequestPlan`
+        tuples (the differential wall passes an epoch's job partition).
+        Plans with ``worker`` set pin requests to that worker's private
+        queue -- sharded dispatch, which is incompatible with admission
+        control (``queue_bound``/``shed``).
+        """
+        if not streams:
+            raise ProfilingError("cannot stream an empty tenant set")
+        names = [spec.tenant for spec in streams]
+        if len(set(names)) != len(names):
+            raise ProfilingError(f"duplicate tenant streams in {names}")
+        contexts = [self._context(spec, seed, plans) for spec in streams]
+        self._reset()
+        sim = self._sim
+        self._configure_link(streams)
+        self._set_baselines(contexts)
+        processes = []
+        for ctx in contexts:
+            # The arrival process is created *before* the tenant's
+            # workers: at t=0 a zero-jitter schedule then fully populates
+            # the worker queues before any worker bootstraps, so workers
+            # drain their shards in exactly the epoch worker order.
+            processes.append(sim.process(
+                self._arrival_process(ctx),
+                name=f"arrivals-{ctx.spec.tenant}"))
+            for wid in range(ctx.spec.workers):
+                processes.append(sim.process(
+                    self._worker_process(ctx, wid),
+                    name=f"stream-{ctx.spec.tenant}-{wid}"))
+        sim.run()
+        stuck = [process.name for process in processes
+                 if not process.triggered]
+        if stuck:
+            raise SimulationError(
+                f"stream drained with live processes: {stuck}")
+        for process in processes:
+            if process._exception is not None:
+                raise process._exception
+        return self._report(contexts)
+
+    # -- simulation setup ----------------------------------------------------
+
+    def _context(self, spec: StreamTenantSpec, seed: int,
+                 plans: Optional[dict]) -> _TenantStream:
+        plan = spec.resolve_plan()
+        if plans is not None and spec.tenant in plans:
+            planned = tuple(plans[spec.tenant])
+        else:
+            # Stride over the artifact in batch-sized chunks: a request
+            # re-reading a chunk within cache lifetime hits the shared
+            # page cache, like epoch >= 1 of a training run.
+            chunk_count = max(1, plan.pipeline.sample_count // spec.batch)
+            planned = request_plans(spec, seed=seed,
+                                    chunk_count=chunk_count)
+        if not planned:
+            raise ProfilingError(
+                f"stream {spec.tenant!r}: empty request plan")
+        pinned_flags = {request.worker is not None for request in planned}
+        if len(pinned_flags) != 1:
+            raise ProfilingError(
+                f"stream {spec.tenant!r}: cannot mix pinned and "
+                f"unpinned requests")
+        pinned = pinned_flags.pop()
+        if pinned:
+            if spec.queue_bound or spec.shed:
+                raise ProfilingError(
+                    f"stream {spec.tenant!r}: pinned (sharded) requests "
+                    f"bypass admission control; queue_bound/shed must "
+                    f"be off")
+            bad = [request.worker for request in planned
+                   if not 0 <= request.worker < spec.workers]
+            if bad:
+                raise ProfilingError(
+                    f"stream {spec.tenant!r}: pinned worker ids {bad} "
+                    f"outside 0..{spec.workers - 1}")
+        records = [RequestRecord(index=request.index,
+                                 arrival=request.arrival,
+                                 batch=request.batch,
+                                 chunk=request.chunk,
+                                 pinned=request.worker)
+                   for request in sorted(planned,
+                                         key=lambda r: (r.arrival, r.index))]
+        ctx = _TenantStream(
+            spec=spec, plan=plan,
+            result=TenantStreamResult(spec=spec, records=records),
+            records=records,
+            shards=[_Shard() for _ in range(spec.workers if pinned else 1)],
+            pinned=pinned)
+        self._bind(ctx)
+        return ctx
+
+    def _bind(self, ctx: _TenantStream) -> None:
+        """Freeze the request-body constants (epoch hot-loop bindings).
+
+        Streams always serve the pre-materialised, uncompressed artifact
+        with the page cache live -- the ``materialize_offline=False``,
+        ``cache_mode="system"`` corner of the epoch model.
+        """
+        plan = ctx.plan
+        stored = plan.materialized
+        if plan.is_unprocessed:
+            ctx.stored_bytes_ps = stored.bytes_per_sample
+        else:
+            ctx.stored_bytes_ps = stored.compressed_bytes_per_sample(None)
+        ctx.stored_bytes_ps_raw = stored.bytes_per_sample
+        ctx.namespace = ("stream", ctx.spec.tenant)
+        ctx.stored_name = stored.name
+        ctx.opens_per_sample = self.backend._opens_per_sample(
+            stored, plan.pipeline.sample_count)
+        ctx.open_latency = self.environment.storage.pipeline_open_latency
+        ctx.open_factor = stored.open_latency_factor
+        ctx.overhead_ps = cal.runtime_overhead(ctx.stored_bytes_ps_raw)
+        ctx.deser_ps = (cal.DESER_FIXED + ctx.stored_bytes_ps_raw
+                        * stored.deser_penalty / cal.DESER_BW_PER_THREAD
+                        if stored.record_format else None)
+        ctx.online_charges = tuple(
+            (step.holds_gil, step.cpu_seconds)
+            for step in plan.online_steps if step.cpu_seconds > 0)
+
+    def _reset(self) -> None:
+        environment = self.environment
+        sim = Simulation()
+        self._sim = sim
+        self._machine = Machine(
+            sim, cores=environment.cores,
+            ram_bytes=environment.ram_bytes,
+            page_cache_bytes=(cal.PAGE_CACHE_FRACTION
+                              * environment.ram_bytes),
+            memory_bw=environment.memory_bw,
+            memory_stream_bw=environment.memory_stream_bw,
+            dispatch_cost=cal.DISPATCH_COST,
+            dispatch_convoy=cal.DISPATCH_CONVOY,
+            gil_convoy=cal.GIL_CONVOY)
+        self._cluster = StorageCluster(
+            sim, environment.storage,
+            memory_link=self._machine.memory_link,
+            tie_break="admission")
+
+    def _configure_link(self, streams: Sequence[StreamTenantSpec]) -> None:
+        """Pin the fair per-stream read share, as the serve layer does,
+        using the widest tenant's worker count (the reader analogue of
+        the widest job's thread count)."""
+        storage = self.environment.storage
+        widest = max(spec.workers for spec in streams)
+        self._cluster.read_link.per_stream_bw = min(
+            storage.stream_bw, storage.aggregate_bw / widest)
+
+    def _set_baselines(self, contexts: Sequence[_TenantStream]) -> None:
+        """Uncontended analytic service time per batch (the SLO anchor),
+        and from it every request's latency deadline."""
+        from repro.backends.analytic import AnalyticModel
+        model = AnalyticModel(self.environment)
+        for ctx in contexts:
+            estimate = model.estimate(
+                ctx.plan, RunConfig(threads=1, epochs=1,
+                                    cache_mode=CACHE_SYSTEM))
+            if estimate.throughput <= 0:
+                continue
+            seconds_per_sample = 1.0 / estimate.throughput
+            ctx.result.baseline_batch_seconds = (
+                ctx.spec.batch * seconds_per_sample)
+            if ctx.spec.slo_stretch is None:
+                continue
+            for record in ctx.records:
+                record.deadline = (ctx.spec.slo_stretch
+                                   * record.batch * seconds_per_sample)
+
+    # -- the per-tenant processes --------------------------------------------
+
+    def _arrival_process(self, ctx: _TenantStream
+                         ) -> Generator[Event, None, None]:
+        """Replay the arrival schedule: admit, hand off, block or shed."""
+        sim = self._sim
+        bound = ctx.spec.queue_bound
+        for record in ctx.records:
+            delay = record.arrival - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            shard = ctx.shard_for(record)
+            if shard.idle:
+                # An idle worker: hand the request over directly, never
+                # touching queue depth.
+                record.enqueued = sim.now
+                shard.idle.pop(0).succeed(record)
+                continue
+            if bound and ctx.depth >= bound:
+                if ctx.spec.shed:
+                    record.shed = True
+                    continue
+                # Backpressure: block the arrival source until a worker
+                # frees a queue slot.
+                while ctx.depth >= bound:
+                    space = sim.event()
+                    shard.space.append(space)
+                    yield space
+                if shard.idle:
+                    record.enqueued = sim.now
+                    shard.idle.pop(0).succeed(record)
+                    continue
+            record.enqueued = sim.now
+            shard.queue.append(record)
+            ctx.depth += 1
+            if ctx.depth > ctx.result.max_queue_depth:
+                ctx.result.max_queue_depth = ctx.depth
+        ctx.closed = True
+        for shard in ctx.shards:
+            for event in shard.idle:
+                event.succeed(None)   # drain sentinel
+            shard.idle.clear()
+
+    def _worker_process(self, ctx: _TenantStream, wid: int
+                        ) -> Generator[Event, None, None]:
+        """Pull requests until the stream closes and the queue drains."""
+        sim = self._sim
+        shard = ctx.shards[wid] if ctx.pinned else ctx.shards[0]
+        while True:
+            if shard.queue:
+                record = shard.queue.popleft()
+                ctx.depth -= 1
+                if shard.space:
+                    shard.space.pop(0).succeed()
+            elif ctx.closed:
+                break
+            else:
+                idle = sim.event()
+                shard.idle.append(idle)
+                record = yield idle
+                if record is None:
+                    break
+            record.worker = wid
+            record.started = sim.now
+            yield from self._request_body(ctx, record)
+            record.completed = sim.now
+            ctx.result.completions.append(record)
+
+    def _request_body(self, ctx: _TenantStream, record: RequestRecord
+                      ) -> Generator[Event, None, None]:
+        """Serve one request batch through the shared resource model.
+
+        Expression-for-expression the per-job body of
+        ``SimulatedBackend.epoch_process`` (page-cache lookup, metadata
+        opens, link read, runtime overhead, deserialize, online
+        CPU/GIL charges, dispatch hand-off) minus the phases a stream
+        never runs (decompression, shuffle, app-cache) -- keep it that
+        way or the 1e-12 differential wall breaks.
+        """
+        sim = self._sim
+        machine = self._machine
+        cluster = self._cluster
+        result = ctx.result
+        page_cache = machine.page_cache
+        memory_link = machine.memory_link
+        metadata = cluster.metadata
+        read_link = cluster.read_link
+        cores = machine.cores
+        dispatch = machine.dispatch
+        gil = machine.gil
+
+        k = record.batch
+        opens = ctx.opens_per_sample * k
+        chunk_key = (ctx.namespace, ctx.stored_name, None, record.chunk)
+        disk_bytes = k * ctx.stored_bytes_ps
+        if page_cache.lookup(chunk_key):
+            result.cache_hits += 1
+            result.bytes_from_cache += disk_bytes
+            cluster.cache_bytes_read += disk_bytes
+            yield memory_link.transfer(disk_bytes)
+        else:
+            result.cache_misses += 1
+            result.bytes_from_storage += disk_bytes
+            if opens > 0:
+                yield metadata.acquire()
+                try:
+                    yield Timeout(sim, opens * ctx.open_latency
+                                  * ctx.open_factor)
+                finally:
+                    metadata.release()
+            yield read_link.transfer(disk_bytes, "")
+            page_cache.insert(chunk_key, disk_bytes)
+        yield Timeout(sim, k * ctx.overhead_ps)
+        if ctx.deser_ps is not None:
+            seconds = k * ctx.deser_ps
+            machine.cpu_busy_seconds += seconds
+            yield cores.acquire()
+            try:
+                yield Timeout(sim, seconds)
+            finally:
+                cores.release()
+        for holds_gil, cpu_seconds in ctx.online_charges:
+            if holds_gil:
+                yield gil.acquire()
+                try:
+                    waiters = len(gil._waiters)
+                    if waiters > gil.max_convoy_waiters:
+                        waiters = gil.max_convoy_waiters
+                    per_unit = cpu_seconds + waiters * gil.convoy_overhead
+                    yield Timeout(sim, k * per_unit)
+                finally:
+                    gil.release()
+            else:
+                machine.cpu_busy_seconds += k * cpu_seconds
+                yield cores.acquire()
+                try:
+                    yield Timeout(sim, k * cpu_seconds)
+                finally:
+                    cores.release()
+        yield dispatch.acquire()
+        try:
+            waiters = len(dispatch._waiters)
+            if waiters > dispatch.max_convoy_waiters:
+                waiters = dispatch.max_convoy_waiters
+            per_unit = (machine.dispatch_cost
+                        + waiters * dispatch.convoy_overhead)
+            yield Timeout(sim, k * per_unit)
+        finally:
+            dispatch.release()
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self, contexts: list) -> StreamReport:
+        tenants = [ctx.result for ctx in contexts]
+        completions = [record.completed for tenant in tenants
+                       for record in tenant.completed]
+        return StreamReport(
+            environment=self.environment,
+            tenants=tenants,
+            makespan=max(completions) if completions else 0.0,
+            events_processed=self._sim.events_processed,
+            bytes_from_storage=sum(tenant.bytes_from_storage
+                                   for tenant in tenants),
+            bytes_from_cache=sum(tenant.bytes_from_cache
+                                 for tenant in tenants),
+            metadata_peak_in_use=self._cluster.metadata.peak_in_use,
+            page_cache_evictions=self._machine.page_cache.evictions,
+        )

@@ -10,7 +10,7 @@ import random
 
 from repro.api import (ControlSpec, DiagnoseSpec, EnvironmentSpec,
                        ExecSpec, ExperimentSpec, FanoutSpec, RunSpec,
-                       ServeSpec, TuneSpec)
+                       ServeSpec, StreamSpec, TuneSpec)
 from repro.api.spec import SINGLE_PIPELINE_KINDS, WORKLOAD_KINDS
 
 try:
@@ -26,16 +26,18 @@ PIPELINES = ("CV", "CV2-JPG", "NLP", "NILM", "MP3", "FLAC")
 STORAGES = ("ceph-hdd", "ceph-ssd")
 COMPRESSIONS = (None, "GZIP", "ZLIB")
 CACHE_MODES = ("none", "system", "application")
-TRACES = ("steady", "bursty", "diurnal")
+TRACES = ("steady", "bursty", "diurnal", "poisson")
 POLICIES = ("fifo", "fair-share", "cache-aware", "all")
 TIE_BREAKS = ("arrival", "tenant")
+ARRIVALS = ("poisson", "burst", "diurnal")
 
 
 def make_spec(kind_index: int, pipeline_indices: tuple, threads: int,
               epochs: int, compression_index: int, cache_index: int,
               jobs: int, progress: bool, tenants: int, trace_index: int,
               policy_index: int, slots: int, tie_index: int,
-              verify_top: int, sample_count: int, wp: float, ws: float,
+              arrival_index: int, verify_top: int, sample_count: int,
+              wp: float, ws: float,
               tune_threads: tuple, screen_keep: float, trainers: tuple,
               simulate: bool, storage_index: int, seed: int,
               name: str) -> ExperimentSpec:
@@ -43,7 +45,7 @@ def make_spec(kind_index: int, pipeline_indices: tuple, threads: int,
     kind = WORKLOAD_KINDS[kind_index]
     if kind in SINGLE_PIPELINE_KINDS:
         pipelines = (PIPELINES[pipeline_indices[0]],)
-    elif kind in ("serve", "control"):
+    elif kind in ("serve", "control", "stream"):
         pipelines = ()
     else:
         pipelines = tuple(dict.fromkeys(
@@ -72,6 +74,13 @@ def make_spec(kind_index: int, pipeline_indices: tuple, threads: int,
                             fault_rate=min(wp / 4.0, 1.0),
                             admission_limit=verify_top or None,
                             preempt=progress, autoscale=simulate),
+        stream=StreamSpec(tenants=tenants,
+                          arrival=ARRIVALS[arrival_index],
+                          rate=ws, requests=(sample_count % 64) + 1,
+                          batch=threads, workers=slots,
+                          queue_bound=verify_top,
+                          slo_stretch=(wp + 0.5) if progress else None,
+                          shed=simulate),
         fanout=FanoutSpec(trainers=tuple(trainers), simulate=simulate),
         seed=seed, name=name)
 
@@ -102,6 +111,7 @@ if HAVE_HYPOTHESIS:
         st.integers(0, len(POLICIES) - 1),
         st.integers(1, 16),
         st.integers(0, len(TIE_BREAKS) - 1),
+        st.integers(0, len(ARRIVALS) - 1),
         st.integers(0, 3),
         st.integers(0, 4096),
         st.floats(0.0, 4.0, allow_nan=False),
@@ -133,7 +143,8 @@ else:  # pragma: no cover - exercised only without hypothesis
                 rng.randint(1, 8), rng.random() < 0.5,
                 rng.randint(1, 128), rng.randrange(len(TRACES)),
                 rng.randrange(len(POLICIES)), rng.randint(1, 16),
-                rng.randrange(len(TIE_BREAKS)), rng.randint(0, 3),
+                rng.randrange(len(TIE_BREAKS)),
+                rng.randrange(len(ARRIVALS)), rng.randint(0, 3),
                 rng.randint(0, 4096), rng.uniform(0, 4),
                 rng.uniform(0.1, 4),
                 tuple(rng.randint(1, 32)

@@ -1,6 +1,6 @@
 """Golden regression tests for the ``presto`` report commands.
 
-Covers ``sweep``/``diagnose``/``serve``/``ctl``/``run``.
+Covers ``sweep``/``diagnose``/``serve``/``ctl``/``stream``/``run``.
 
 Three pipelines (MP3, FLAC, NILM) are covered by the profiling
 commands, and the serving layer pins two trace/policy combinations
@@ -44,6 +44,13 @@ CTL_CASES = {
                           "2", "--backoff-base", "30"],
 }
 
+STREAM_CASES = {
+    "stream_bursty": ["stream", "--tenants", "4", "--arrival", "burst",
+                      "--rate", "2.0", "--requests", "16", "--batch",
+                      "8", "--workers", "2", "--queue-bound", "4",
+                      "--seed", "0"],
+}
+
 #: Declarative-path cases; argv paths are relative to the repo root.
 RUN_CASES = {
     "run_sweep_cv": ["run", "examples/experiments/sweep_cv.json"],
@@ -68,6 +75,28 @@ def test_serve_output_matches_golden(golden, name):
 @pytest.mark.parametrize("name", sorted(CTL_CASES))
 def test_ctl_output_matches_golden(golden, name):
     golden.check(name, CTL_CASES[name])
+
+
+@pytest.mark.parametrize("name", sorted(STREAM_CASES))
+def test_stream_output_matches_golden(golden, name):
+    golden.check(name, STREAM_CASES[name])
+
+
+def test_stream_golden_regenerates_without_diff(capsys):
+    """Running the recorded argv and rebuilding the --update-golden
+    payload must reproduce the committed golden byte-for-byte, so a
+    regeneration run leaves no git diff behind."""
+    import json
+
+    from repro.cli import main
+    name = "stream_bursty"
+    argv = STREAM_CASES[name]
+    path = Path(__file__).parent / "data" / f"{name}.json"
+    capsys.readouterr()
+    assert main(argv) == 0
+    stdout = capsys.readouterr().out
+    rebuilt = json.dumps({"argv": argv, "stdout": stdout}, indent=2) + "\n"
+    assert rebuilt == path.read_text()
 
 
 @pytest.mark.parametrize("name", sorted(RUN_CASES))

@@ -44,6 +44,39 @@ class TestHotRawScenarioDefinition:
         assert pinned["makespan_s"] == pytest.approx(20030.355)
 
 
+class TestStreamScenarioDefinition:
+    def test_stream64_is_in_the_check_set(self):
+        scenarios = _load_scenarios()
+        spec = scenarios.STREAM_SCENARIOS["stream64"]
+        assert spec["arrival"] == "burst"
+        assert spec["queue_bound"] == 8
+        assert "stream64" in scenarios.STREAM_CHECK_SCENARIOS
+
+    def test_baseline_pins_the_stream_cost(self):
+        baseline = json.loads(
+            (REPO / "benchmarks" / "perf" / "baseline.json").read_text())
+        pinned = baseline["stream"]["stream64"]
+        assert pinned["events"] == 34970
+        assert pinned["makespan_s"] == pytest.approx(666.923)
+
+
+class TestScaledStream:
+    """An 8-tenant replica of the stream64 trace shape: cheap enough
+    for the unit tier, and any engine or arrival-schedule drift moves
+    its deterministic cost long before the 64-tenant run does."""
+
+    def test_event_count_is_pinned(self):
+        from repro.stream import StreamingService, generate_stream
+        streams = generate_stream(8, seed=0, arrival="burst", rate=2.0,
+                                  requests=48, batch=32, workers=4,
+                                  queue_bound=8)
+        report = StreamingService().run(streams, seed=0)
+        assert report.events_processed == 4231
+        assert report.makespan == pytest.approx(121.515326, abs=1e-3)
+        assert report.total_requests == 8 * 48
+        assert report.total_completed + report.total_shed == 8 * 48
+
+
 class TestScaledHotRaw:
     def _run(self, tie_break):
         trace = generate_trace(

@@ -5,7 +5,8 @@ import pytest
 from repro.backends.base import CACHE_SYSTEM
 from repro.errors import ProfilingError
 from repro.serve import (TRACE_KINDS, JobSpec, bursty_trace, diurnal_trace,
-                         generate_trace, steady_trace, with_epochs)
+                         generate_trace, poisson_trace, steady_trace,
+                         with_epochs)
 
 
 class TestJobSpec:
@@ -148,3 +149,61 @@ class TestTraceGenerators:
             for job in generate_trace(kind, tenants=5, seed=7):
                 plan = job.resolve_plan()
                 assert plan.pipeline.sample_count > 0
+
+
+class TestPoissonTrace:
+    def test_arrivals_strictly_increase(self):
+        trace = poisson_trace(tenants=32, seed=3, interval=100.0)
+        arrivals = [job.arrival for job in trace]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert arrivals[0] > 0.0
+
+    def test_mean_gap_tracks_the_interval(self):
+        trace = poisson_trace(tenants=200, seed=0, interval=100.0)
+        mean_gap = trace[-1].arrival / len(trace)
+        assert 60.0 < mean_gap < 160.0
+
+    def test_registered_in_trace_kinds(self):
+        assert "poisson" in TRACE_KINDS
+        direct = poisson_trace(tenants=6, seed=11)
+        assert generate_trace("poisson", tenants=6, seed=11) == direct
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ProfilingError):
+            poisson_trace(tenants=2, interval=0.0)
+
+
+class TestFaultInjectionInteraction:
+    @pytest.mark.parametrize("kind", sorted(TRACE_KINDS))
+    def test_faults_never_perturb_the_arrival_stream(self, kind):
+        """inject_faults draws from its own namespaced RNG, so a faulty
+        trace is the clean trace plus crash annotations -- nothing
+        else moves."""
+        clean = generate_trace(kind, tenants=16, seed=5)
+        faulty = generate_trace(kind, tenants=16, seed=5, fault_rate=0.5)
+        assert len(faulty) == len(clean)
+        crashed = 0
+        for before, after in zip(clean, faulty):
+            assert after.tenant == before.tenant
+            assert after.arrival == before.arrival
+            assert after.artifact == before.artifact
+            assert after.priority == before.priority
+            if after.crash_epoch is not None:
+                crashed += 1
+                assert 0 <= after.crash_epoch < after.epochs
+                assert after.crash_attempts >= 1
+        assert 0 < crashed < len(faulty)
+
+    def test_faulty_traces_are_seed_deterministic(self):
+        first = generate_trace("poisson", tenants=12, seed=9,
+                               fault_rate=0.4)
+        second = generate_trace("poisson", tenants=12, seed=9,
+                                fault_rate=0.4)
+        assert first == second
+        assert generate_trace("poisson", tenants=12, seed=10,
+                              fault_rate=0.4) != first
+
+    def test_zero_rate_is_byte_identical(self):
+        clean = generate_trace("poisson", tenants=8, seed=2)
+        assert generate_trace("poisson", tenants=8, seed=2,
+                              fault_rate=0.0) == clean
