@@ -5,7 +5,9 @@
 #   make sweep         full-catalog profile of the seven paper pipelines
 #   make golden        regenerate the golden CLI outputs (eyeball the diff!)
 #   make coverage      line-coverage floors (diagnosis + serve + api +
-#                      ctl + stream)
+#                      ctl + stream + obs)
+#   make trace-smoke   generate Chrome traces via the CLI and
+#                      schema-validate them (tools/trace_smoke.py)
 #   make bench         write the BENCH_serve.json performance snapshot
 #   make bench-check   CI perf smoke: assert the pinned scenario's
 #                      deterministic event count (never wall time)
@@ -19,8 +21,8 @@ PYTHONPATH := src
 COVERAGE_FLOOR ?= 80
 
 .PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve \
-	coverage-api coverage-ctl coverage-stream bench bench-check \
-	plan-examples
+	coverage-api coverage-ctl coverage-stream coverage-obs trace-smoke \
+	bench bench-check plan-examples
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -35,7 +37,7 @@ golden:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/golden --update-golden -q
 
 coverage: coverage-diagnosis coverage-serve coverage-api coverage-ctl \
-	coverage-stream
+	coverage-stream coverage-obs
 
 coverage-diagnosis:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --floor $(COVERAGE_FLOOR)
@@ -51,6 +53,12 @@ coverage-ctl:
 
 coverage-stream:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.stream --floor $(COVERAGE_FLOOR)
+
+coverage-obs:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.obs --floor $(COVERAGE_FLOOR)
+
+trace-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/trace_smoke.py
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_serve.py --output BENCH_serve.json

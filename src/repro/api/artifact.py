@@ -59,6 +59,11 @@ class RunArtifact:
     #: Kernel events resolved by the run's simulations (0 for workloads
     #: that execute nothing simulated, e.g. in-process profiling).
     events_processed: int = 0
+    #: Telemetry exports (:mod:`repro.obs`), attached only when the run
+    #: was observed: the metrics registry's time-series dict and the
+    #: Chrome trace-event payload.  ``None`` otherwise.
+    metrics: Optional[dict] = None
+    trace: Optional[dict] = None
 
     @property
     def kind(self) -> str:
@@ -82,6 +87,9 @@ class RunArtifact:
             "events_processed": self.events_processed,
             "records": list(self.frame.rows()),
             "report": self.report,
+            **({"metrics": self.metrics}
+               if self.metrics is not None else {}),
+            **({"trace": self.trace} if self.trace is not None else {}),
         }
 
 

@@ -49,6 +49,9 @@ class Session:
     def __init__(self, stderr=_CURRENT_STDERR):
         self._stderr = stderr
         self._last_artifact: Optional[RunArtifact] = None
+        #: Per-run telemetry settings (set by run(), never by the spec:
+        #: observation must not change spec fingerprints).
+        self._telemetry = None
 
     @property
     def stderr(self):
@@ -63,13 +66,30 @@ class Session:
         """Resolve ``spec`` without executing anything."""
         return build_plan(spec)
 
-    def run(self, spec: ExperimentSpec) -> RunArtifact:
-        """Execute ``spec``; returns the workload's RunArtifact."""
+    def run(self, spec: ExperimentSpec, telemetry=None) -> RunArtifact:
+        """Execute ``spec``; returns the workload's RunArtifact.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`) turns on metrics
+        sampling / span tracing / the live ledger follower for this run
+        only.  It rides beside the spec, never inside it, so spec
+        fingerprints -- and everything keyed on them -- are unchanged by
+        observation.  Only the simulated workloads (serve / control /
+        stream) can be observed.
+        """
         spec.validate()
         runner = getattr(self, f"_run_{spec.kind}", None)
         if runner is None:  # pragma: no cover - validate() gates kinds
             raise SpecError(f"unknown workload kind {spec.kind!r}")
-        artifact = runner(spec)
+        if telemetry is not None and telemetry.enabled \
+                and spec.kind not in ("serve", "control", "stream"):
+            raise SpecError(
+                f"telemetry is only available for the simulated "
+                f"workloads (serve/control/stream), not {spec.kind!r}")
+        self._telemetry = telemetry
+        try:
+            artifact = runner(spec)
+        finally:
+            self._telemetry = None
         self._last_artifact = artifact
         return artifact
 
@@ -104,6 +124,40 @@ class Session:
         return RunArtifact(frame=frame, report=report,
                            provenance=Provenance.capture(spec),
                            events_processed=events)
+
+    def _telemetry_hooks(self):
+        """(metrics, interval, tracer) engine arguments for this run."""
+        telemetry = self._telemetry
+        if telemetry is None or not telemetry.enabled:
+            return None, 60.0, None
+        from repro.obs import (DEFAULT_METRICS_INTERVAL, MetricsRegistry,
+                               Tracer)
+        metrics = None
+        interval = DEFAULT_METRICS_INTERVAL
+        if telemetry.metrics_interval is not None:
+            metrics = MetricsRegistry()
+            interval = telemetry.metrics_interval
+        tracer = (Tracer(detail=telemetry.trace_detail)
+                  if telemetry.trace else None)
+        return metrics, interval, tracer
+
+    def _attach_telemetry(self, artifact: RunArtifact, metrics,
+                          tracer) -> RunArtifact:
+        if metrics is not None:
+            artifact.metrics = metrics.to_dict()
+        if tracer is not None:
+            artifact.trace = tracer.to_chrome()
+        return artifact
+
+    def _check_observable(self, spec: ExperimentSpec) -> None:
+        """Policy sweeps run several simulations; one metrics/trace
+        export cannot represent them, so observation is rejected."""
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.enabled:
+            raise SpecError(
+                "telemetry cannot observe a policy comparison "
+                "(policy='all' runs one simulation per policy); pick "
+                "a single policy")
 
     # -- workloads ----------------------------------------------------------
 
@@ -213,6 +267,7 @@ class Session:
                                epochs=spec.run.epochs,
                                threads=spec.run.threads)
         if serve.policy == "all":
+            self._check_observable(spec)
             header = (f"{serve.tenants} tenants, trace={serve.trace}(seed "
                       f"{spec.seed}), slots={serve.slots}, "
                       f"{spec.environment.storage}")
@@ -229,14 +284,20 @@ class Session:
                          for report in result.reports)
             return self._artifact(spec, result.frame(),
                                   "\n".join(parts), events)
+        metrics, interval, tracer = self._telemetry_hooks()
         service = PreprocessingService(policy=serve.policy,
                                        slots=serve.slots,
                                        environment=environment,
-                                       tie_break=serve.tie_break)
+                                       tie_break=serve.tie_break,
+                                       metrics=metrics,
+                                       metrics_interval=interval,
+                                       tracer=tracer)
         report = service.run(trace)
         parts = self._serve_sections(spec, serve, report)
-        return self._artifact(spec, tenant_table(report),
-                              "\n".join(parts), report.events_processed)
+        artifact = self._artifact(spec, tenant_table(report),
+                                  "\n".join(parts),
+                                  report.events_processed)
+        return self._attach_telemetry(artifact, metrics, tracer)
 
     def _run_control(self, spec: ExperimentSpec) -> RunArtifact:
         from repro.ctl import Dispatcher, control_summary, control_table
@@ -247,19 +308,31 @@ class Session:
                                seed=spec.seed, epochs=spec.run.epochs,
                                threads=spec.run.threads,
                                fault_rate=control.fault_rate)
+        metrics, interval, tracer = self._telemetry_hooks()
         dispatcher = Dispatcher(policy=control.policy, slots=control.slots,
                                 environment=environment,
                                 tie_break=control.tie_break,
                                 retry=control.retry_policy(),
                                 admission_limit=control.admission_limit,
                                 preempt=control.preempt,
-                                autoscale=control.autoscale_config())
+                                autoscale=control.autoscale_config(),
+                                metrics=metrics,
+                                metrics_interval=interval,
+                                tracer=tracer)
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.follow is not None:
+            from repro.obs import LedgerFollower
+            follower = LedgerFollower(telemetry.follow)
+            dispatcher.subscribe(follower.entry)
+            dispatcher.subscribe_autoscale(follower.autoscale)
         report = dispatcher.run(trace)
         parts = self._serve_sections(spec, control, report.service)
         parts += ["", "## control plane", control_summary(report), "",
                   control_table(report).to_markdown()]
-        return self._artifact(spec, control_table(report),
-                              "\n".join(parts), report.events_processed)
+        artifact = self._artifact(spec, control_table(report),
+                                  "\n".join(parts),
+                                  report.events_processed)
+        return self._attach_telemetry(artifact, metrics, tracer)
 
     def _run_stream(self, spec: ExperimentSpec) -> RunArtifact:
         from repro.core.report import stream_summary, stream_table
@@ -273,7 +346,11 @@ class Session:
             batch=stream.batch, workers=stream.workers,
             queue_bound=stream.queue_bound,
             slo_stretch=stream.slo_stretch, shed=stream.shed)
-        service = StreamingService(environment=environment)
+        metrics, interval, tracer = self._telemetry_hooks()
+        service = StreamingService(environment=environment,
+                                   metrics=metrics,
+                                   metrics_interval=interval,
+                                   tracer=tracer)
         report = service.run(streams, seed=spec.seed)
         header = (f"{stream.tenants} tenant streams, "
                   f"arrival={stream.arrival}(seed {spec.seed}) "
@@ -284,8 +361,10 @@ class Session:
                  stream_table(report).to_markdown(), "",
                  stream_summary(report), "",
                  diagnose_stream(report).to_markdown()]
-        return self._artifact(spec, stream_table(report),
-                              "\n".join(parts), report.events_processed)
+        artifact = self._artifact(spec, stream_table(report),
+                                  "\n".join(parts),
+                                  report.events_processed)
+        return self._attach_telemetry(artifact, metrics, tracer)
 
     def _run_fanout(self, spec: ExperimentSpec) -> RunArtifact:
         pipeline_name = spec.pipelines[0]

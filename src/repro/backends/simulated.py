@@ -106,9 +106,14 @@ class SimulatedBackend:
     """
 
     def __init__(self, environment: Optional[Environment] = None,
-                 collect_traces: bool = True):
+                 collect_traces: bool = True, tracer=None):
         self.environment = environment or Environment()
         self.collect_traces = collect_traces
+        #: Optional :class:`repro.obs.Tracer`.  Like ``collect_traces``,
+        #: span emission only reads the simulation clock: traced and
+        #: untraced runs schedule identical events.  Per-batch and
+        #: per-transfer spans additionally require ``tracer.detail``.
+        self.tracer = tracer
 
     # -- public entry point -----------------------------------------------
 
@@ -201,6 +206,8 @@ class SimulatedBackend:
                         cluster: StorageCluster, plan: SplitPlan,
                         config: RunConfig,
                         link_tag: str = "",
+                        trace_track: str = "",
+                        trace_parent: Optional[int] = None,
                         ) -> Generator[Event, None, OfflineResult]:
         """Materialise ``plan`` as a process generator.
 
@@ -208,8 +215,17 @@ class SimulatedBackend:
         runs one per tenant); the return value is the
         :class:`~repro.backends.base.OfflineResult`.  ``link_tag``
         labels the cluster-link transfers for tie-break policies (the
-        serve layer passes the tenant id).
+        serve layer passes the tenant id).  ``trace_track`` /
+        ``trace_parent`` place this phase's span on the caller's
+        Perfetto track under the caller's span.
         """
+        tracer = self.tracer
+        offline_span = None
+        if tracer is not None:
+            offline_span = tracer.start(
+                "offline", "offline", trace_track or "backend", sim.now,
+                parent=trace_parent,
+                args={"strategy": plan.strategy_name})
         pipeline = plan.pipeline
         source = pipeline.source
         count = pipeline.sample_count
@@ -291,6 +307,8 @@ class SimulatedBackend:
                      for i, jobs in enumerate(partition_jobs(
                          count, config.threads, config.max_jobs))]
         yield all_of(sim, processes)
+        if offline_span is not None:
+            tracer.finish(offline_span, sim.now)
         return OfflineResult(
             duration=sim.now - start,
             bytes_read=counters["read"],
@@ -322,6 +340,8 @@ class SimulatedBackend:
                       app_tensor_bytes_ps: float = 0.0,
                       chunk_namespace=None,
                       link_tag: str = "",
+                      trace_track: str = "",
+                      trace_parent: Optional[int] = None,
                       ) -> Generator[Event, None, EpochResult]:
         """Run one training epoch as a process generator.
 
@@ -345,6 +365,19 @@ class SimulatedBackend:
         job_plans = partition_jobs(count, config.threads, config.max_jobs)
         trace = (ResourceTrace(threads=len(job_plans))
                  if self.collect_traces else None)
+        # Span tracing (repro.obs): the epoch span is cheap; per-batch
+        # and per-transfer leaves sit behind the detail flag because a
+        # default scenario runs up to MAX_JOBS_PER_RUN batches per epoch.
+        tracer = self.tracer
+        span_track = trace_track or "backend"
+        epoch_span = None
+        if tracer is not None:
+            epoch_span = tracer.start(
+                f"epoch {epoch}", "epoch", span_track, sim.now,
+                parent=trace_parent,
+                args={"epoch": epoch, "strategy": plan.strategy_name})
+        detail = tracer if (tracer is not None and tracer.detail) else None
+        epoch_span_id = epoch_span.id if epoch_span is not None else None
         # Hot-loop bindings.  The trace brackets are inlined (they only
         # read the clock) and every expression keeps the exact shape of
         # the historical implementation, so traced values and simulated
@@ -391,8 +424,15 @@ class SimulatedBackend:
         def worker(jobs: list[_JobPlan]) -> Generator[Event, None, None]:
             if shuffle_buffer and jobs and jobs[0].thread_id == 0:
                 yield Timeout(sim, cal.SHUFFLE_BUFFER_ALLOC)
+            lane = (f"{span_track}/t{jobs[0].thread_id}"
+                    if detail is not None and jobs else span_track)
+            batch_span = None
             for job in jobs:
                 k = job.samples
+                if detail is not None:
+                    batch_span = detail.start(
+                        "batch", "batch", lane, sim._now,
+                        parent=epoch_span_id, args={"samples": k})
                 if from_app_cache:
                     # Served entirely from the tensor cache: memory read,
                     # non-deterministic steps, light iterator hand-off.
@@ -436,6 +476,8 @@ class SimulatedBackend:
                         dispatch.release()
                     if trace is not None:
                         trace.dispatch_seconds += sim._now - bracket
+                    if batch_span is not None:
+                        detail.finish(batch_span, sim._now)
                     continue
                 opens = opens_per_sample * k
                 chunk_key = (chunk_namespace, stored_name, compression,
@@ -449,6 +491,11 @@ class SimulatedBackend:
                     yield memory_link.transfer(disk_bytes)
                     if trace is not None:
                         trace.memory_seconds += sim._now - bracket
+                    if batch_span is not None:
+                        detail.add_complete(
+                            "cache-read", "transfer", lane, bracket,
+                            sim._now, parent=batch_span.id,
+                            args={"bytes": disk_bytes})
                 else:
                     counters["misses"] += 1
                     counters["storage"] += disk_bytes
@@ -466,6 +513,11 @@ class SimulatedBackend:
                     yield read_link.transfer(disk_bytes, link_tag)
                     if trace is not None:
                         trace.read_seconds += sim._now - bracket
+                    if batch_span is not None:
+                        detail.add_complete(
+                            "storage-read", "transfer", lane, bracket,
+                            sim._now, parent=batch_span.id,
+                            args={"bytes": disk_bytes})
                     page_cache.insert(chunk_key, disk_bytes)
                 yield Timeout(sim, k * overhead_ps)
                 if decompress_bw is not None:
@@ -541,10 +593,14 @@ class SimulatedBackend:
                     dispatch.release()
                 if trace is not None:
                     trace.dispatch_seconds += sim._now - bracket
+                if batch_span is not None:
+                    detail.finish(batch_span, sim._now)
 
         processes = [sim.process(worker(jobs), name=f"worker-{i}")
                      for i, jobs in enumerate(job_plans)]
         yield all_of(sim, processes)
+        if epoch_span is not None:
+            tracer.finish(epoch_span, sim.now)
         lookups = counters["hits"] + counters["misses"]
         epoch_result = EpochResult(
             epoch=epoch,

@@ -20,6 +20,8 @@ Subcommands::
                                       admission, preemption, autoscaling)
     presto stream --arrival burst     streaming inference with per-request
                                       latency SLOs and backpressure
+    presto trend A.json B.json        events/s deltas across bench
+                                      snapshots, flagging regressions
 
 Every workload subcommand (profile/sweep/tune/diagnose/serve/fanout) is
 a thin shim: it builds an :class:`~repro.api.spec.ExperimentSpec` from
@@ -33,6 +35,12 @@ resolved plan without executing anything.
 Unknown pipeline / policy / trace / storage names exit with status 2
 and the list of valid registry names (shared resolvers in
 :mod:`repro.api.resolve`), never a traceback.
+
+The simulation workloads (serve/ctl/stream) accept telemetry flags
+(``--metrics-out``, ``--trace-out``, ``--trace-detail``; ``ctl`` also
+``--follow``) that observe a run without changing it: the report on
+stdout stays byte-identical, and exports go to files, stdout (``-``)
+or stderr (``--follow``).  See ``docs/observability.md``.
 
 All commands run on the simulated backend (deterministic, full scale);
 ``profile --backend inprocess`` switches to real miniature execution.
@@ -54,6 +62,7 @@ from repro.api import (ControlSpec, DiagnoseSpec, EnvironmentSpec,
 from repro.core.report import bottleneck_report
 from repro.datasets.catalog import table2_frame
 from repro.errors import ReproError
+from repro.obs.trend import METRIC_DIRECTIONS
 from repro.pipelines.registry import PAPER_PIPELINES, get_pipeline
 from repro.sim.fio import run_fio
 from repro.units import MB
@@ -184,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="ordering of simultaneous storage-link "
                             "completions (tenant = deterministic "
                             "(timestamp, tenant id) order)")
+    _add_obs_options(serve)
 
     ctl = sub.add_parser(
         "ctl",
@@ -231,6 +241,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ctl.add_argument("--autoscale-interval", type=float, default=600.0,
                      metavar="S", dest="autoscale_interval",
                      help="autoscaler tick in simulated seconds")
+    _add_obs_options(ctl, follow=True)
 
     stream = sub.add_parser(
         "stream",
@@ -265,6 +276,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="arrival-schedule seed (runs are "
                              "deterministic)")
     stream.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
+    _add_obs_options(stream)
+
+    trend = sub.add_parser(
+        "trend",
+        help="compare bench snapshots (BENCH_serve.json) and flag "
+             "per-scenario regressions")
+    trend.add_argument("snapshots", nargs="+", metavar="BENCH_JSON",
+                       help="two or more snapshots, oldest first")
+    trend.add_argument("--metric", choices=sorted(METRIC_DIRECTIONS),
+                       default="events_per_sec",
+                       help="which scenario metric to compare")
+    trend.add_argument("--threshold", type=float, default=5.0,
+                       metavar="PCT",
+                       help="regression threshold in percent")
+    trend.add_argument("--labels", nargs="+", default=None,
+                       metavar="LABEL",
+                       help="snapshot labels (default: file names)")
+    trend.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the trend report as JSON")
+    trend.add_argument("--fail-on-regression", action="store_true",
+                       dest="fail_on_regression",
+                       help="exit 3 when any regression is flagged")
     return parser
 
 
@@ -274,6 +307,75 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="parallel profiling workers (default: 1)")
     parser.add_argument("--cache", default=None, metavar="DIR",
                         help="persist memoized profiles in DIR")
+
+
+def _add_obs_options(parser: argparse.ArgumentParser,
+                     follow: bool = False) -> None:
+    """The telemetry knobs shared by serve/ctl/stream."""
+    obs = parser.add_argument_group("telemetry")
+    obs.add_argument("--metrics-out", metavar="FILE", default=None,
+                     dest="metrics_out",
+                     help="sample sim-time metrics and write the "
+                          "time-series JSON to FILE ('-' = stdout)")
+    obs.add_argument("--metrics-interval", type=float, default=60.0,
+                     metavar="S", dest="metrics_interval",
+                     help="sim-seconds between metrics samples "
+                          "(default: 60)")
+    obs.add_argument("--trace-out", metavar="FILE", default=None,
+                     dest="trace_out",
+                     help="record spans and write a Chrome trace-event "
+                          "(Perfetto) JSON to FILE ('-' = stdout)")
+    obs.add_argument("--trace-detail", action="store_true",
+                     dest="trace_detail",
+                     help="also record per-batch / per-transfer spans "
+                          "(large traces)")
+    if follow:
+        obs.add_argument("--follow", action="store_true",
+                         help="stream ledger transitions live to stderr")
+
+
+def _telemetry_from(args):
+    """Build a :class:`repro.obs.Telemetry` from CLI flags, or ``None``
+    when every telemetry flag is off (the zero-cost default)."""
+    follow = getattr(args, "follow", False)
+    if args.metrics_out is None and args.trace_out is None and not follow:
+        return None
+    from repro.obs import Telemetry
+    return Telemetry(
+        metrics_interval=(args.metrics_interval
+                          if args.metrics_out is not None else None),
+        trace=args.trace_out is not None,
+        trace_detail=args.trace_detail,
+        follow=sys.stderr if follow else None)
+
+
+def _write_export(payload: dict, dest: str, what: str) -> None:
+    import json
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {what} to {dest}", file=sys.stderr)
+
+
+def _run_observed(spec: ExperimentSpec, args) -> int:
+    """Run a simulation workload with the telemetry flags applied.
+
+    The report stays on stdout exactly as without telemetry; metrics
+    and trace exports follow it (``-``) or land in files.
+    """
+    telemetry = _telemetry_from(args)
+    if telemetry is None:
+        return _print_artifact(spec)
+    artifact = Session().run(spec, telemetry=telemetry)
+    print(artifact.report)
+    if artifact.metrics is not None:
+        _write_export(artifact.metrics, args.metrics_out, "metrics")
+    if artifact.trace is not None:
+        _write_export(artifact.trace, args.trace_out, "trace")
+    return 0
 
 
 def _exec_spec(args, progress: bool = False) -> ExecSpec:
@@ -428,18 +530,18 @@ def _cmd_fanout(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    return _print_artifact(ExperimentSpec(
+    return _run_observed(ExperimentSpec(
         kind="serve",
         run=RunSpec(threads=args.threads, epochs=args.epochs),
         environment=EnvironmentSpec(storage=args.storage),
         serve=ServeSpec(tenants=args.tenants, trace=args.trace,
                         policy=args.policy, slots=args.slots,
                         tie_break=args.tie_break),
-        seed=args.seed))
+        seed=args.seed), args)
 
 
 def _cmd_ctl(args) -> int:
-    return _print_artifact(ExperimentSpec(
+    return _run_observed(ExperimentSpec(
         kind="control",
         run=RunSpec(threads=args.threads, epochs=args.epochs),
         environment=EnvironmentSpec(storage=args.storage),
@@ -455,11 +557,11 @@ def _cmd_ctl(args) -> int:
                             autoscale=args.autoscale,
                             max_slots=args.max_slots,
                             autoscale_interval=args.autoscale_interval),
-        seed=args.seed))
+        seed=args.seed), args)
 
 
 def _cmd_stream(args) -> int:
-    return _print_artifact(ExperimentSpec(
+    return _run_observed(ExperimentSpec(
         kind="stream",
         environment=EnvironmentSpec(storage=args.storage),
         stream=StreamSpec(tenants=args.tenants, arrival=args.arrival,
@@ -468,7 +570,22 @@ def _cmd_stream(args) -> int:
                           queue_bound=args.queue_bound,
                           slo_stretch=args.slo_stretch or None,
                           shed=args.shed),
-        seed=args.seed))
+        seed=args.seed), args)
+
+
+def _cmd_trend(args) -> int:
+    import json
+    from repro.obs.trend import analyze_files
+    report = analyze_files(args.snapshots, metric=args.metric,
+                           threshold_pct=args.threshold,
+                           labels=args.labels)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    if args.fail_on_regression and report.regressions:
+        return 3
+    return 0
 
 
 def main_entry() -> None:
@@ -503,6 +620,7 @@ def _dispatch(args) -> int:
         "serve": lambda: _cmd_serve(args),
         "ctl": lambda: _cmd_ctl(args),
         "stream": lambda: _cmd_stream(args),
+        "trend": lambda: _cmd_trend(args),
     }
     return handlers[args.command]()
 

@@ -37,6 +37,7 @@ byte-for-byte.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Generator, Optional, Sequence
 
 from dataclasses import dataclass
@@ -104,11 +105,14 @@ class Dispatcher(PreprocessingService):
                  retry: Optional[RetryPolicy] = None,
                  admission_limit: Optional[int] = None,
                  preempt: bool = False,
-                 autoscale: Optional[AutoscaleConfig] = None):
+                 autoscale: Optional[AutoscaleConfig] = None,
+                 metrics=None, metrics_interval: float = 60.0,
+                 tracer=None):
         super().__init__(policy=policy, slots=slots,
                          environment=environment, backend=backend,
                          materialize_offline=materialize_offline,
-                         tie_break=tie_break)
+                         tie_break=tie_break, metrics=metrics,
+                         metrics_interval=metrics_interval, tracer=tracer)
         self.retry_policy = retry if retry is not None else RetryPolicy()
         if admission_limit is not None and admission_limit < 1:
             raise ControlError(
@@ -125,6 +129,8 @@ class Dispatcher(PreprocessingService):
         #: Lifecycle feed; populated per run, callbacks persist.
         self.ledger: Optional[ExecutionLedger] = None
         self._subscribers: list[Callable[[LedgerEntry], None]] = []
+        self._autoscale_subscribers: list[Callable[[AutoscaleEvent],
+                                                   None]] = []
         self._next_index = 0
         self._pending_submissions: list[tuple[str, JobSpec]] = []
         self._pending_cancels: list[tuple[str, float]] = []
@@ -183,6 +189,11 @@ class Dispatcher(PreprocessingService):
         """Receive every job-lifecycle ledger entry of future runs."""
         self._subscribers.append(callback)
 
+    def subscribe_autoscale(self, callback: Callable[[AutoscaleEvent],
+                                                     None]) -> None:
+        """Receive every autoscale action as it happens (live dashboard)."""
+        self._autoscale_subscribers.append(callback)
+
     # -- the run -------------------------------------------------------------
 
     def run(self, jobs: Sequence[JobSpec] = ()) -> ControlReport:
@@ -207,6 +218,8 @@ class Dispatcher(PreprocessingService):
         for callback in self._subscribers:
             self.ledger.subscribe(callback)
         self.ledger.subscribe(self._on_entry)
+        if self.tracer is not None:
+            self.ledger.subscribe(self._trace_entry)
         self._records = {record.job_id: record for record in records}
         self._by_job = {id(record.job): record for record in records}
         self._inflight = {}
@@ -218,6 +231,7 @@ class Dispatcher(PreprocessingService):
         tenant_jobs = [record.job for record in records]
         self._configure_link(tenant_jobs)
         self._set_baselines(tenant_jobs)
+        self._tenants = sorted({job.spec.tenant for job in tenant_jobs})
         processes = [sim.process(self._control_process(record),
                                  name=record.job_id)
                      for record in records]
@@ -232,7 +246,10 @@ class Dispatcher(PreprocessingService):
                         name=f"cancel-{job_id}")
         if self.autoscale is not None:
             sim.process(self._autoscale_process(), name="autoscaler")
+        self._start_sampler()
+        started = time.perf_counter()
         sim.run()
+        wall_seconds = time.perf_counter() - started
         unfinished = [record.job_id for record, process
                       in zip(records, processes) if not process.triggered]
         if unfinished:
@@ -248,6 +265,7 @@ class Dispatcher(PreprocessingService):
             raise SimulationError(
                 f"jobs finished outside a terminal state: {stuck}")
         service = self._report(tenant_jobs)
+        service.wall_seconds = wall_seconds
         final_slots, self.slots = self.slots, initial_slots
         return ControlReport(
             service=service, ledger=self.ledger, retry=self.retry_policy,
@@ -430,6 +448,30 @@ class Dispatcher(PreprocessingService):
         if entry.to_state in TERMINAL_STATES:
             self._active -= 1
 
+    # -- telemetry (repro.obs) -----------------------------------------------
+
+    def _telemetry_live(self) -> bool:
+        """Sampler liveness: the control plane tracks non-terminal jobs
+        (a job can be live without occupying the serve-layer queue)."""
+        return self._active > 0
+
+    def _sample_metrics(self, registry) -> None:
+        super()._sample_metrics(registry)
+        counts = self.ledger.counts() if self.ledger is not None else {}
+        for state in lifecycle.STATES:
+            registry.gauge(f"ledger.{state}").set(counts.get(state, 0))
+        registry.gauge("dlq.depth").set(len(self._dead))
+        registry.gauge("slots.total").set(self.slots)
+
+    def _trace_entry(self, entry: LedgerEntry) -> None:
+        """Ledger subscriber: one instant trace event per transition."""
+        self.tracer.instant(
+            f"{entry.job_id} {entry.event}", "ledger", "ledger",
+            entry.time,
+            args={"job": entry.job_id, "attempt": entry.attempt,
+                  "from": entry.from_state, "to": entry.to_state,
+                  "detail": entry.detail})
+
     def _note(self, record: JobRecord, event: str,
               detail: str = "") -> None:
         self.ledger.record(record.job_id, event, self._sim.now,
@@ -489,8 +531,11 @@ class Dispatcher(PreprocessingService):
         old = self.slots
         self._free_slots += new_slots - old
         self.slots = new_slots
-        self._autoscale_log.append(AutoscaleEvent(
+        event = AutoscaleEvent(
             time=self._sim.now, old_slots=old, new_slots=new_slots,
-            reason=reason))
+            reason=reason)
+        self._autoscale_log.append(event)
+        for callback in self._autoscale_subscribers:
+            callback(event)
         if new_slots > old:
             self._dispatch()

@@ -131,6 +131,14 @@ class ControlReport:
     def events_processed(self) -> int:
         return self.service.events_processed
 
+    @property
+    def wall_seconds(self) -> float:
+        return self.service.wall_seconds
+
+    def provenance(self) -> dict:
+        """Uniform run-cost stamp shared by every workload report."""
+        return self.service.provenance()
+
     def record(self, job_id: str) -> JobRecord:
         for candidate in self.records:
             if candidate.job_id == job_id:

@@ -59,6 +59,16 @@ class StrategyDiagnosis:
         })
         return record
 
+    def to_dict(self) -> dict:
+        """Machine-readable export (the uniform doctor schema)."""
+        return {
+            "strategy": self.strategy_name,
+            "attribution": self.attribution.as_dict(),
+            "bound": self.attribution.dominant,
+            "attribution_source": self.attribution.source,
+            "rewrites": [rewrite.to_dict() for rewrite in self.rewrites],
+        }
+
 
 @dataclass
 class VerifiedRewrite:
@@ -89,6 +99,16 @@ class VerifiedRewrite:
         """Did the measured speedup land on the predicted side of 1.0?"""
         return ((self.rewrite.predicted_speedup >= 1.0)
                 == (self.measured_speedup >= 1.0))
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.diagnosis.strategy_name,
+            "rewrite": self.rewrite.to_dict(),
+            "measured_sps": self.measured_sps,
+            "measured_speedup": self.measured_speedup,
+            "prediction_error": self.prediction_error,
+            "sign_matches": self.sign_matches,
+        }
 
     def describe(self) -> str:
         return (f"{self.rewrite.kind} on "
@@ -125,6 +145,15 @@ class PipelineDiagnosis:
         pairs.sort(key=lambda pair: (-pair[1].predicted_speedup,
                                      pair[0].strategy_name, pair[1].kind))
         return pairs
+
+    def to_dict(self) -> dict:
+        """Machine-readable export (the uniform doctor schema)."""
+        return {
+            "doctor": "pipeline",
+            "pipeline": self.pipeline,
+            "strategies": [diagnosis.to_dict()
+                           for diagnosis in self.strategies],
+        }
 
     def to_markdown(self) -> str:
         """The ``presto diagnose`` report body."""

@@ -68,6 +68,18 @@ class Rewrite:
                 f"{self.predicted_speedup:.2f}x "
                 f"({self.predicted_sps:.0f} SPS)")
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "description": self.description,
+            "predicted_speedup": self.predicted_speedup,
+            "predicted_sps": self.predicted_sps,
+            "baseline_sps": self.baseline_sps,
+            "target": self.target,
+            "metric": self.metric,
+            "verifiable": self.verifiable,
+        }
+
 
 def propose_rewrites(profile: StrategyProfile,
                      attribution: ResourceAttribution,

@@ -98,3 +98,12 @@ class FrameError(ReproError):
 
 class StorageError(ReproError):
     """A simulated storage operation failed (missing object, overflow)."""
+
+
+class ObservabilityError(ReproError):
+    """Telemetry was configured incorrectly or produced an invalid export.
+
+    Raised by :mod:`repro.obs` for malformed Chrome-trace payloads, trend
+    snapshots that do not look like ``BENCH_serve.json``, and telemetry
+    flags that conflict with the requested run shape.
+    """

@@ -1,0 +1,63 @@
+"""Live ledger follower: the ``presto ctl --follow`` text dashboard.
+
+Subscribes to the :class:`~repro.ctl.ledger.ExecutionLedger` push feed
+and prints each transition as it happens, with a rolling status line
+(state counts, DLQ depth) after every terminal transition and a marker
+for each autoscale action.  Output goes to the stream the caller hands
+in -- the CLI uses stderr so the golden-pinned report on stdout stays
+byte-identical with ``--follow`` on.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from ..ctl.ledger import DEADLETTER, TERMINAL_STATES, LedgerEntry
+
+__all__ = ["LedgerFollower"]
+
+
+class LedgerFollower:
+    """Render ledger entries and autoscale events to a text stream.
+
+    Wire it up before the run starts::
+
+        follower = LedgerFollower(sys.stderr)
+        dispatcher.subscribe(follower.entry)
+        dispatcher.subscribe_autoscale(follower.autoscale)
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.seen = 0
+        self._state_counts: dict = {}
+        self._dlq = 0
+
+    # -- feed callbacks -------------------------------------------------
+
+    def entry(self, entry: LedgerEntry) -> None:
+        """Ledger subscriber: print the transition, track state counts."""
+        self.seen += 1
+        if entry.from_state in self._state_counts:
+            self._state_counts[entry.from_state] -= 1
+            if self._state_counts[entry.from_state] <= 0:
+                del self._state_counts[entry.from_state]
+        self._state_counts[entry.to_state] = (
+            self._state_counts.get(entry.to_state, 0) + 1)
+        if entry.to_state == DEADLETTER:
+            self._dlq += 1
+        print(entry.describe(), file=self.stream)
+        if entry.to_state in TERMINAL_STATES:
+            print(self.status_line(), file=self.stream)
+
+    def autoscale(self, event) -> None:
+        """Autoscale subscriber (:class:`~repro.ctl.report.AutoscaleEvent`)."""
+        print(f"** autoscale {event.describe()}", file=self.stream)
+
+    # -- rendering ------------------------------------------------------
+
+    def status_line(self) -> str:
+        counts = " ".join(f"{state}={count}" for state, count
+                          in sorted(self._state_counts.items()))
+        return f"-- {counts or 'idle'} | dlq={self._dlq}"

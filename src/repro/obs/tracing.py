@@ -1,0 +1,190 @@
+"""Span tracing with Chrome trace-event (Perfetto) export.
+
+Spans live on named *tracks* (one track becomes one Perfetto thread
+row): tenants, worker lanes, the control plane.  Every span carries the
+simulation timestamp at start/finish; the exporter converts simulated
+seconds to microseconds, which Perfetto renders natively.
+
+The tracer is a null-by-default hook: engines take ``tracer=None`` and
+guard every emission with ``if tracer is not None``, reading only the
+simulation clock inside the guard -- tracing must never schedule DES
+events, so runs with tracing on and off process the *same* event count
+(pinned by ``tests/obs/test_obs_differential.py``).
+
+``detail=True`` additionally enables per-batch and per-transfer spans
+inside the backend hot loop.  Default scenarios run up to
+``MAX_JOBS_PER_RUN`` sample batches per epoch, so detail traces are
+large; the flag keeps the default export to a handful of spans per job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ObservabilityError
+
+__all__ = ["Span", "Tracer", "validate_chrome_trace"]
+
+#: Span categories used across the engines (Perfetto colour-codes them).
+SPAN_CATEGORIES = ("job", "queue", "epoch", "batch", "transfer",
+                   "request", "offline", "ledger")
+
+
+@dataclass
+class Span:
+    """One open or closed interval on a track."""
+
+    id: int
+    name: str
+    cat: str
+    track: str
+    start: float
+    end: Optional[float] = None
+    parent: Optional[int] = None
+    args: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass
+class _Instant:
+    name: str
+    cat: str
+    track: str
+    t: float
+    args: Optional[dict] = None
+
+
+class Tracer:
+    """Collects spans/instants; exports Chrome trace-event JSON."""
+
+    def __init__(self, detail: bool = False) -> None:
+        self.detail = detail
+        self.spans: List[Span] = []
+        self.instants: List[_Instant] = []
+        self._next_id = 1
+
+    # -- recording ------------------------------------------------------
+
+    def start(self, name: str, cat: str, track: str, t: float,
+              parent: Optional[int] = None,
+              args: Optional[dict] = None) -> Span:
+        span = Span(id=self._next_id, name=name, cat=cat, track=track,
+                    start=t, parent=parent, args=args)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def finish(self, span: Span, t: float) -> Span:
+        span.end = t
+        return span
+
+    def add_complete(self, name: str, cat: str, track: str, start: float,
+                     end: float, parent: Optional[int] = None,
+                     args: Optional[dict] = None) -> Span:
+        """One-shot closed span -- the cheap path for hot-loop leaves."""
+        span = self.start(name, cat, track, start, parent=parent, args=args)
+        span.end = end
+        return span
+
+    def instant(self, name: str, cat: str, track: str, t: float,
+                args: Optional[dict] = None) -> None:
+        self.instants.append(_Instant(name, cat, track, t, args))
+
+    # -- export ---------------------------------------------------------
+
+    def _track_ids(self) -> Dict[str, int]:
+        tracks: Dict[str, int] = {}
+        for span in self.spans:
+            tracks.setdefault(span.track, len(tracks) + 1)
+        for inst in self.instants:
+            tracks.setdefault(inst.track, len(tracks) + 1)
+        return tracks
+
+    def to_chrome(self) -> dict:
+        """Chrome trace-event payload (load via Perfetto / about:tracing).
+
+        Simulated seconds map to trace microseconds.  Unfinished spans
+        (a run that errored mid-flight) export with zero duration rather
+        than being dropped, so partial traces still load.
+        """
+        tracks = self._track_ids()
+        events: List[dict] = []
+        for track, tid in tracks.items():
+            events.append({"ph": "M", "pid": 1, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": track}})
+        for span in self.spans:
+            end = span.end if span.end is not None else span.start
+            event = {
+                "ph": "X",
+                "pid": 1,
+                "tid": tracks[span.track],
+                "name": span.name,
+                "cat": span.cat,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round((end - span.start) * 1e6, 3),
+            }
+            args = dict(span.args or {})
+            if span.parent is not None:
+                args["parent"] = span.parent
+            args["span_id"] = span.id
+            event["args"] = args
+            events.append(event)
+        for inst in self.instants:
+            event = {
+                "ph": "i",
+                "pid": 1,
+                "tid": tracks[inst.track],
+                "name": inst.name,
+                "cat": inst.cat,
+                "ts": round(inst.t * 1e6, 3),
+                "s": "t",
+            }
+            if inst.args:
+                event["args"] = dict(inst.args)
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_chrome(), indent=2, sort_keys=True)
+
+
+def validate_chrome_trace(payload: dict) -> int:
+    """Schema-check a Chrome trace payload; returns the event count.
+
+    Raises :class:`ObservabilityError` with the first violation -- used
+    by the CI trace-smoke job and the export tests.
+    """
+    if not isinstance(payload, dict):
+        raise ObservabilityError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError("trace payload missing traceEvents list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ObservabilityError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M"):
+            raise ObservabilityError(
+                f"traceEvents[{index}] has unsupported phase {phase!r}")
+        for key in ("pid", "tid", "name"):
+            if key not in event:
+                raise ObservabilityError(
+                    f"traceEvents[{index}] missing {key!r}")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ObservabilityError(
+                f"traceEvents[{index}] has invalid ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ObservabilityError(
+                    f"traceEvents[{index}] has invalid dur {dur!r}")
+    return len(events)

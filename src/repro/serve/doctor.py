@@ -39,6 +39,10 @@ class ServiceFinding:
     def describe(self) -> str:
         return f"{self.kind}: {self.detail}"
 
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "severity": self.severity,
+                "detail": self.detail}
+
 
 @dataclass
 class ServiceDiagnosis:
@@ -71,6 +75,16 @@ class ServiceDiagnosis:
         if not self.findings:
             lines.append("  (no cluster-level pressure detected)")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Machine-readable export (the uniform doctor schema)."""
+        return {
+            "doctor": "service",
+            "policy": self.policy,
+            "dominant": self.dominant,
+            "fractions": dict(self.fractions),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
 
 
 def cluster_fractions(report: ServiceReport) -> dict:

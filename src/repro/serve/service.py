@@ -30,6 +30,7 @@ SLO violations) aggregate into a :class:`ServiceReport`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Generator, Optional, Sequence
 
@@ -188,6 +189,14 @@ class ServiceReport:
     #: is deterministic, so this is a machine-independent cost metric
     #: (the perf suite's CI smoke asserts it instead of wall seconds).
     events_processed: int = 0
+    #: Wall-clock seconds the host spent running the simulation
+    #: (machine-dependent; track the trend, never assert it).
+    wall_seconds: float = 0.0
+
+    def provenance(self) -> dict:
+        """Uniform run-cost stamp shared by every workload report."""
+        return {"events_processed": self.events_processed,
+                "wall_seconds": round(self.wall_seconds, 6)}
 
     @property
     def aggregate_sps(self) -> float:
@@ -265,9 +274,14 @@ class PreprocessingService:
                  environment: Optional[Environment] = None,
                  backend: Optional[SimulatedBackend] = None,
                  materialize_offline: bool = True,
-                 tie_break: Optional[str] = None):
+                 tie_break: Optional[str] = None,
+                 metrics=None, metrics_interval: float = 60.0,
+                 tracer=None):
         if slots < 1:
             raise ProfilingError("need at least one execution slot")
+        if metrics is not None and metrics_interval <= 0:
+            raise ProfilingError(
+                f"metrics_interval must be positive, got {metrics_interval}")
         if tie_break == "arrival":
             tie_break = None  # the CLI/spec spelling of the default
         if tie_break not in (None, "tenant"):
@@ -288,6 +302,14 @@ class PreprocessingService:
         #: ``False`` serves pre-materialised artifacts (fan-out studies):
         #: offline phases are skipped entirely.
         self.materialize_offline = materialize_offline
+        #: Telemetry hooks (:mod:`repro.obs`).  Both are null by default;
+        #: with them off the service schedules zero extra events and the
+        #: goldens stay byte-identical (tests/obs/test_obs_differential.py).
+        self.metrics = metrics
+        self.metrics_interval = metrics_interval
+        self.tracer = tracer
+        if tracer is not None:
+            self.backend.tracer = tracer
         # Per-run state, initialised in run().
         self._sim: Simulation = None  # type: ignore[assignment]
         self._machine: Machine = None  # type: ignore[assignment]
@@ -315,10 +337,15 @@ class PreprocessingService:
         sim = self._sim
         self._configure_link(tenant_jobs)
         self._set_baselines(tenant_jobs)
+        self._live = len(tenant_jobs)
+        self._tenants = sorted({job.spec.tenant for job in tenant_jobs})
         processes = [sim.process(self._job_process(job),
                                  name=f"job-{job.spec.tenant}")
                      for job in tenant_jobs]
+        self._start_sampler()
+        started = time.perf_counter()
         sim.run()
+        wall_seconds = time.perf_counter() - started
         unfinished = [job.spec.tenant for job, process
                       in zip(tenant_jobs, processes)
                       if not process.triggered]
@@ -328,7 +355,9 @@ class PreprocessingService:
         for process in processes:
             if process._exception is not None:
                 raise process._exception
-        return self._report(tenant_jobs)
+        report = self._report(tenant_jobs)
+        report.wall_seconds = wall_seconds
+        return report
 
     # -- simulation setup ----------------------------------------------------
 
@@ -357,6 +386,58 @@ class PreprocessingService:
         self._materialized = set()
         self._offline_events = {}
         self._enqueued = 0
+        self._live = 0
+        self._tenants: list[str] = []
+
+    # -- telemetry (null-by-default; see repro.obs) --------------------------
+
+    def _telemetry_live(self) -> bool:
+        """Whether the metrics sampler should keep running.  The control
+        plane overrides this with its own active-job counter."""
+        return self._live > 0
+
+    def _start_sampler(self) -> None:
+        """Spawn the periodic metrics sampler -- only when a registry is
+        attached, so telemetry off costs zero extra kernel events."""
+        if self.metrics is not None:
+            self._sim.process(self._metrics_process(),
+                              name="metrics-sampler")
+
+    def _metrics_process(self) -> Generator[Event, None, None]:
+        sim = self._sim
+        registry = self.metrics
+        interval = self.metrics_interval
+        while self._telemetry_live():
+            yield sim.timeout(interval)
+            self._sample_metrics(registry)
+            registry.snapshot(sim.now)
+
+    def _sample_metrics(self, registry) -> None:
+        """Read one sample of every cluster-level gauge.  Pure reads of
+        existing state -- never schedules events or mutates the model."""
+        sim = self._sim
+        registry.gauge("queue.depth").set(len(self._queue))
+        registry.gauge("slots.running").set(len(self._running))
+        registry.gauge("slots.free").set(self._free_slots)
+        link = self._cluster.read_link
+        registry.gauge("link.active_streams").set(link.active_streams)
+        aggregate = self.environment.storage.aggregate_bw
+        registry.gauge("link.utilization").set(
+            link.current_throughput() / aggregate if aggregate else 0.0)
+        cache = self._machine.page_cache
+        registry.gauge("cache.hit_rate").set(cache.hit_rate)
+        registry.gauge("cache.used_bytes").set(cache.used_bytes)
+        registry.gauge("cache.evictions").set(cache.evictions)
+        metadata = self._cluster.metadata
+        registry.gauge("metadata.in_use").set(metadata.in_use)
+        registry.gauge("metadata.queued").set(metadata.queued)
+        registry.gauge("kernel.events_processed").set(sim.events_processed)
+        inflight: dict[str, int] = {}
+        for job in self._running:
+            inflight[job.spec.tenant] = inflight.get(job.spec.tenant, 0) + 1
+        for tenant in self._tenants:
+            registry.gauge(f"tenant.{tenant}.inflight").set(
+                inflight.get(tenant, 0))
 
     def _configure_link(self, jobs: Sequence[TenantJob]) -> None:
         """Pin the fair per-stream read share, as the backend does.
@@ -385,16 +466,26 @@ class PreprocessingService:
     def _job_process(self, job: TenantJob
                      ) -> Generator[Event, None, None]:
         sim = self._sim
+        tracer = self.tracer
         if job.spec.arrival > 0:
             yield sim.timeout(job.spec.arrival)
         job.arrival = sim.now
         self._enqueue(job)
+        queue_span = None
+        if tracer is not None:
+            queue_span = tracer.start("queue", "queue", job.spec.tenant,
+                                      sim.now)
         yield job.grant_event
         job.granted = sim.now
+        if queue_span is not None:
+            tracer.finish(queue_span, sim.now)
+        if self.metrics is not None:
+            self.metrics.histogram("queue.delay_s").observe(job.queue_delay)
         try:
             yield from self._execute(job)
         finally:
             job.finished = sim.now
+            self._live -= 1
             self._release(job)
 
     def _enqueue(self, job: TenantJob) -> None:
@@ -414,24 +505,38 @@ class PreprocessingService:
         runs when starting from the beginning.
         """
         sim = self._sim
-        if (start_epoch == 0 and self.materialize_offline
-                and not job.plan.is_unprocessed):
-            yield from self._offline_phase(job)
-        stored = job.plan.materialized
-        if job.plan.is_unprocessed:
-            stored_bytes_ps = stored.bytes_per_sample
-        else:
-            stored_bytes_ps = stored.compressed_bytes_per_sample(
-                job.config.compression)
-        namespace = self._namespace(job)
-        for epoch in range(start_epoch, job.config.epochs):
-            self._before_epoch(job, epoch)
-            result = yield from self.backend.epoch_process(
-                sim, self._machine, self._cluster, job.plan,
-                job.config, epoch, stored_bytes_ps=stored_bytes_ps,
-                chunk_namespace=namespace,
-                link_tag=self._link_tag(job))
-            job.epochs.append(result)
+        tracer = self.tracer
+        job_span = None
+        if tracer is not None:
+            job_span = tracer.start(
+                f"run {job.spec.tenant}", "job", job.spec.tenant, sim.now,
+                args={"pipeline": job.spec.pipeline,
+                      "strategy": job.spec.split,
+                      "start_epoch": start_epoch})
+        parent = job_span.id if job_span is not None else None
+        try:
+            if (start_epoch == 0 and self.materialize_offline
+                    and not job.plan.is_unprocessed):
+                yield from self._offline_phase(job, trace_parent=parent)
+            stored = job.plan.materialized
+            if job.plan.is_unprocessed:
+                stored_bytes_ps = stored.bytes_per_sample
+            else:
+                stored_bytes_ps = stored.compressed_bytes_per_sample(
+                    job.config.compression)
+            namespace = self._namespace(job)
+            for epoch in range(start_epoch, job.config.epochs):
+                self._before_epoch(job, epoch)
+                result = yield from self.backend.epoch_process(
+                    sim, self._machine, self._cluster, job.plan,
+                    job.config, epoch, stored_bytes_ps=stored_bytes_ps,
+                    chunk_namespace=namespace,
+                    link_tag=self._link_tag(job),
+                    trace_track=job.spec.tenant, trace_parent=parent)
+                job.epochs.append(result)
+        finally:
+            if job_span is not None:
+                tracer.finish(job_span, sim.now)
 
     def _before_epoch(self, job: TenantJob, epoch: int) -> None:
         """Epoch-boundary hook for the control plane (crash injection,
@@ -439,7 +544,8 @@ class PreprocessingService:
         the plain service's behaviour -- and therefore every golden --
         is bit-identical with the hook in place."""
 
-    def _offline_phase(self, job: TenantJob
+    def _offline_phase(self, job: TenantJob,
+                       trace_parent: Optional[int] = None
                        ) -> Generator[Event, None, None]:
         """Materialise the artifact, deduplicating across tenants when
         the policy allows artifact sharing."""
@@ -459,7 +565,8 @@ class PreprocessingService:
         self._offline_events[key] = event
         result = yield from self.backend.offline_process(
             self._sim, self._machine, self._cluster, job.plan, job.config,
-            link_tag=self._link_tag(job))
+            link_tag=self._link_tag(job),
+            trace_track=job.spec.tenant, trace_parent=trace_parent)
         job.offline = result
         self._materialized.add(job.artifact)
         event.succeed(result)

@@ -48,6 +48,11 @@ class StreamFinding:
             text += f" -> predicted p99 ~{fmt_duration(self.predicted_p99)}"
         return text
 
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "severity": self.severity,
+                "tenant": self.tenant, "detail": self.detail,
+                "predicted_p99": self.predicted_p99}
+
 
 @dataclass
 class StreamDiagnosis:
@@ -74,6 +79,15 @@ class StreamDiagnosis:
         if not self.findings:
             lines.append("  (no latency pressure detected)")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Machine-readable export (the uniform doctor schema)."""
+        return {
+            "doctor": "stream",
+            "p99_latency": self.p99_latency,
+            "miss_fraction": self.miss_fraction,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
 
 
 def _wait_service_p99(tenant: TenantStreamResult) -> tuple:

@@ -20,6 +20,7 @@ through this engine and requires the epoch timings back to ~1e-12.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator, Optional, Sequence
@@ -88,13 +89,25 @@ class StreamingService:
     """Run tenant request streams on one shared simulated cluster."""
 
     def __init__(self, environment: Optional[Environment] = None,
-                 backend: Optional[SimulatedBackend] = None):
+                 backend: Optional[SimulatedBackend] = None,
+                 metrics=None, metrics_interval: float = 60.0,
+                 tracer=None):
+        if metrics is not None and metrics_interval <= 0:
+            raise ProfilingError(
+                f"metrics_interval must be positive, got {metrics_interval}")
         self.environment = environment or Environment()
         self.backend = backend or SimulatedBackend(self.environment)
+        #: Telemetry hooks (:mod:`repro.obs`); null by default, and with
+        #: them off the stream schedules zero extra kernel events.
+        self.metrics = metrics
+        self.metrics_interval = metrics_interval
+        self.tracer = tracer
         # Per-run state, initialised in run().
         self._sim: Simulation = None  # type: ignore[assignment]
         self._machine: Machine = None  # type: ignore[assignment]
         self._cluster: StorageCluster = None  # type: ignore[assignment]
+        self._contexts: list = []
+        self._live_workers = 0
 
     # -- public entry point --------------------------------------------------
 
@@ -119,6 +132,8 @@ class StreamingService:
         sim = self._sim
         self._configure_link(streams)
         self._set_baselines(contexts)
+        self._contexts = contexts
+        self._live_workers = sum(spec.workers for spec in streams)
         processes = []
         for ctx in contexts:
             # The arrival process is created *before* the tenant's
@@ -132,7 +147,11 @@ class StreamingService:
                 processes.append(sim.process(
                     self._worker_process(ctx, wid),
                     name=f"stream-{ctx.spec.tenant}-{wid}"))
+        if self.metrics is not None:
+            sim.process(self._metrics_process(), name="metrics-sampler")
+        started = time.perf_counter()
         sim.run()
+        wall_seconds = time.perf_counter() - started
         stuck = [process.name for process in processes
                  if not process.triggered]
         if stuck:
@@ -141,7 +160,42 @@ class StreamingService:
         for process in processes:
             if process._exception is not None:
                 raise process._exception
-        return self._report(contexts)
+        report = self._report(contexts)
+        report.wall_seconds = wall_seconds
+        return report
+
+    # -- telemetry (null-by-default; see repro.obs) --------------------------
+
+    def _metrics_process(self) -> Generator[Event, None, None]:
+        sim = self._sim
+        registry = self.metrics
+        interval = self.metrics_interval
+        while self._live_workers > 0:
+            yield sim.timeout(interval)
+            self._sample_metrics(registry)
+            registry.snapshot(sim.now)
+
+    def _sample_metrics(self, registry) -> None:
+        """One sample of the stream-level gauges; pure reads only."""
+        sim = self._sim
+        link = self._cluster.read_link
+        registry.gauge("link.active_streams").set(link.active_streams)
+        aggregate = self.environment.storage.aggregate_bw
+        registry.gauge("link.utilization").set(
+            link.current_throughput() / aggregate if aggregate else 0.0)
+        cache = self._machine.page_cache
+        registry.gauge("cache.hit_rate").set(cache.hit_rate)
+        registry.gauge("cache.used_bytes").set(cache.used_bytes)
+        registry.gauge("cache.evictions").set(cache.evictions)
+        metadata = self._cluster.metadata
+        registry.gauge("metadata.in_use").set(metadata.in_use)
+        registry.gauge("metadata.queued").set(metadata.queued)
+        registry.gauge("kernel.events_processed").set(sim.events_processed)
+        for ctx in self._contexts:
+            tenant = ctx.spec.tenant
+            registry.gauge(f"tenant.{tenant}.queue_depth").set(ctx.depth)
+            registry.gauge(f"tenant.{tenant}.completed").set(
+                len(ctx.result.completions))
 
     # -- simulation setup ----------------------------------------------------
 
@@ -317,6 +371,8 @@ class StreamingService:
                         ) -> Generator[Event, None, None]:
         """Pull requests until the stream closes and the queue drains."""
         sim = self._sim
+        tracer = self.tracer
+        lane = f"{ctx.spec.tenant}/w{wid}"
         shard = ctx.shards[wid] if ctx.pinned else ctx.shards[0]
         while True:
             if shard.queue:
@@ -334,9 +390,20 @@ class StreamingService:
                     break
             record.worker = wid
             record.started = sim.now
+            # The span brackets _request_body without touching it: the
+            # body's expression shapes are pinned by the 1e-12
+            # differential wall and the tracer only reads the clock.
+            span = None
+            if tracer is not None:
+                span = tracer.start(
+                    f"request {record.index}", "request", lane, sim.now,
+                    args={"batch": record.batch, "chunk": record.chunk})
             yield from self._request_body(ctx, record)
             record.completed = sim.now
+            if span is not None:
+                tracer.finish(span, sim.now)
             ctx.result.completions.append(record)
+        self._live_workers -= 1
 
     def _request_body(self, ctx: _TenantStream, record: RequestRecord
                       ) -> Generator[Event, None, None]:

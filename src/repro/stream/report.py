@@ -190,6 +190,14 @@ class StreamReport:
     bytes_from_cache: float = 0.0
     metadata_peak_in_use: int = 0
     page_cache_evictions: int = 0
+    #: Wall-clock seconds the host spent running the simulation
+    #: (machine-dependent; track the trend, never assert it).
+    wall_seconds: float = 0.0
+
+    def provenance(self) -> dict:
+        """Uniform run-cost stamp shared by every workload report."""
+        return {"events_processed": self.events_processed,
+                "wall_seconds": round(self.wall_seconds, 6)}
 
     @property
     def total_requests(self) -> int:

@@ -56,6 +56,14 @@ RUN_CASES = {
     "run_sweep_cv": ["run", "examples/experiments/sweep_cv.json"],
 }
 
+#: Telemetry cases: the report plus the Chrome trace JSON on stdout.
+#: Pins both that tracing leaves the report untouched and that the
+#: span timeline itself is deterministic.
+TRACE_CASES = {
+    "trace_steady": ["serve", "--tenants", "2", "--trace", "steady",
+                     "--seed", "0", "--trace-out", "-"],
+}
+
 
 @pytest.mark.parametrize("name", sorted(SWEEP_CASES))
 def test_sweep_output_matches_golden(golden, name):
@@ -97,6 +105,27 @@ def test_stream_golden_regenerates_without_diff(capsys):
     stdout = capsys.readouterr().out
     rebuilt = json.dumps({"argv": argv, "stdout": stdout}, indent=2) + "\n"
     assert rebuilt == path.read_text()
+
+
+@pytest.mark.parametrize("name", sorted(TRACE_CASES))
+def test_trace_output_matches_golden(golden, name):
+    golden.check(name, TRACE_CASES[name])
+
+
+def test_trace_golden_report_prefix_and_payload_validate():
+    """The trace golden splits into the untraced serve report (byte
+    prefix) followed by a schema-valid Chrome trace payload."""
+    import json
+
+    from repro.obs.tracing import validate_chrome_trace
+    path = Path(__file__).parent / "data" / "trace_steady.json"
+    stdout = json.loads(path.read_text())["stdout"]
+    lines = stdout.splitlines()
+    payload = json.loads("\n".join(lines[lines.index("{"):]))
+    assert validate_chrome_trace(payload) > 0
+    categories = {event.get("cat") for event in payload["traceEvents"]
+                  if event["ph"] == "X"}
+    assert {"job", "queue", "epoch", "offline"} <= categories
 
 
 @pytest.mark.parametrize("name", sorted(RUN_CASES))

@@ -1,0 +1,85 @@
+"""Tests for the live ledger follower (repro.obs.follow)."""
+
+import io
+
+from repro.ctl.dispatcher import Dispatcher
+from repro.ctl.ledger import LedgerEntry
+from repro.ctl.report import AutoscaleEvent
+from repro.obs.follow import LedgerFollower
+from repro.serve.jobs import generate_trace
+
+
+def entry(seq, job, event, from_state, to_state, t=0.0, detail=""):
+    return LedgerEntry(seq=seq, time=t, job_id=job, attempt=1,
+                       event=event, from_state=from_state,
+                       to_state=to_state, detail=detail)
+
+
+class TestRendering:
+    def test_transitions_print_as_described(self):
+        out = io.StringIO()
+        follower = LedgerFollower(out)
+        record = entry(0, "job-000", "submit", "NEW", "PENDING",
+                       detail="tenant tenant-0")
+        follower.entry(record)
+        assert out.getvalue().splitlines() == [record.describe()]
+        assert follower.seen == 1
+
+    def test_status_line_after_terminal_transition(self):
+        out = io.StringIO()
+        follower = LedgerFollower(out)
+        follower.entry(entry(0, "job-000", "submit", "NEW", "PENDING"))
+        follower.entry(entry(1, "job-000", "admit", "PENDING", "ADMITTED"))
+        follower.entry(entry(2, "job-000", "start", "ADMITTED", "RUNNING"))
+        follower.entry(entry(3, "job-000", "succeed", "RUNNING",
+                             "SUCCEEDED", t=10.0))
+        lines = out.getvalue().splitlines()
+        assert lines[-1] == "-- SUCCEEDED=1 | dlq=0"
+
+    def test_dlq_depth_counts_deadletters(self):
+        follower = LedgerFollower(io.StringIO())
+        follower.entry(entry(0, "job-000", "submit", "NEW", "PENDING"))
+        follower.entry(entry(1, "job-000", "bury", "PENDING",
+                             "DEADLETTER"))
+        assert follower.status_line() == "-- DEADLETTER=1 | dlq=1"
+
+    def test_autoscale_marker(self):
+        out = io.StringIO()
+        follower = LedgerFollower(out)
+        event = AutoscaleEvent(time=600.0, old_slots=2, new_slots=4,
+                               reason="queue pressure")
+        follower.autoscale(event)
+        assert out.getvalue() == f"** autoscale {event.describe()}\n"
+
+    def test_idle_status_line(self):
+        assert LedgerFollower(io.StringIO()).status_line() \
+            == "-- idle | dlq=0"
+
+
+class TestLiveDispatcherFeed:
+    def test_follower_streams_a_real_run(self):
+        out = io.StringIO()
+        follower = LedgerFollower(out)
+        dispatcher = Dispatcher()
+        dispatcher.subscribe(follower.entry)
+        dispatcher.subscribe_autoscale(follower.autoscale)
+        report = dispatcher.run(generate_trace("steady", tenants=3, seed=0,
+                                               fault_rate=0.3))
+        lines = out.getvalue().splitlines()
+        # every ledger entry was rendered, in order, plus status lines
+        described = [line for line in lines if line.startswith("[")]
+        assert described == [record.describe()
+                             for record in report.ledger.entries]
+        assert follower.seen == len(report.ledger.entries)
+        assert lines[-1].startswith("-- ")
+
+    def test_follower_output_does_not_change_the_run(self):
+        jobs = lambda: generate_trace("steady", tenants=3, seed=0,  # noqa: E731
+                                      fault_rate=0.3)
+        baseline = Dispatcher().run(jobs())
+        follower = LedgerFollower(io.StringIO())
+        observed_dispatcher = Dispatcher()
+        observed_dispatcher.subscribe(follower.entry)
+        observed = observed_dispatcher.run(jobs())
+        assert observed.events_processed == baseline.events_processed
+        assert observed.ledger.describe() == baseline.ledger.describe()

@@ -1,0 +1,118 @@
+"""The telemetry wall: observation must not change the experiment.
+
+Two invariants, differentially enforced across serve/ctl/stream:
+
+* **Tracing is event-free.**  A tracer (even ``detail=True``) only
+  reads the simulation clock, so a traced run resolves *exactly* the
+  same kernel event count and renders a byte-identical report.
+* **Metrics sampling is report-free.**  The sampler is a real DES
+  process (it adds timeout events by design), but it must never perturb
+  the workload: the rendered report -- makespans, throughputs, per-
+  tenant rows -- stays byte-identical.
+
+Telemetry *off* costs zero extra events by construction (the hooks are
+``None`` and no sampler is spawned); that side of the wall is pinned by
+the goldens and ``make bench-check`` event counts, which predate this
+subsystem and must never drift.
+"""
+
+import pytest
+
+from repro.core.report import (service_summary, stream_table,
+                               tenant_table)
+from repro.ctl.dispatcher import Dispatcher
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.serve.jobs import generate_trace
+from repro.serve.service import PreprocessingService
+from repro.stream import StreamingService, generate_stream
+
+
+def serve_jobs():
+    return generate_trace("bursty", tenants=4, seed=0)
+
+
+def ctl_jobs():
+    return generate_trace("steady", tenants=4, seed=5, fault_rate=0.5)
+
+
+def streams():
+    return generate_stream(tenants=2, seed=0, arrival="burst", requests=8)
+
+
+def render_serve(report) -> str:
+    return (tenant_table(report).to_markdown() + "\n"
+            + service_summary(report))
+
+
+class TestTracingIsEventFree:
+    def test_serve(self):
+        baseline = PreprocessingService(policy="cache-aware").run(
+            serve_jobs())
+        tracer = Tracer(detail=True)
+        traced = PreprocessingService(policy="cache-aware",
+                                      tracer=tracer).run(serve_jobs())
+        assert traced.events_processed == baseline.events_processed
+        assert render_serve(traced) == render_serve(baseline)
+        assert tracer.spans, "tracer recorded nothing"
+
+    def test_ctl(self):
+        baseline = Dispatcher().run(ctl_jobs())
+        tracer = Tracer()
+        traced_dispatcher = Dispatcher(tracer=tracer)
+        traced = traced_dispatcher.run(ctl_jobs())
+        assert traced.events_processed == baseline.events_processed
+        assert traced.ledger.describe() == baseline.ledger.describe()
+        assert tracer.instants, "no ledger instants recorded"
+
+    def test_stream(self):
+        baseline = StreamingService().run(streams(), seed=0)
+        tracer = Tracer()
+        traced = StreamingService(tracer=tracer).run(streams(), seed=0)
+        assert traced.events_processed == baseline.events_processed
+        assert stream_table(traced).to_markdown() \
+            == stream_table(baseline).to_markdown()
+        assert [span.cat for span in tracer.spans] \
+            == ["request"] * len(tracer.spans)
+
+
+class TestMetricsSamplingIsReportFree:
+    def test_serve(self):
+        baseline = PreprocessingService().run(serve_jobs())
+        observed = PreprocessingService(
+            metrics=MetricsRegistry(), metrics_interval=120.0).run(
+                serve_jobs())
+        assert render_serve(observed) == render_serve(baseline)
+        assert observed.makespan == baseline.makespan
+
+    def test_ctl(self):
+        baseline = Dispatcher().run(ctl_jobs())
+        observed = Dispatcher(metrics=MetricsRegistry(),
+                              metrics_interval=120.0).run(ctl_jobs())
+        assert observed.ledger.describe() == baseline.ledger.describe()
+        assert observed.service.makespan == baseline.service.makespan
+
+    def test_stream(self):
+        baseline = StreamingService().run(streams(), seed=0)
+        observed = StreamingService(metrics=MetricsRegistry(),
+                                    metrics_interval=60.0).run(streams(), seed=0)
+        assert stream_table(observed).to_markdown() \
+            == stream_table(baseline).to_markdown()
+        assert observed.p99_latency == baseline.p99_latency
+
+
+class TestProvenanceStamp:
+    """Satellite: every workload report carries the uniform run-cost
+    stamp (events + wall seconds)."""
+
+    @pytest.mark.parametrize("report_factory", [
+        lambda: PreprocessingService().run(serve_jobs()),
+        lambda: Dispatcher().run(ctl_jobs()),
+        lambda: StreamingService().run(streams(), seed=0),
+    ], ids=["serve", "ctl", "stream"])
+    def test_reports_expose_events_and_wall(self, report_factory):
+        report = report_factory()
+        stamp = report.provenance()
+        assert stamp["events_processed"] == report.events_processed > 0
+        assert stamp["wall_seconds"] == round(report.wall_seconds, 6)
+        assert report.wall_seconds > 0

@@ -1,0 +1,124 @@
+"""Tests for span tracing and Chrome trace export (repro.obs.tracing)."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.tracing import Span, Tracer, validate_chrome_trace
+
+
+def make_trace() -> Tracer:
+    tracer = Tracer()
+    job = tracer.start("run tenant-0", "job", "tenant-0", 0.0)
+    epoch = tracer.start("epoch 0", "epoch", "tenant-0", 1.0,
+                         parent=job.id, args={"epoch": 0})
+    tracer.finish(epoch, 11.0)
+    tracer.finish(job, 12.0)
+    tracer.add_complete("read", "transfer", "tenant-0", 2.0, 3.0,
+                        parent=epoch.id)
+    tracer.instant("crash", "ledger", "ledger", 5.0, args={"job": "j0"})
+    return tracer
+
+
+class TestRecording:
+    def test_span_ids_are_unique_and_parents_link(self):
+        tracer = make_trace()
+        ids = [span.id for span in tracer.spans]
+        assert len(ids) == len(set(ids))
+        job, epoch, read = tracer.spans
+        assert epoch.parent == job.id
+        assert read.parent == epoch.id
+
+    def test_durations(self):
+        tracer = make_trace()
+        assert tracer.spans[0].duration == pytest.approx(12.0)
+        assert Span(1, "open", "job", "t", 5.0).duration == 0.0
+
+    def test_detail_flag_defaults_off(self):
+        assert Tracer().detail is False
+        assert Tracer(detail=True).detail is True
+
+
+class TestChromeExport:
+    def test_payload_validates_and_serializes(self):
+        payload = make_trace().to_chrome()
+        assert validate_chrome_trace(payload) == len(payload["traceEvents"])
+        json.dumps(payload)
+
+    def test_track_becomes_thread_metadata(self):
+        payload = make_trace().to_chrome()
+        meta = [event for event in payload["traceEvents"]
+                if event["ph"] == "M"]
+        names = {event["args"]["name"] for event in meta}
+        assert names == {"tenant-0", "ledger"}
+        # every non-meta event lands on a declared tid
+        tids = {event["tid"] for event in meta}
+        for event in payload["traceEvents"]:
+            assert event["tid"] in tids
+
+    def test_seconds_export_as_microseconds(self):
+        payload = make_trace().to_chrome()
+        epoch = next(event for event in payload["traceEvents"]
+                     if event["name"] == "epoch 0")
+        assert epoch["ts"] == pytest.approx(1e6)
+        assert epoch["dur"] == pytest.approx(10e6)
+
+    def test_parent_and_span_id_ride_in_args(self):
+        payload = make_trace().to_chrome()
+        epoch = next(event for event in payload["traceEvents"]
+                     if event["name"] == "epoch 0")
+        assert epoch["args"]["parent"] == 1
+        assert epoch["args"]["span_id"] == 2
+        assert epoch["args"]["epoch"] == 0
+
+    def test_unfinished_span_exports_zero_duration(self):
+        tracer = Tracer()
+        tracer.start("open", "job", "t", 4.0)
+        payload = tracer.to_chrome()
+        span = next(event for event in payload["traceEvents"]
+                    if event["ph"] == "X")
+        assert span["dur"] == 0.0
+        validate_chrome_trace(payload)
+
+    def test_instant_phase(self):
+        payload = make_trace().to_chrome()
+        inst = next(event for event in payload["traceEvents"]
+                    if event["ph"] == "i")
+        assert inst["s"] == "t"
+        assert inst["ts"] == pytest.approx(5e6)
+
+    def test_to_json_roundtrips(self):
+        tracer = make_trace()
+        assert json.loads(tracer.to_json()) == json.loads(
+            json.dumps(tracer.to_chrome()))
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ObservabilityError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_event_list(self):
+        with pytest.raises(ObservabilityError):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ObservabilityError, match="phase"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "B", "pid": 1, "tid": 1, "name": "x"}]})
+
+    def test_rejects_missing_identity(self):
+        with pytest.raises(ObservabilityError, match="pid"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "tid": 1, "name": "x", "ts": 0, "dur": 0}]})
+
+    def test_rejects_negative_timestamps(self):
+        with pytest.raises(ObservabilityError, match="ts"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 1, "name": "x",
+                 "ts": -1.0, "dur": 0}]})
+        with pytest.raises(ObservabilityError, match="dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 1, "name": "x",
+                 "ts": 0.0, "dur": None}]})

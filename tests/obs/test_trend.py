@@ -1,0 +1,105 @@
+"""Tests for bench trend analysis (repro.obs.trend)."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.trend import (METRIC_DIRECTIONS, analyze, analyze_files,
+                             flatten_snapshot, load_snapshot)
+
+
+def snapshot(serve_eps=50000.0, stream_eps=80000.0, link_eps=90000.0,
+             events=100, wall=2.0):
+    """A minimal BENCH_serve.json-shaped snapshot."""
+    metrics = lambda eps: {"events": events, "events_per_sec": eps,  # noqa: E731
+                           "wall_seconds": wall}
+    return {
+        "serve": {"serve64_hot_raw": {
+            "policies": {"fifo": metrics(serve_eps)}}},
+        "stream": {"stream64": metrics(stream_eps)},
+        "link10k": metrics(link_eps),
+    }
+
+
+class TestFlatten:
+    def test_scenario_keys(self):
+        rows = flatten_snapshot(snapshot(), "events_per_sec")
+        assert sorted(rows) == ["link10k", "serve/serve64_hot_raw/fifo",
+                                "stream/stream64"]
+
+    def test_missing_metric_rows_are_skipped(self):
+        legacy = {"serve": {"old": {"policies": {"fifo": {"events": 5}}}}}
+        assert flatten_snapshot(legacy, "events_per_sec") == {}
+
+
+class TestAnalyze:
+    def test_synthetic_throughput_regression_is_flagged(self):
+        before, after = snapshot(), snapshot(serve_eps=40000.0)
+        report = analyze([before, after], ["A", "B"])
+        flagged = {point.scenario for point in report.regressions}
+        assert flagged == {"serve/serve64_hot_raw/fifo"}
+        point = report.regressions[0]
+        assert point.delta_pct == pytest.approx(-20.0)
+
+    def test_threshold_gates_small_drops(self):
+        report = analyze([snapshot(), snapshot(serve_eps=49000.0)],
+                         ["A", "B"], threshold_pct=5.0)
+        assert not report.regressions
+
+    def test_wall_seconds_regression_is_a_rise(self):
+        before, after = snapshot(), snapshot(wall=3.0)
+        report = analyze([before, after], ["A", "B"],
+                         metric="wall_seconds")
+        assert len(report.regressions) == 3  # every scenario slowed
+
+    def test_event_count_metric_flags_any_drift(self):
+        before, after = snapshot(), snapshot(events=101)
+        report = analyze([before, after], ["A", "B"], metric="events")
+        assert len(report.regressions) == 3
+        assert not analyze([before, before], ["A", "B"],
+                           metric="events").regressions
+
+    def test_multi_step_series_labels_each_step(self):
+        series = [snapshot(), snapshot(), snapshot(serve_eps=30000.0)]
+        report = analyze(series, ["A", "B", "C"])
+        scenarios = [point.scenario for point in report.regressions]
+        assert scenarios == ["[B->C] serve/serve64_hot_raw/fifo"]
+
+    def test_rejects_unknown_metric_and_short_series(self):
+        with pytest.raises(ObservabilityError, match="unknown"):
+            analyze([snapshot(), snapshot()], ["A", "B"], metric="p99")
+        with pytest.raises(ObservabilityError, match="two"):
+            analyze([snapshot()], ["A"])
+
+    def test_known_metrics_have_directions(self):
+        assert set(METRIC_DIRECTIONS.values()) <= {"down", "up", "any"}
+
+
+class TestFiles:
+    def test_analyze_files_defaults_labels_to_names(self, tmp_path):
+        a, b = tmp_path / "A.json", tmp_path / "B.json"
+        a.write_text(json.dumps(snapshot()))
+        b.write_text(json.dumps(snapshot(serve_eps=40000.0)))
+        report = analyze_files([a, b])
+        assert report.labels == ["A.json", "B.json"]
+        assert len(report.regressions) == 1
+        assert "REGRESSION" in report.to_markdown()
+        assert "regression(s)" in report.describe()
+
+    def test_load_rejects_malformed_snapshots(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            load_snapshot(missing)
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"unrelated": True}))
+        with pytest.raises(ObservabilityError, match="BENCH_serve"):
+            load_snapshot(bogus)
+
+    def test_real_bench_baseline_loads(self):
+        """The committed perf baseline is itself a valid snapshot."""
+        from pathlib import Path
+        baseline = Path(__file__).resolve().parents[2] \
+            / "benchmarks" / "perf" / "baseline.json"
+        rows = flatten_snapshot(load_snapshot(baseline), "events")
+        assert rows, "baseline.json flattened to no scenarios"

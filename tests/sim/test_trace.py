@@ -147,3 +147,89 @@ class TestBracketHelpers:
         trace = ResourceTrace()
         for category in TRACE_CATEGORIES:
             assert hasattr(trace, f"{category}_seconds")
+
+
+class TestEdgeCases:
+    """Boundary behaviour: empty traces, nested brackets, zero-duration
+    spans (previously only covered incidentally)."""
+
+    def test_empty_trace_budgets_are_zero(self):
+        trace = ResourceTrace()
+        assert trace.total_thread_seconds == 0.0
+        assert trace.accounted_seconds == 0.0
+        assert trace.stall_seconds == 0.0
+        assert trace.dominant() == "stall"
+
+    def test_empty_trace_merges_and_scales(self):
+        merged = ResourceTrace().merged(make_trace(threads=1))
+        assert merged.read_seconds == 10.0
+        assert merged.cache_hit_rate == 0.0
+        scaled = ResourceTrace().scaled(10.0)
+        assert scaled.fractions()["stall"] == 1.0
+
+    def test_nested_brackets_charge_both_categories(self):
+        """A ``timed`` bracket inside another charges the elapsed time
+        to *both* categories -- nesting double-counts by design (the
+        outer bracket measures the whole phase), so engines bracket
+        disjoint phases only."""
+        sim = Simulation()
+        trace = ResourceTrace(threads=1)
+
+        def wait(seconds):
+            yield sim.timeout(seconds)
+
+        def inner():
+            yield from timed(sim, trace, "decode", wait(2.0))
+
+        def outer():
+            yield from timed(sim, trace, "cpu", inner())
+
+        sim.run_process(outer())
+        assert trace.decode_seconds == pytest.approx(2.0)
+        assert trace.cpu_seconds == pytest.approx(2.0)
+        assert trace.accounted_seconds == pytest.approx(4.0)
+
+    def test_nested_bracket_charges_only_the_inner_span(self):
+        """Work before/after an inner bracket stays with the outer
+        category: the inner bracket reads the clock on entry/exit."""
+        sim = Simulation()
+        trace = ResourceTrace(threads=1)
+
+        def wait(seconds):
+            yield sim.timeout(seconds)
+
+        def body():
+            yield sim.timeout(1.0)                               # outer
+            yield from timed(sim, trace, "read", wait(2.0))
+            yield sim.timeout(4.0)                               # outer
+
+        def outer():
+            yield from timed(sim, trace, "cpu", body())
+
+        sim.run_process(outer())
+        assert trace.read_seconds == pytest.approx(2.0)
+        assert trace.cpu_seconds == pytest.approx(7.0)
+
+    def test_zero_duration_span_charges_nothing(self):
+        sim = Simulation()
+        trace = ResourceTrace(threads=1)
+
+        def instant():
+            return
+            yield  # pragma: no cover -- makes this a generator
+
+        def process():
+            yield from timed(sim, trace, "cpu", instant())
+            yield from timed_wait(sim, trace, "read", sim.timeout(0.0))
+
+        sim.run_process(process())
+        assert trace.cpu_seconds == 0.0
+        assert trace.read_seconds == 0.0
+        assert sim.now == 0.0
+
+    def test_zero_duration_add_keeps_fractions_finite(self):
+        trace = ResourceTrace(duration=1.0, threads=1)
+        trace.add("cpu", 0.0)
+        shares = trace.fractions()
+        assert shares["cpu"] == 0.0
+        assert sum(shares.values()) == pytest.approx(1.0)

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Bench trend analysis across a series of ``BENCH_serve.json`` files.
+
+Thin standalone wrapper over :mod:`repro.obs.trend` (the same engine
+``presto trend`` uses) for CI jobs that keep bench snapshots as build
+artifacts: feed it two or more snapshots oldest-first and it prints the
+per-scenario delta table, flagging throughput drops beyond the
+threshold.  ``--fail-on-regression`` exits 3 when anything is flagged,
+so the job can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_trend.py \
+        BENCH_prev.json BENCH_serve.json [--metric events_per_sec]
+        [--threshold 5.0] [--fail-on-regression]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    sys.exit(main(["trend", *sys.argv[1:]]))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Trace-export smoke: generate a Chrome trace and schema-validate it.
+
+Runs ``presto serve --trace-out`` (and a ``ctl`` run with ledger
+instants) in-process, then checks the exported JSON against the Chrome
+trace-event schema rules :func:`repro.obs.tracing.validate_chrome_trace`
+enforces: every event carries ``ph``/``pid``/``tid``/``name``, complete
+events carry non-negative ``ts``/``dur``, and the payload is exactly
+what Perfetto's legacy JSON importer accepts.  Also asserts the
+telemetry wall: the run's stdout report must be byte-identical to the
+same run without tracing.
+
+Invocation (wired up as ``make trace-smoke`` and a CI job)::
+
+    PYTHONPATH=src python tools/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def _run(argv: list[str]) -> str:
+    from repro.cli import main
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), \
+            contextlib.redirect_stderr(io.StringIO()):
+        code = main(argv)
+    if code != 0:
+        raise SystemExit(f"presto {' '.join(argv)} exited {code}")
+    return out.getvalue()
+
+
+def _check(argv: list[str], trace_path: Path,
+           expect_cats: set) -> None:
+    from repro.obs.tracing import validate_chrome_trace
+    baseline = _run(argv)
+    traced = _run([*argv, "--trace-out", str(trace_path)])
+    if traced != baseline:
+        raise SystemExit(
+            f"tracing changed the report of presto {' '.join(argv)}")
+    payload = json.loads(trace_path.read_text())
+    count = validate_chrome_trace(payload)
+    cats = {event.get("cat") for event in payload["traceEvents"]
+            if event["ph"] != "M"}
+    missing = expect_cats - cats
+    if missing:
+        raise SystemExit(f"trace of presto {' '.join(argv)} lacks "
+                         f"expected span categories: {sorted(missing)}")
+    print(f"presto {' '.join(argv)}: {count} trace events, "
+          f"categories {sorted(cats)}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        _check(["serve", "--tenants", "2", "--trace", "steady",
+                "--seed", "0"], tmp_path / "serve.json",
+               {"job", "queue", "epoch", "offline"})
+        _check(["ctl", "--tenants", "3", "--trace", "steady",
+                "--seed", "0", "--fault-rate", "0.3"],
+               tmp_path / "ctl.json", {"ledger"})
+        _check(["stream", "--tenants", "2", "--requests", "8",
+                "--seed", "0"], tmp_path / "stream.json", {"request"})
+    print("trace smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
