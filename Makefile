@@ -5,7 +5,7 @@
 #   make sweep         full-catalog profile of the seven paper pipelines
 #   make golden        regenerate the golden CLI outputs (eyeball the diff!)
 #   make coverage      line-coverage floors (diagnosis + serve + api +
-#                      ctl + stream + obs)
+#                      ctl + stream + obs + faults)
 #   make trace-smoke   generate Chrome traces via the CLI and
 #                      schema-validate them (tools/trace_smoke.py)
 #   make bench         write the BENCH_serve.json performance snapshot
@@ -21,8 +21,8 @@ PYTHONPATH := src
 COVERAGE_FLOOR ?= 80
 
 .PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve \
-	coverage-api coverage-ctl coverage-stream coverage-obs trace-smoke \
-	bench bench-check plan-examples
+	coverage-api coverage-ctl coverage-stream coverage-obs \
+	coverage-faults trace-smoke bench bench-check plan-examples
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -37,7 +37,7 @@ golden:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/golden --update-golden -q
 
 coverage: coverage-diagnosis coverage-serve coverage-api coverage-ctl \
-	coverage-stream coverage-obs
+	coverage-stream coverage-obs coverage-faults
 
 coverage-diagnosis:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --floor $(COVERAGE_FLOOR)
@@ -56,6 +56,9 @@ coverage-stream:
 
 coverage-obs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.obs --floor $(COVERAGE_FLOOR)
+
+coverage-faults:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.faults --floor $(COVERAGE_FLOOR)
 
 trace-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/trace_smoke.py

@@ -9,6 +9,8 @@ Runs the pinned scenarios from :mod:`scenarios` and writes
                      the storage-thrashing hot-raw variant);
 * **stream**      -- the streaming-inference scenarios (per-request
                      latency SLOs, bounded queues);
+* **ctl**         -- the control-plane chaos scenario (long-horizon
+                     operations trace under the seeded fault timeline);
 * **link10k**     -- the pure-kernel 10k-transfer link microbenchmark;
 * **kernel_comparison** -- wall seconds and events/sec of the pre-PR
                      O(n)-rescan kernel vs this checkout, as measured on
@@ -82,6 +84,8 @@ def run_suite(full: bool = False) -> dict:
              for name in scenarios.SERVE_SCENARIOS}
     stream = {name: scenarios.run_stream_scenario(name)
               for name in scenarios.STREAM_SCENARIOS}
+    ctl = {name: scenarios.run_ctl_scenario(name)
+           for name in scenarios.CTL_SCENARIOS}
     link = scenarios.run_link_microbench()
     snapshot = {
         "schema": 2,
@@ -89,6 +93,7 @@ def run_suite(full: bool = False) -> dict:
         "sweep": scenarios.run_sweep(),
         "serve": serve,
         "stream": stream,
+        "ctl": ctl,
         "link10k": link,
     }
     if full:
@@ -136,6 +141,14 @@ def check_against_baseline() -> int:
                 failures.append(f"{name}.{key}: expected "
                                 f"{expected[key]}, got {metrics[key]}")
         checked.append(f"{name} events={metrics['events']}")
+    for name in scenarios.CTL_CHECK_SCENARIOS:
+        metrics = scenarios.run_ctl_scenario(name)
+        expected = baseline["ctl"][name]
+        for key in ("events", "makespan_s", "fault_windows"):
+            if metrics[key] != expected[key]:
+                failures.append(f"{name}.{key}: expected "
+                                f"{expected[key]}, got {metrics[key]}")
+        checked.append(f"{name} events={metrics['events']}")
     link = scenarios.run_link_microbench()
     for key in ("events", "simulated_seconds"):
         if link[key] != baseline["link10k"][key]:
@@ -154,7 +167,7 @@ def check_against_baseline() -> int:
 
 
 def update_baseline() -> int:
-    payload = {"serve": {}, "stream": {}, "link10k": {}}
+    payload = {"serve": {}, "stream": {}, "ctl": {}, "link10k": {}}
     for name in scenarios.CHECK_SCENARIOS:
         payload["serve"][name] = {
             policy: {"events": metrics["events"],
@@ -166,6 +179,14 @@ def update_baseline() -> int:
         metrics = scenarios.run_stream_scenario(name)
         payload["stream"][name] = {"events": metrics["events"],
                                    "makespan_s": metrics["makespan_s"]}
+    payload["ctl"] = {}
+    for name in scenarios.CTL_CHECK_SCENARIOS:
+        metrics = scenarios.run_ctl_scenario(name)
+        payload["ctl"][name] = {
+            "events": metrics["events"],
+            "makespan_s": metrics["makespan_s"],
+            "fault_windows": metrics["fault_windows"],
+        }
     link = scenarios.run_link_microbench()
     payload["link10k"] = {"events": link["events"],
                           "simulated_seconds": link["simulated_seconds"]}
@@ -206,6 +227,12 @@ def main() -> int:
               f"{metrics['events']} events "
               f"({metrics['events_per_sec']}/s), "
               f"p99 {metrics['p99_latency_s']}s")
+    for name, metrics in snapshot["ctl"].items():
+        print(f"  ctl[{name}]: {metrics['wall_seconds']}s wall, "
+              f"{metrics['events']} events "
+              f"({metrics['events_per_sec']}/s), "
+              f"{metrics['fault_windows']} fault window(s), "
+              f"{metrics['retries']} retries, {metrics['shed']} shed")
     link = snapshot["link10k"]
     print(f"  link10k: {link['wall_seconds']}s wall, "
           f"{link['events']} events ({link['events_per_sec']}/s)")

@@ -27,6 +27,14 @@ Scenarios
                           per-request deadlines): the latency-path
                           analogue of ``serve64``, pinned by event count
                           in the CI bench-check set.
+* ``ctl_ops_chaos32``  -- long-horizon operations trace (3 simulated
+                          days, 32 tenants) through the control plane
+                          with the full chaos timeline injected
+                          (straggler + device slowdown + brownout +
+                          blackout + crash window, checkpoint-aware
+                          resume, SLO-aware shedding).  Pins the fault
+                          engine's deterministic cost in the CI
+                          bench-check set.
 * ``link10k``          -- kernel microbenchmark: 10,000 transfers over
                           one max-min fair link at 512-way concurrency,
                           no model code at all.
@@ -73,6 +81,22 @@ STREAM_SCENARIOS = {
 
 #: Stream scenarios the CI smoke replays alongside CHECK_SCENARIOS.
 STREAM_CHECK_SCENARIOS = ("stream64",)
+
+#: Control-plane chaos scenarios: trace kwargs + dispatcher kwargs +
+#: fault-plan kwargs (generate_fault_plan).  Deterministic like every
+#: other scenario -- same seed, same timeline, same event count.
+CTL_SCENARIOS = {
+    "ctl_ops_chaos32": dict(
+        trace=dict(kind="operations", tenants=32, seed=0),
+        policy="cache-aware", slots=8,
+        faults=dict(seed=3, horizon=20000.0, stragglers=1, slowdowns=1,
+                    brownouts=1, blackouts=1, crash_windows=1,
+                    severity=0.6),
+        checkpoint_epochs=2, shed_slo=True),
+}
+
+#: Chaos scenarios the CI smoke replays alongside CHECK_SCENARIOS.
+CTL_CHECK_SCENARIOS = ("ctl_ops_chaos32",)
 
 LINK_STREAMS = 512
 LINK_TRANSFERS = 10_000
@@ -141,6 +165,41 @@ def run_stream_scenario(name: str) -> dict:
         "miss_fraction": round(report.miss_fraction, 4),
         "shed": report.total_shed,
         "cache_hit_ratio": round(report.cache_hit_ratio, 4),
+    }
+
+
+def run_ctl_scenario(name: str) -> dict:
+    """Run one pinned control-plane chaos scenario.
+
+    The chaos timeline is seeded (``chaos-{seed}`` RNG namespace), so
+    the injected windows -- and therefore retries, sheds, lost epochs
+    and the kernel event count -- are bit-identical across hosts.
+    """
+    from repro.ctl import Dispatcher
+    from repro.faults import generate_fault_plan
+    spec = CTL_SCENARIOS[name]
+    trace = build_trace(**spec["trace"])
+    plan = generate_fault_plan(**spec["faults"])
+    dispatcher = Dispatcher(policy=spec["policy"], slots=spec["slots"],
+                            faults=plan,
+                            checkpoint_epochs=spec["checkpoint_epochs"],
+                            shed_slo=spec["shed_slo"])
+    started = time.perf_counter()
+    report = dispatcher.run(trace)
+    wall = time.perf_counter() - started
+    return {
+        "trace": dict(spec["trace"]),
+        "slots": spec["slots"],
+        "wall_seconds": round(wall, 3),
+        "events": report.events_processed,
+        "events_per_sec": int(report.events_processed / wall),
+        "makespan_s": round(report.service.makespan, 3),
+        "fault_windows": len(report.service.fault_events),
+        "transfers_aborted": report.service.transfers_aborted,
+        "retries": report.total_retries,
+        "dead_lettered": report.dead,
+        "shed": report.total_shed,
+        "lost_epochs": report.total_lost_epochs,
     }
 
 

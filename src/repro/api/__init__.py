@@ -43,8 +43,9 @@ from repro.api.resolve import (resolve_arrival, resolve_backend_name,
 from repro.api.session import Session
 from repro.api.spec import (SPEC_SCHEMA_VERSION, WORKLOAD_KINDS,
                             ControlSpec, DiagnoseSpec, EnvironmentSpec,
-                            ExecSpec, ExperimentSpec, FanoutSpec, RunSpec,
-                            ServeSpec, StreamSpec, TuneSpec)
+                            ExecSpec, ExperimentSpec, FanoutSpec,
+                            FaultsSpec, RunSpec, ServeSpec, StreamSpec,
+                            TuneSpec)
 from repro.errors import SpecError
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "ExperimentPlan",
     "ExperimentSpec",
     "FanoutSpec",
+    "FaultsSpec",
     "PlannedPipeline",
     "Provenance",
     "RunArtifact",

@@ -268,6 +268,11 @@ class Session:
                                threads=spec.run.threads)
         if serve.policy == "all":
             self._check_observable(spec)
+            if spec.faults.enabled:
+                raise SpecError(
+                    "faults cannot be injected into a policy comparison "
+                    "(policy='all' runs one simulation per policy); "
+                    "pick a single policy")
             header = (f"{serve.tenants} tenants, trace={serve.trace}(seed "
                       f"{spec.seed}), slots={serve.slots}, "
                       f"{spec.environment.storage}")
@@ -291,7 +296,10 @@ class Session:
                                        tie_break=serve.tie_break,
                                        metrics=metrics,
                                        metrics_interval=interval,
-                                       tracer=tracer)
+                                       tracer=tracer,
+                                       faults=spec.faults.to_plan(
+                                           spec.seed,
+                                           cores=environment.cores))
         report = service.run(trace)
         parts = self._serve_sections(spec, serve, report)
         artifact = self._artifact(spec, tenant_table(report),
@@ -318,7 +326,13 @@ class Session:
                                 autoscale=control.autoscale_config(),
                                 metrics=metrics,
                                 metrics_interval=interval,
-                                tracer=tracer)
+                                tracer=tracer,
+                                faults=spec.faults.to_plan(
+                                    spec.seed,
+                                    cores=environment.cores),
+                                checkpoint_epochs=(
+                                    spec.faults.checkpoint_epochs),
+                                shed_slo=spec.faults.shed_slo)
         telemetry = self._telemetry
         if telemetry is not None and telemetry.follow is not None:
             from repro.obs import LedgerFollower
@@ -350,7 +364,10 @@ class Session:
         service = StreamingService(environment=environment,
                                    metrics=metrics,
                                    metrics_interval=interval,
-                                   tracer=tracer)
+                                   tracer=tracer,
+                                   faults=spec.faults.to_plan(
+                                       spec.seed,
+                                       cores=environment.cores))
         report = service.run(streams, seed=spec.seed)
         header = (f"{stream.tenants} tenant streams, "
                   f"arrival={stream.arrival}(seed {spec.seed}) "

@@ -390,6 +390,69 @@ class StreamSpec:
 
 
 @dataclass(frozen=True)
+class FaultsSpec:
+    """Seeded chaos timeline attached to a serve/control/stream run.
+
+    Counts select how many windows of each shape
+    (:mod:`repro.faults.plan`) are drawn over ``[0, horizon)`` from the
+    namespaced ``chaos-{seed}`` RNG stream; ``severity`` scales window
+    lengths and magnitudes.  ``checkpoint_epochs`` and ``shed_slo``
+    configure the control plane's graceful-degradation response and are
+    only meaningful on ``kind: control``.  All-zero counts (the
+    default) disable the engine entirely: the run is byte-identical to
+    one with no ``faults:`` section at all.
+    """
+
+    stragglers: int = 0
+    slowdowns: int = 0
+    brownouts: int = 0
+    blackouts: int = 0
+    crash_windows: int = 0
+    severity: float = 0.5
+    #: Window-placement horizon in simulated seconds; windows landing
+    #: past the run's natural end simply never bite.
+    horizon: float = 21600.0
+    checkpoint_epochs: int = 0
+    shed_slo: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.stragglers or self.slowdowns or self.brownouts
+                    or self.blackouts or self.crash_windows)
+
+    def validate(self) -> None:
+        for name in ("stragglers", "slowdowns", "brownouts",
+                     "blackouts", "crash_windows"):
+            value = getattr(self, name)
+            _check(isinstance(value, int) and value >= 0,
+                   f"faults.{name} must be an integer >= 0, "
+                   f"got {value!r}")
+        _check(isinstance(self.severity, (int, float))
+               and 0.0 < self.severity <= 1.0,
+               f"faults.severity must be in (0, 1], "
+               f"got {self.severity!r}")
+        _check(isinstance(self.horizon, (int, float)) and self.horizon > 0,
+               f"faults.horizon must be positive, got {self.horizon!r}")
+        _check(isinstance(self.checkpoint_epochs, int)
+               and self.checkpoint_epochs >= 0,
+               f"faults.checkpoint_epochs must be an integer >= 0, "
+               f"got {self.checkpoint_epochs!r}")
+        _check(isinstance(self.shed_slo, bool),
+               f"faults.shed_slo must be a boolean, got {self.shed_slo!r}")
+
+    def to_plan(self, seed: int, cores: int = 8):
+        """The seeded :class:`~repro.faults.FaultPlan` (None if off)."""
+        if not self.enabled:
+            return None
+        from repro.faults import generate_fault_plan
+        return generate_fault_plan(
+            seed, float(self.horizon), stragglers=self.stragglers,
+            slowdowns=self.slowdowns, brownouts=self.brownouts,
+            blackouts=self.blackouts, crash_windows=self.crash_windows,
+            severity=float(self.severity), cores=cores)
+
+
+@dataclass(frozen=True)
 class FanoutSpec:
     """Trainer fan-out study (``kind: fanout``)."""
 
@@ -420,6 +483,7 @@ _SECTIONS = {
     "serve": ServeSpec,
     "control": ControlSpec,
     "stream": StreamSpec,
+    "faults": FaultsSpec,
     "fanout": FanoutSpec,
 }
 
@@ -446,6 +510,7 @@ class ExperimentSpec:
     serve: ServeSpec = ServeSpec()
     control: ControlSpec = ControlSpec()
     stream: StreamSpec = StreamSpec()
+    faults: FaultsSpec = FaultsSpec()
     fanout: FanoutSpec = FanoutSpec()
     seed: int = 0
     name: str = ""
@@ -487,6 +552,22 @@ class ExperimentSpec:
         elif self.kind == "fanout":
             self.fanout.validate()
             resolve_strategy_name(self.pipelines[0], self.fanout.strategy)
+        self.faults.validate()
+        _check(not self.faults.enabled
+               or self.kind in ("serve", "control", "stream"),
+               f"faults: only serve/control/stream runs can inject "
+               f"faults, not kind {self.kind!r}")
+        if self.kind != "control":
+            _check(self.faults.blackouts == 0
+                   and self.faults.crash_windows == 0,
+                   f"faults.blackouts and faults.crash_windows need the "
+                   f"control plane's retry path (kind: control), "
+                   f"not kind {self.kind!r}")
+            _check(self.faults.checkpoint_epochs == 0
+                   and not self.faults.shed_slo,
+                   f"faults.checkpoint_epochs and faults.shed_slo are "
+                   f"control-plane knobs (kind: control), "
+                   f"not kind {self.kind!r}")
         return self
 
     # -- pipeline selection --------------------------------------------------
@@ -604,6 +685,10 @@ class ExperimentSpec:
                 "strategy": resolve_strategy_name(self.pipelines[0],
                                                   self.fanout.strategy),
             }
+        # The faults payload joins the digest only when the engine is
+        # on, so every pre-existing spec fingerprint is unmoved.
+        if self.faults.enabled:
+            payload["faults"] = dataclasses.asdict(self.faults)
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

@@ -57,8 +57,9 @@ import sys
 from typing import Optional, Sequence
 
 from repro.api import (ControlSpec, DiagnoseSpec, EnvironmentSpec,
-                       ExecSpec, ExperimentSpec, FanoutSpec, RunSpec,
-                       ServeSpec, Session, StreamSpec, TuneSpec, load_spec)
+                       ExecSpec, ExperimentSpec, FanoutSpec, FaultsSpec,
+                       RunSpec, ServeSpec, Session, StreamSpec, TuneSpec,
+                       load_spec)
 from repro.core.report import bottleneck_report
 from repro.datasets.catalog import table2_frame
 from repro.errors import ReproError
@@ -241,6 +242,12 @@ def _build_parser() -> argparse.ArgumentParser:
     ctl.add_argument("--autoscale-interval", type=float, default=600.0,
                      metavar="S", dest="autoscale_interval",
                      help="autoscaler tick in simulated seconds")
+    ctl.add_argument("--faults", metavar="SPEC", default=None,
+                     help="seeded chaos timeline, e.g. "
+                          "'stragglers=1,brownouts=2,blackouts=1,"
+                          "crash-windows=1,severity=0.6,horizon=20000,"
+                          "checkpoint-epochs=2,shed-slo=1' "
+                          "(see docs/faults.md)")
     _add_obs_options(ctl, follow=True)
 
     stream = sub.add_parser(
@@ -276,6 +283,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="arrival-schedule seed (runs are "
                              "deterministic)")
     stream.add_argument("--storage", metavar="DEVICE", default="ceph-hdd")
+    stream.add_argument("--faults", metavar="SPEC", default=None,
+                        help="seeded chaos timeline, e.g. "
+                             "'stragglers=1,slowdowns=1,severity=0.5' "
+                             "(no blackouts/crash-windows: those need "
+                             "the control plane; see docs/faults.md)")
     _add_obs_options(stream)
 
     trend = sub.add_parser(
@@ -529,6 +541,45 @@ def _cmd_fanout(args) -> int:
                           simulate=args.simulate)))
 
 
+#: ``--faults`` keys -> (FaultsSpec field, coercion).  Dashes are
+#: accepted in place of underscores on the command line.
+_FAULT_KEYS = {
+    "stragglers": int,
+    "slowdowns": int,
+    "brownouts": int,
+    "blackouts": int,
+    "crash_windows": int,
+    "severity": float,
+    "horizon": float,
+    "checkpoint_epochs": int,
+    "shed_slo": lambda text: text.lower() in ("1", "true", "yes", "on"),
+}
+
+
+def _parse_faults(text: Optional[str]) -> FaultsSpec:
+    """Parse a ``--faults 'k=v,k=v'`` chaos spec (None -> disabled)."""
+    if not text:
+        return FaultsSpec()
+    kwargs = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip().replace("-", "_")
+        if not sep or key not in _FAULT_KEYS:
+            raise ReproError(
+                f"bad --faults entry {item!r}; expected key=value with "
+                f"keys: {', '.join(k.replace('_', '-') for k in _FAULT_KEYS)}")
+        try:
+            kwargs[key] = _FAULT_KEYS[key](value.strip())
+        except ValueError:
+            raise ReproError(
+                f"bad --faults value for {key.replace('_', '-')}: "
+                f"{value.strip()!r}") from None
+    return FaultsSpec(**kwargs)
+
+
 def _cmd_serve(args) -> int:
     return _run_observed(ExperimentSpec(
         kind="serve",
@@ -557,6 +608,7 @@ def _cmd_ctl(args) -> int:
                             autoscale=args.autoscale,
                             max_slots=args.max_slots,
                             autoscale_interval=args.autoscale_interval),
+        faults=_parse_faults(args.faults),
         seed=args.seed), args)
 
 
@@ -570,6 +622,7 @@ def _cmd_stream(args) -> int:
                           queue_bound=args.queue_bound,
                           slo_stretch=args.slo_stretch or None,
                           shed=args.shed),
+        faults=_parse_faults(args.faults),
         seed=args.seed), args)
 
 

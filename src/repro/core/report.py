@@ -122,12 +122,16 @@ def stream_table(report) -> Frame:
 def stream_summary(report) -> str:
     """One-line operator summary of a streaming run."""
     shed = f", shed {report.total_shed}" if report.total_shed else ""
+    slo_shed = (f", slo-shed {report.total_slo_shed}"
+                if getattr(report, "total_slo_shed", 0) else "")
+    faults = (f", {len(report.fault_events)} fault window(s)"
+              if getattr(report, "fault_events", None) else "")
     return (f"stream: {len(report.tenants)} tenant stream(s), "
             f"{report.total_requests} request(s), makespan "
             f"{fmt_duration(report.makespan)}, p99 latency "
             f"{fmt_duration(report.p99_latency)}, deadline misses "
-            f"{report.miss_fraction:.0%}{shed}, cache hit "
-            f"{report.cache_hit_ratio:.0%}")
+            f"{report.miss_fraction:.0%}{shed}{slo_shed}, cache hit "
+            f"{report.cache_hit_ratio:.0%}{faults}")
 
 
 def profile_summary(profile: StrategyProfile) -> str:

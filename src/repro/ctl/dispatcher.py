@@ -42,7 +42,8 @@ from typing import Callable, Generator, Optional, Sequence
 
 from dataclasses import dataclass
 
-from repro.errors import ControlError, SimulationError
+from repro.errors import ControlError, InjectedFaultError, SimulationError
+from repro.faults.gate import slo_shed_decision
 from repro.serve.doctor import diagnose_service
 from repro.serve.jobs import JobSpec
 from repro.serve.service import (PreprocessingService, ServiceReport,
@@ -107,12 +108,31 @@ class Dispatcher(PreprocessingService):
                  preempt: bool = False,
                  autoscale: Optional[AutoscaleConfig] = None,
                  metrics=None, metrics_interval: float = 60.0,
-                 tracer=None):
+                 tracer=None, faults=None,
+                 checkpoint_epochs: int = 0,
+                 shed_slo: bool = False):
         super().__init__(policy=policy, slots=slots,
                          environment=environment, backend=backend,
                          materialize_offline=materialize_offline,
                          tie_break=tie_break, metrics=metrics,
-                         metrics_interval=metrics_interval, tracer=tracer)
+                         metrics_interval=metrics_interval, tracer=tracer,
+                         faults=faults)
+        if checkpoint_epochs < 0:
+            raise ControlError(
+                f"checkpoint_epochs must be >= 0 (0 = no checkpoints, "
+                f"historical free resume), got {checkpoint_epochs!r}")
+        #: Checkpoint interval in epochs.  ``0`` keeps the historical
+        #: model: preemption resumes at the interrupted epoch for free
+        #: and a crash restarts from scratch.  ``k >= 1`` charges the
+        #: checkpoint-aware recovery cost instead: both interruption
+        #: kinds resume from the last multiple of ``k`` and the epochs
+        #: in between are replayed (counted in ``JobRecord.lost_epochs``).
+        self.checkpoint_epochs = checkpoint_epochs
+        #: SLO-aware admission shedding: under degraded capacity, a job
+        #: whose analytic epoch bound already violates its SLO is
+        #: cancelled at admission instead of burning a slot.  Needs a
+        #: fault plan (the stretch comes from the chaos engine).
+        self.shed_slo = bool(shed_slo)
         self.retry_policy = retry if retry is not None else RetryPolicy()
         if admission_limit is not None and admission_limit < 1:
             raise ControlError(
@@ -246,6 +266,7 @@ class Dispatcher(PreprocessingService):
                         name=f"cancel-{job_id}")
         if self.autoscale is not None:
             sim.process(self._autoscale_process(), name="autoscaler")
+        self._start_faults()
         self._start_sampler()
         started = time.perf_counter()
         sim.run()
@@ -291,6 +312,12 @@ class Dispatcher(PreprocessingService):
             if not admitted:
                 self._conclude_cancel(record, "awaiting admission")
                 return
+            shed_reason = self._shed_decision(record)
+            if shed_reason is not None:
+                record.shed = True
+                job.finished = sim.now
+                self._note(record, lifecycle.CANCEL, detail=shed_reason)
+                return
             tenant = spec.tenant
             self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
             record.attempt += 1
@@ -311,6 +338,12 @@ class Dispatcher(PreprocessingService):
                                          start_epoch=record.resume_epoch)
             except _Interrupted as stop:
                 interrupt = stop
+            except InjectedFaultError as fault:
+                # A blackout window failed this attempt's transfers; the
+                # unwind lands here and becomes an ordinary crashed
+                # attempt on the retry path.
+                interrupt = _Interrupted(lifecycle.FAIL,
+                                         record.current_epoch, str(fault))
             finally:
                 job.finished = sim.now
                 self._release(job)
@@ -325,14 +358,18 @@ class Dispatcher(PreprocessingService):
             if interrupt.kind == lifecycle.PREEMPT:
                 record.preemptions += 1
                 record.preempt_requested = False
-                record.resume_epoch = interrupt.epoch
-                self._note(record, lifecycle.PREEMPT,
-                           detail=f"at epoch {interrupt.epoch}")
+                record.resume_epoch = self._resume_epoch(
+                    record, interrupt.epoch, crashed=False)
+                detail = f"at epoch {interrupt.epoch}"
+                if record.resume_epoch != interrupt.epoch:
+                    detail += f", resume from {record.resume_epoch}"
+                self._note(record, lifecycle.PREEMPT, detail=detail)
                 self._note(record, lifecycle.REQUEUE)
                 continue
             # A crashed attempt: retry after backoff, or dead-letter.
             record.failures += 1
-            record.resume_epoch = 0
+            record.resume_epoch = self._resume_epoch(
+                record, interrupt.epoch, crashed=True)
             self._note(record, lifecycle.FAIL, detail=interrupt.reason)
             if not self.retry_policy.should_retry(record.failures):
                 self._note(record, lifecycle.EXHAUST,
@@ -342,11 +379,20 @@ class Dispatcher(PreprocessingService):
                     attempts=record.failures, reason=interrupt.reason))
                 return
             delay = self.retry_policy.backoff(record.failures)
+            detail = f"backoff {delay:g}s"
+            if self._fault_engine is not None:
+                # Retrying into an active brownout burns attempts;
+                # stretch the wait past the window's end instead.
+                stretched = self._fault_engine.stretch_backoff(
+                    sim.now, delay)
+                if stretched != delay:
+                    detail = (f"backoff {delay:g}s stretched to "
+                              f"{stretched:g}s (brownout active)")
+                    delay = stretched
             if delay > 0:
                 yield sim.timeout(delay)
             record.retries += 1
-            self._note(record, lifecycle.RETRY,
-                       detail=f"backoff {delay:g}s")
+            self._note(record, lifecycle.RETRY, detail=detail)
 
     def _admission_gate(self, record: JobRecord
                         ) -> Generator[Event, None, bool]:
@@ -369,6 +415,39 @@ class Dispatcher(PreprocessingService):
             if record.cancel_requested:
                 return False
         return True
+
+    def _shed_decision(self, record: JobRecord) -> Optional[str]:
+        """SLO-aware admission shed: reason string, or ``None`` to admit.
+
+        Pure computation over the chaos engine's current capacity
+        stretch -- never yields, so with shedding off (or no faults) the
+        admission path is byte-identical to the historical one.
+        """
+        if not self.shed_slo or self._fault_engine is None:
+            return None
+        job = record.job
+        slo = job.slo_seconds
+        if slo is None or job.baseline_epoch_seconds is None:
+            return None
+        return slo_shed_decision(job.baseline_epoch_seconds, slo,
+                                 self._fault_engine.capacity_stretch())
+
+    def _resume_epoch(self, record: JobRecord, epoch: int,
+                      crashed: bool) -> int:
+        """Where the next attempt resumes, charging checkpoint replay.
+
+        With ``checkpoint_epochs == 0`` this is the historical model
+        (free resume at the interrupted epoch; crashes restart from 0).
+        With an interval ``k`` both interruption kinds fall back to the
+        last checkpoint ``(epoch // k) * k`` and the finished epochs
+        past it count as lost work to be replayed.
+        """
+        interval = self.checkpoint_epochs
+        if interval <= 0:
+            return 0 if crashed else epoch
+        checkpoint = (epoch // interval) * interval
+        record.lost_epochs += epoch - checkpoint
+        return checkpoint
 
     def _end_attempt(self, tenant: str) -> None:
         """Release the tenant's admission share and wake one waiter."""
@@ -413,6 +492,7 @@ class Dispatcher(PreprocessingService):
         record = self._by_job.get(id(job))
         if record is None:
             return
+        record.current_epoch = epoch
         if record.cancel_requested:
             raise _Interrupted(lifecycle.CANCEL, epoch,
                                f"running, at epoch {epoch}")
@@ -427,6 +507,13 @@ class Dispatcher(PreprocessingService):
                 lifecycle.FAIL, epoch,
                 f"injected crash at epoch {epoch} "
                 f"(attempt {record.attempt})")
+        if self.fault_plan:
+            window = self.fault_plan.crash_active(self._sim.now)
+            if window is not None:
+                raise _Interrupted(
+                    lifecycle.FAIL, epoch,
+                    f"crash window [{window.start:g}s, {window.end:g}s) "
+                    f"hit at epoch {epoch}")
 
     def _dispatch(self) -> None:
         super()._dispatch()

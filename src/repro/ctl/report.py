@@ -40,6 +40,15 @@ class JobRecord:
     retries: int = 0
     preemptions: int = 0
     resume_epoch: int = 0
+    #: Epoch boundary the running attempt last reached (the blackout
+    #: unwind path cannot see the epoch loop, only the record).
+    current_epoch: int = 0
+    #: Epochs of finished work re-run because an interruption landed
+    #: past the last checkpoint (checkpoint-aware resume cost).
+    lost_epochs: int = 0
+    #: Cancelled by the SLO-aware admission gate under degraded
+    #: capacity, before burning a slot on guaranteed-late work.
+    shed: bool = False
     cancel_requested: bool = False
     preempt_requested: bool = False
     admission_waiter: Optional[object] = None
@@ -128,6 +137,14 @@ class ControlReport:
         return sum(record.preemptions for record in self.records)
 
     @property
+    def total_shed(self) -> int:
+        return sum(1 for record in self.records if record.shed)
+
+    @property
+    def total_lost_epochs(self) -> int:
+        return sum(record.lost_epochs for record in self.records)
+
+    @property
     def events_processed(self) -> int:
         return self.service.events_processed
 
@@ -163,6 +180,21 @@ def control_summary(report: ControlReport) -> str:
          f"ledger {len(report.ledger)} entries"),
         f"retry policy: {report.retry.describe()}",
     ]
+    # Chaos lines only when something fired -- fault-free summaries are
+    # byte-identical to pre-faults builds.
+    if report.service.fault_events:
+        lines.append(
+            f"faults: {len(report.service.fault_events)} window(s) "
+            f"injected, {report.service.transfers_aborted} in-flight "
+            f"transfer(s) aborted")
+    if report.total_shed:
+        lines.append(
+            f"slo-shed: {report.total_shed} job(s) cancelled at "
+            f"admission under degraded capacity")
+    if report.total_lost_epochs:
+        lines.append(
+            f"checkpoint replay: {report.total_lost_epochs} epoch(s) "
+            f"of lost work re-run")
     if report.dead_letters:
         lines.append("dead-letter queue:")
         for letter in report.dead_letters:

@@ -100,6 +100,25 @@ class StorageError(ReproError):
     """A simulated storage operation failed (missing object, overflow)."""
 
 
+class FaultError(ReproError):
+    """The chaos engine was configured or driven incorrectly.
+
+    Raised by :mod:`repro.faults` for malformed fault plans (negative
+    windows, zero slowdown factors, blackouts on workload kinds without
+    a retry path) -- configuration mistakes, never injected faults.
+    """
+
+
+class InjectedFaultError(FaultError):
+    """A deliberately injected fault fired inside a simulation.
+
+    Carried by failed transfer events during a storage blackout window;
+    it unwinds the affected epoch and is caught by the control plane's
+    retry path.  Reaching user code means the workload ran a blackout
+    without a dispatcher in front of it.
+    """
+
+
 class ObservabilityError(ReproError):
     """Telemetry was configured incorrectly or produced an invalid export.
 

@@ -1,0 +1,26 @@
+"""Seeded chaos engine: structured fault injection for any run.
+
+See :mod:`repro.faults.plan` for the fault shapes and the determinism
+contract, :mod:`repro.faults.engine` for the injection machinery, and
+:mod:`repro.faults.gate` for the SLO-aware shedding predicate shared by
+the control plane and the streaming engine.  ``docs/faults.md`` has the
+narrative version.
+"""
+
+from repro.faults.engine import FaultEngine, FaultEvent
+from repro.faults.gate import slo_shed_decision
+from repro.faults.plan import (Brownout, CrashWindow, DeviceSlowdown,
+                               FaultPlan, StragglerWindow,
+                               generate_fault_plan)
+
+__all__ = [
+    "Brownout",
+    "CrashWindow",
+    "DeviceSlowdown",
+    "FaultEngine",
+    "FaultEvent",
+    "FaultPlan",
+    "StragglerWindow",
+    "generate_fault_plan",
+    "slo_shed_decision",
+]

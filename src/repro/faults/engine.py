@@ -1,0 +1,274 @@
+"""The chaos engine: drives a :class:`FaultPlan` against a live run.
+
+One :class:`FaultEngine` instance is wired into a serve/control/stream
+run and spawns one simulation process per fault window at ``start()``.
+Each process sleeps until its window opens, applies the degradation
+through the kernel's public knobs, holds, and restores:
+
+* stragglers acquire CPU cores from the machine's FIFO pool and park
+  them, so tenant work queues exactly as it would behind a degraded
+  worker;
+* device slowdowns and brownouts rescale link capacity via
+  :meth:`SharedBandwidth.set_capacity` (progress is banked first, so
+  in-flight transfers keep the bytes they already moved);
+* blackouts flip the links into fail-fast mode and abort in-flight
+  transfers with :class:`InjectedFaultError`, which unwinds the running
+  epoch and lands in the dispatcher's retry path.
+
+Overlapping windows compose multiplicatively per link.  The engine also
+answers the two queries the control plane needs for graceful
+degradation: :meth:`capacity_stretch` (the factor the analytic epoch
+bound must be multiplied by right now -- the SLO shed gate's input) and
+:meth:`stretch_backoff` (retry delays extend past an active brownout
+instead of burning attempts into a dark storage tier).
+
+With an empty plan the engine spawns nothing and touches nothing:
+faults off is byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import InjectedFaultError
+from repro.faults.plan import (Brownout, CrashWindow, DeviceSlowdown,
+                               FaultPlan, StragglerWindow)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected window, logged at the instant it opened."""
+
+    kind: str
+    start: float
+    end: float
+    magnitude: float
+    detail: str
+
+
+class FaultEngine:
+    """Injects a seeded :class:`FaultPlan` into a running simulation."""
+
+    def __init__(self, plan: Optional[FaultPlan], sim, machine, cluster,
+                 metrics=None, tracer=None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.sim = sim
+        self.machine = machine
+        self.cluster = cluster
+        self.metrics = metrics
+        self.tracer = tracer
+        self.events: List[FaultEvent] = []
+        self.transfers_aborted = 0
+        self.active_count = 0
+        self._read_factors: dict = {}
+        self._write_factors: dict = {}
+        self._stolen_cores = 0
+        self._blackouts_active = 0
+        self._nominal_read: Optional[tuple] = None
+        self._nominal_write: Optional[tuple] = None
+        self._started = False
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.plan)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Capture nominal capacities and spawn one process per window.
+
+        Must run after the service configured the links (per-stream
+        caps are rewritten at run start) and before ``sim.run()``.  A
+        falsy plan spawns nothing -- zero extra kernel events.
+        """
+        if self._started:
+            return
+        self._started = True
+        if not self.plan:
+            return
+        read = self.cluster.read_link
+        write = self.cluster.write_link
+        self._nominal_read = (read.aggregate_bw, read.per_stream_bw)
+        self._nominal_write = (write.aggregate_bw, write.per_stream_bw)
+        for index, window in enumerate(self.plan.stragglers):
+            self.sim.process(self._straggler(window),
+                             name=f"fault-straggler-{index}")
+        for index, window in enumerate(self.plan.slowdowns):
+            self.sim.process(self._slowdown(window),
+                             name=f"fault-slowdown-{index}")
+        for index, window in enumerate(self.plan.brownouts):
+            self.sim.process(self._brownout(window),
+                             name=f"fault-{window.kind}-{index}")
+        # Crash windows need no process: the dispatcher polls
+        # plan.crash_active() at epoch boundaries it reaches anyway.
+
+    # -- control-plane queries -------------------------------------------
+
+    def capacity_stretch(self) -> float:
+        """Factor the analytic epoch-time bound stretches by right now.
+
+        Composes active read-link degradation with effective core loss;
+        an active blackout makes the bound unreachable (``inf``).  This
+        is the input to the shared SLO shed gate.
+        """
+        if self._blackouts_active:
+            return float("inf")
+        stretch = 1.0
+        for factor in self._read_factors.values():
+            stretch *= factor
+        if self._stolen_cores:
+            available = self.machine.n_cores - self._stolen_cores
+            if available <= 0:
+                return float("inf")
+            stretch *= self.machine.n_cores / available
+        return stretch
+
+    def stretch_backoff(self, now: float, delay: float) -> float:
+        """Retry delay, extended past any brownout active at ``now``.
+
+        Retrying into a degraded (or dark) tier burns attempts; waiting
+        for the window to close first costs nothing extra once capacity
+        is back.
+        """
+        until = self.plan.brownout_end(now)
+        if until > now:
+            return (until - now) + delay
+        return delay
+
+    # -- fault processes -------------------------------------------------
+
+    def _straggler(self, window: StragglerWindow):
+        yield self.sim.timeout(window.start)
+        cores = min(window.cores, self.machine.n_cores)
+        span = self._open("straggler", window.end, float(cores),
+                          window.describe(), args={"cores": cores})
+        held = 0
+        for _ in range(cores):
+            # FIFO behind running work, exactly like a degraded worker
+            # whose slot frees and is immediately re-occupied.
+            yield self.machine.cores.acquire()
+            held += 1
+            self._stolen_cores += 1
+            self._gauge("faults.cores_stolen", self._stolen_cores)
+        remaining = window.end - self.sim.now
+        if remaining > 0:
+            yield self.sim.timeout(remaining)
+        for _ in range(held):
+            self.machine.cores.release()
+        self._stolen_cores -= held
+        self._gauge("faults.cores_stolen", self._stolen_cores)
+        self._close(span)
+
+    def _slowdown(self, window: DeviceSlowdown):
+        yield self.sim.timeout(window.start)
+        span = self._open("slowdown", window.end, window.factor,
+                          window.describe(),
+                          args={"factor": window.factor,
+                                "ramp": window.ramp})
+        key = id(window)
+        if window.ramp > 0.0:
+            step = window.ramp / window.ramp_steps
+            for stage in range(1, window.ramp_steps + 1):
+                fraction = stage / window.ramp_steps
+                self._read_factors[key] = (
+                    1.0 + (window.factor - 1.0) * fraction)
+                self._apply_read()
+                yield self.sim.timeout(step)
+        else:
+            self._read_factors[key] = window.factor
+            self._apply_read()
+        remaining = window.end - self.sim.now
+        if remaining > 0:
+            yield self.sim.timeout(remaining)
+        del self._read_factors[key]
+        self._apply_read()
+        self._close(span)
+
+    def _brownout(self, window: Brownout):
+        yield self.sim.timeout(window.start)
+        span = self._open(window.kind, window.end, window.factor,
+                          window.describe(),
+                          args={"factor": window.factor,
+                                "blackout": window.blackout})
+        if window.blackout:
+            factory = self._blackout_factory(window)
+            read = self.cluster.read_link
+            write = self.cluster.write_link
+            self._blackouts_active += 1
+            read.set_fault(factory)
+            write.set_fault(factory)
+            aborted = read.abort_active(factory)
+            aborted += write.abort_active(factory)
+            if aborted:
+                self.transfers_aborted += aborted
+                self._count("faults.transfers_aborted", aborted)
+            yield self.sim.timeout(window.duration)
+            read.clear_fault()
+            write.clear_fault()
+            self._blackouts_active -= 1
+        else:
+            key = id(window)
+            self._read_factors[key] = window.factor
+            self._write_factors[key] = window.factor
+            self._apply_read()
+            self._apply_write()
+            yield self.sim.timeout(window.duration)
+            del self._read_factors[key]
+            del self._write_factors[key]
+            self._apply_read()
+            self._apply_write()
+        self._close(span)
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _blackout_factory(window: Brownout):
+        def fail(nbytes: float) -> InjectedFaultError:
+            return InjectedFaultError(
+                f"storage blackout [{window.start:g}s, {window.end:g}s): "
+                f"{nbytes:.0f}-byte transfer failed")
+        return fail
+
+    def _apply_read(self) -> None:
+        scale = 1.0
+        for factor in self._read_factors.values():
+            scale *= factor
+        aggregate, per_stream = self._nominal_read
+        self.cluster.read_link.set_capacity(aggregate / scale,
+                                            per_stream / scale)
+
+    def _apply_write(self) -> None:
+        scale = 1.0
+        for factor in self._write_factors.values():
+            scale *= factor
+        aggregate, per_stream = self._nominal_write
+        self.cluster.write_link.set_capacity(aggregate / scale,
+                                             per_stream / scale)
+
+    def _open(self, kind: str, end: float, magnitude: float,
+              detail: str, args: Optional[dict] = None):
+        now = self.sim.now
+        self.events.append(FaultEvent(kind=kind, start=now, end=end,
+                                      magnitude=magnitude, detail=detail))
+        self.active_count += 1
+        self._gauge("faults.active", self.active_count)
+        self._count(f"faults.injected.{kind}", 1)
+        if self.tracer is not None:
+            return self.tracer.start(kind, "fault", "faults", now,
+                                     args=args)
+        return None
+
+    def _close(self, span) -> None:
+        self.active_count -= 1
+        self._gauge("faults.active", self.active_count)
+        if span is not None:
+            self.tracer.finish(span, self.sim.now)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
+
+    def _count(self, name: str, amount: float) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)

@@ -1,0 +1,44 @@
+"""SLO-aware shedding gate shared by the control plane and streaming.
+
+Under degraded capacity the analytic epoch-time bound stretches by the
+current capacity-loss factor: a job whose fault-free epoch takes
+``baseline`` seconds needs at least ``baseline * stretch`` seconds while
+the degradation holds.  When that bound already exceeds the job's SLO,
+admitting it burns slots on work that is guaranteed late -- the gate
+sheds it instead (``PENDING -> CANCELLED`` in the ledger, ``shed`` on a
+stream request), which is the graceful-degradation half of the chaos
+engine's contract.
+
+The decision is a pure function of three floats so the dispatcher's
+admission gate and the streaming engine's queue-bound shed point share
+one predicate (and one set of tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def slo_shed_decision(baseline_seconds: float, slo_seconds: float,
+                      stretch: float) -> Optional[str]:
+    """Reason to shed now, or ``None`` to admit.
+
+    ``baseline_seconds`` is the analytic fault-free epoch (or request
+    service) time, ``slo_seconds`` the deadline derived from it, and
+    ``stretch`` the current capacity-loss factor (1.0 = healthy,
+    ``inf`` = blackout).  Sheds only when the *lower bound* under the
+    active degradation already violates the SLO -- the gate never sheds
+    a job the degraded cluster could still finish on time.
+    """
+    if stretch <= 1.0:
+        return None
+    if baseline_seconds <= 0.0 or slo_seconds <= 0.0:
+        return None
+    predicted = baseline_seconds * stretch
+    if predicted <= slo_seconds:
+        return None
+    if predicted == float("inf"):
+        return (f"slo-shed: storage blackout active, SLO "
+                f"{slo_seconds:.3f}s unreachable")
+    return (f"slo-shed: epoch bound {predicted:.3f}s at {stretch:.2f}x "
+            f"degraded capacity exceeds SLO {slo_seconds:.3f}s")

@@ -1,0 +1,286 @@
+"""Structured fault shapes and the seeded :class:`FaultPlan` timeline.
+
+The chaos engine injects *structured* degradation, not random noise:
+every fault is a window on the simulation clock with an explicit shape,
+so a run's behaviour under faults is as reproducible as the fault-free
+run.  Four shapes cover the failure modes the data-stall literature
+measures against real clusters:
+
+* :class:`StragglerWindow` -- a degraded worker: the window occupies a
+  seeded number of CPU cores, so the effective core pool shrinks and
+  every tenant's native work queues behind the straggler.  (A core
+  running at rate ``1/f`` contributes ``1/f`` of a core of aggregate
+  capacity; the engine models the loss by parking the equivalent whole
+  cores for the window.)
+* :class:`DeviceSlowdown` -- a mid-epoch device degradation: the read
+  link's bandwidth ramps down to ``1/factor`` of nominal in
+  ``ramp_steps`` stages, holds, and restores at window end.
+* :class:`Brownout` -- a correlated, tier-wide capacity loss: read
+  *and* write links scale to ``1/factor`` for the window.  With
+  ``blackout=True`` the tier goes dark instead: in-flight transfers
+  fail at window start and new transfers fail until the window ends
+  (the control plane's retry path turns these into crashed attempts).
+* :class:`CrashWindow` -- transient job crashes generalizing
+  ``JobSpec.crash_epoch`` into a timeline: any controlled job reaching
+  an epoch boundary inside the window fails that attempt.
+
+**Determinism contract.**  :func:`generate_fault_plan` draws every
+window from ``random.Random(f"chaos-{seed}")`` -- its own namespaced
+stream, exactly like the trace generators' arrival/fault split (PR 6/7
+discipline) -- so adding faults to a run never perturbs arrival or
+pipeline-mix randomness, and the same seed always produces the same
+timeline.  An empty plan is falsy and the engine spawns nothing for it:
+faults off means zero extra simulation events.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import FaultError
+
+
+def _check_window(kind: str, start: float, duration: float) -> None:
+    if start < 0:
+        raise FaultError(f"{kind}: negative start time {start!r}")
+    if duration <= 0:
+        raise FaultError(f"{kind}: duration must be positive, "
+                         f"got {duration!r}")
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """A degraded worker parks ``cores`` CPU cores for the window."""
+
+    start: float
+    duration: float
+    cores: int = 1
+
+    def __post_init__(self):
+        _check_window("straggler", self.start, self.duration)
+        if self.cores < 1:
+            raise FaultError(
+                f"straggler: cores must be >= 1, got {self.cores!r}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def describe(self) -> str:
+        return (f"straggler [{self.start:g}s, {self.end:g}s): "
+                f"{self.cores} core(s) degraded")
+
+
+@dataclass(frozen=True)
+class DeviceSlowdown:
+    """Read-link bandwidth ramps to ``1/factor`` of nominal, then back."""
+
+    start: float
+    duration: float
+    factor: float = 2.0
+    #: Seconds over which capacity steps down to the full slowdown
+    #: (0 = instant); the restore at window end is always instant.
+    ramp: float = 0.0
+    ramp_steps: int = 4
+
+    def __post_init__(self):
+        _check_window("slowdown", self.start, self.duration)
+        if self.factor <= 1.0:
+            raise FaultError(
+                f"slowdown: factor must exceed 1, got {self.factor!r}")
+        if self.ramp < 0 or self.ramp >= self.duration:
+            raise FaultError(
+                f"slowdown: ramp must lie within [0, duration), "
+                f"got {self.ramp!r} of {self.duration!r}")
+        if self.ramp_steps < 1:
+            raise FaultError(
+                f"slowdown: ramp_steps must be >= 1, "
+                f"got {self.ramp_steps!r}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def describe(self) -> str:
+        ramp = f", {self.ramp:g}s ramp" if self.ramp else ""
+        return (f"slowdown [{self.start:g}s, {self.end:g}s): read link "
+                f"at 1/{self.factor:g} of nominal{ramp}")
+
+
+@dataclass(frozen=True)
+class Brownout:
+    """Tier-wide capacity loss; ``blackout=True`` fails transfers."""
+
+    start: float
+    duration: float
+    factor: float = 4.0
+    blackout: bool = False
+
+    def __post_init__(self):
+        _check_window("brownout", self.start, self.duration)
+        if self.factor <= 1.0:
+            raise FaultError(
+                f"brownout: factor must exceed 1, got {self.factor!r}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def kind(self) -> str:
+        return "blackout" if self.blackout else "brownout"
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def describe(self) -> str:
+        if self.blackout:
+            return (f"blackout [{self.start:g}s, {self.end:g}s): "
+                    f"storage tier dark, in-flight transfers fail")
+        return (f"brownout [{self.start:g}s, {self.end:g}s): tier at "
+                f"1/{self.factor:g} of nominal capacity")
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Epoch boundaries inside the window crash the running attempt."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self):
+        _check_window("crash window", self.start, self.duration)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def describe(self) -> str:
+        return (f"crash window [{self.start:g}s, {self.end:g}s): epoch "
+                f"boundaries fail transiently")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full seeded fault timeline injected into one run."""
+
+    stragglers: tuple = ()
+    slowdowns: tuple = ()
+    brownouts: tuple = ()
+    crash_windows: tuple = ()
+
+    @property
+    def fault_count(self) -> int:
+        return (len(self.stragglers) + len(self.slowdowns)
+                + len(self.brownouts) + len(self.crash_windows))
+
+    def __bool__(self) -> bool:
+        return self.fault_count > 0
+
+    @property
+    def has_blackout(self) -> bool:
+        return any(window.blackout for window in self.brownouts)
+
+    def crash_active(self, now: float) -> Optional[CrashWindow]:
+        """The crash window covering ``now``, if any."""
+        for window in self.crash_windows:
+            if window.active_at(now):
+                return window
+        return None
+
+    def brownout_end(self, now: float) -> float:
+        """Latest end time over brownout/blackout windows active at
+        ``now``; 0.0 when none is active (the backoff-stretch query)."""
+        end = 0.0
+        for window in self.brownouts:
+            if window.active_at(now) and window.end > end:
+                end = window.end
+        return end
+
+    def describe(self) -> str:
+        windows = sorted(
+            self.stragglers + self.slowdowns + self.brownouts
+            + self.crash_windows,
+            key=lambda window: (window.start, window.describe()))
+        if not windows:
+            return "no faults planned"
+        return "\n".join(window.describe() for window in windows)
+
+
+def generate_fault_plan(seed: int, horizon: float,
+                        stragglers: int = 0, slowdowns: int = 0,
+                        brownouts: int = 0, blackouts: int = 0,
+                        crash_windows: int = 0,
+                        severity: float = 0.5,
+                        cores: int = 8) -> FaultPlan:
+    """Draw a seeded :class:`FaultPlan` over ``[0, horizon)``.
+
+    ``severity`` in (0, 1] scales both window lengths and magnitudes
+    (slowdown factors, straggler core counts).  All draws come from the
+    namespaced ``chaos-{seed}`` stream in a fixed shape order, so the
+    plan is a pure function of its arguments.
+    """
+    counts = (stragglers, slowdowns, brownouts, blackouts, crash_windows)
+    if any(count < 0 for count in counts):
+        raise FaultError(f"fault counts must be >= 0, got {counts!r}")
+    if sum(counts) == 0:
+        return FaultPlan()
+    if horizon <= 0:
+        raise FaultError(
+            f"fault horizon must be positive, got {horizon!r}")
+    if not 0.0 < severity <= 1.0:
+        raise FaultError(
+            f"severity must lie in (0, 1], got {severity!r}")
+    if cores < 1:
+        raise FaultError(f"cores must be >= 1, got {cores!r}")
+    rng = random.Random(f"chaos-{seed}")
+
+    def window(scale: float = 1.0) -> tuple[float, float]:
+        duration = (rng.uniform(0.04, 0.12) * horizon
+                    * (0.5 + severity) * scale)
+        duration = min(duration, 0.5 * horizon)
+        start = rng.uniform(0.0, horizon - duration)
+        return start, duration
+
+    straggler_windows = []
+    for _ in range(stragglers):
+        start, duration = window()
+        stolen = max(1, min(cores - 1 if cores > 1 else 1,
+                            round(severity * cores
+                                  * rng.uniform(0.25, 0.75))))
+        straggler_windows.append(StragglerWindow(
+            start=start, duration=duration, cores=stolen))
+    slowdown_windows = []
+    for _ in range(slowdowns):
+        start, duration = window()
+        factor = 1.0 + severity * rng.uniform(1.5, 5.0)
+        ramp = rng.uniform(0.1, 0.4) * duration
+        slowdown_windows.append(DeviceSlowdown(
+            start=start, duration=duration, factor=factor, ramp=ramp))
+    brownout_windows = []
+    for _ in range(brownouts):
+        start, duration = window()
+        factor = 2.0 + severity * rng.uniform(2.0, 8.0)
+        brownout_windows.append(Brownout(
+            start=start, duration=duration, factor=factor))
+    for _ in range(blackouts):
+        start, duration = window(scale=0.5)
+        brownout_windows.append(Brownout(
+            start=start, duration=duration, factor=100.0, blackout=True))
+    crash_window_list = []
+    for _ in range(crash_windows):
+        start, duration = window(scale=0.5)
+        crash_window_list.append(CrashWindow(start=start,
+                                             duration=duration))
+    return FaultPlan(
+        stragglers=tuple(sorted(straggler_windows,
+                                key=lambda w: w.start)),
+        slowdowns=tuple(sorted(slowdown_windows, key=lambda w: w.start)),
+        brownouts=tuple(sorted(brownout_windows, key=lambda w: w.start)),
+        crash_windows=tuple(sorted(crash_window_list,
+                                   key=lambda w: w.start)))

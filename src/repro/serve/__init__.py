@@ -22,8 +22,8 @@ from repro.serve.fanout import (fan_out_frame_simulated, fan_out_trace,
                                 simulate_fan_out)
 from repro.serve.jobs import (DEFAULT_PIPELINE_MIX, TRACE_KINDS, JobSpec,
                               bursty_trace, diurnal_trace, generate_trace,
-                              inject_faults, poisson_trace, steady_trace,
-                              with_epochs)
+                              inject_faults, operations_trace,
+                              poisson_trace, steady_trace, with_epochs)
 from repro.serve.policies import (POLICIES, POLICY_NAMES, CacheAwarePolicy,
                                   FairSharePolicy, FifoPolicy,
                                   SchedulerPolicy, get_policy)
@@ -57,6 +57,7 @@ __all__ = [
     "get_policy",
     "inject_faults",
     "percentile",
+    "operations_trace",
     "poisson_trace",
     "simulate_fan_out",
     "steady_trace",

@@ -199,6 +199,62 @@ def diagnose_service(report: ServiceReport,
             f"thread-time across tenants; co-scheduling GIL-bound jobs "
             f"serializes the shared pool"))
 
+    # Chaos-engine windows (repro.faults).  Gated on fault_events, so
+    # fault-free diagnoses are byte-identical to pre-faults builds.
+    # Each finding anchors a predicted impact to the injected magnitude
+    # (the analytic stretch factor inside the window), so the operator
+    # sees what the degradation *costs*, not just that it happened.
+    if report.fault_events:
+        window_span = report.makespan if report.makespan > 0 else None
+
+        brownouts = [event for event in report.fault_events
+                     if event.kind in ("brownout", "blackout")]
+        if brownouts:
+            dark = sum(event.end - event.start for event in brownouts)
+            worst = max(event.magnitude for event in brownouts)
+            share = dark / window_span if window_span else 0.0
+            aborted = (f", {report.transfers_aborted} in-flight "
+                       f"transfer(s) aborted"
+                       if report.transfers_aborted else "")
+            findings.append(ServiceFinding(
+                "brownout-detected", min(0.3 + share, 1.0),
+                f"storage tier degraded for {dark:.0f}s across "
+                f"{len(brownouts)} window(s) (worst 1/{worst:g} of "
+                f"nominal capacity{aborted}); storage-bound epochs "
+                f"inside the windows stretch up to {worst:.1f}x -- "
+                f"enable SLO-aware shedding and brownout-stretched "
+                f"retry backoff"))
+
+        stragglers = [event for event in report.fault_events
+                      if event.kind == "straggler"]
+        if stragglers:
+            slow = sum(event.end - event.start for event in stragglers)
+            worst_cores = max(int(event.magnitude)
+                              for event in stragglers)
+            cores = environment.cores
+            remaining = max(cores - worst_cores, 1)
+            stretch = cores / remaining
+            share = slow / window_span if window_span else 0.0
+            findings.append(ServiceFinding(
+                "straggler-detected", min(0.25 + share, 1.0),
+                f"straggling worker(s) park up to {worst_cores} of "
+                f"{cores} cores for {slow:.0f}s; CPU-bound epochs "
+                f"stretch up to {stretch:.2f}x inside the windows -- "
+                f"rebalance the trace or let the autoscaler add slots"))
+
+        slowdowns = [event for event in report.fault_events
+                     if event.kind == "slowdown"]
+        if slowdowns:
+            degraded = sum(event.end - event.start for event in slowdowns)
+            worst = max(event.magnitude for event in slowdowns)
+            share = degraded / window_span if window_span else 0.0
+            findings.append(ServiceFinding(
+                "device-degraded", min(0.2 + share, 1.0),
+                f"read-link device degraded for {degraded:.0f}s "
+                f"(worst 1/{worst:g} of nominal bandwidth); I/O-bound "
+                f"epochs stretch up to {worst:.1f}x inside the windows "
+                f"-- prefer cache-resident tenants while degraded"))
+
     # CPU pool oversubscription.
     if fractions["cpu"] > 0.5 and len(report.tenants) > report.slots:
         findings.append(ServiceFinding(

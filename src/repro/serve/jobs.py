@@ -18,6 +18,9 @@ the data-stall literature care about:
   producing alternating contention peaks and idle valleys.
 * ``poisson`` -- memoryless arrivals with exponential inter-arrival
   gaps, the M/G/k reference shape for queueing-style studies.
+* ``operations`` -- the long-horizon shape: several diurnal "days" of
+  load with seeded burst mornings, the operations-review timeline the
+  chaos engine (:mod:`repro.faults`) injects fault windows into.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ from repro.errors import ProfilingError
 from repro.pipelines.base import SplitPlan
 
 #: Trace shapes understood by :func:`generate_trace`.
-TRACE_KINDS = ("steady", "bursty", "diurnal", "poisson")
+TRACE_KINDS = ("steady", "bursty", "diurnal", "poisson", "operations")
 
 #: Default pipeline mix for generated traces (small/medium datasets so
 #: service simulations stay fast; all are registry-reconstructible).
@@ -270,11 +273,74 @@ def poisson_trace(tenants: int, seed: int = 0,
     return jobs
 
 
+def operations_trace(tenants: int, seed: int = 0,
+                     pipelines: Sequence[str] = DEFAULT_PIPELINE_MIX,
+                     days: int = 3, day_length: float = 7200.0,
+                     epochs: int = 2, threads: int = 8,
+                     jobs_per_tenant: int = 2) -> list[JobSpec]:
+    """Days of diurnal load with a seeded burst each "morning".
+
+    The long-horizon operations timeline: each of ``days`` simulated
+    days carries one diurnal round of arrivals (same sinusoidal
+    intensity as ``diurnal``) plus a tight morning burst that re-submits
+    the day's first tenants against a shared hot artifact.  Tenants
+    recur across days, so fair-share history, cache warmth and -- with a
+    fault plan attached -- recovery costs all accumulate over a horizon
+    long enough for brownout/straggler windows to land mid-load.
+    """
+    _validate(tenants, pipelines, jobs_per_tenant)
+    if days < 1:
+        raise ProfilingError("need at least one day")
+    if day_length <= 0:
+        raise ProfilingError("day_length must be positive")
+    import math
+    rng = random.Random(seed)
+    buckets = 24
+    bucket_len = day_length / buckets
+    weights = [1.0 + math.sin(2 * math.pi * (hour + 0.5) / buckets -
+                              math.pi / 2) for hour in range(buckets)]
+    hot_pipeline = rng.choice(tuple(pipelines))
+    from repro.pipelines.registry import get_pipeline
+    hot_split = get_pipeline(hot_pipeline).strategy_names()[-1]
+    jobs = []
+    index = 0
+    per_day = tenants * jobs_per_tenant
+    burst_size = max(1, min(per_day, tenants // 2))
+    for day in range(days):
+        day_start = day * day_length
+        # The morning burst: a quarter into the day, burst_size tenants
+        # hit the shared hot artifact within seconds of each other.
+        for slot in range(burst_size):
+            jobs.append(JobSpec(
+                tenant=f"tenant-{index % tenants}",
+                pipeline=hot_pipeline, split=hot_split,
+                arrival=day_start + 0.25 * day_length + slot * 1.0,
+                epochs=epochs, threads=threads,
+                priority=_priority(rng)))
+            index += 1
+        # The diurnal background load for the rest of the day.
+        arrivals = sorted(
+            rng.choices(range(buckets), weights=weights, k=1)[0]
+            * bucket_len + rng.random() * bucket_len
+            for _ in range(per_day - burst_size))
+        for arrival in arrivals:
+            pipeline = rng.choice(tuple(pipelines))
+            jobs.append(JobSpec(
+                tenant=f"tenant-{index % tenants}", pipeline=pipeline,
+                split=_materialized_split(rng, pipeline),
+                arrival=day_start + arrival, epochs=epochs,
+                threads=threads, priority=_priority(rng)))
+            index += 1
+    jobs.sort(key=lambda job: job.arrival)
+    return jobs
+
+
 _GENERATORS = {
     "steady": steady_trace,
     "bursty": bursty_trace,
     "diurnal": diurnal_trace,
     "poisson": poisson_trace,
+    "operations": operations_trace,
 }
 
 

@@ -71,6 +71,25 @@ class FifoPolicy(SchedulerPolicy):
     def select(self, queue, state):
         return min(queue, key=lambda job: job.enqueue_index)
 
+    def preempt(self, queue, state):
+        """Evict the youngest strictly-lower-priority running job.
+
+        FIFO admission ignores priority, so a premium job arriving
+        while every slot is busy would otherwise wait behind arbitrary
+        amounts of low-priority work.  The victim is the *youngest*
+        (latest-enqueued) running job of lower priority than the oldest
+        waiter -- the one with the least sunk work to replay.  Equal
+        priorities never preempt: plain FIFO runs are unchanged.
+        """
+        if not queue or not state.running:
+            return None
+        contender = min(queue, key=lambda job: job.enqueue_index)
+        victims = [job for job in state.running
+                   if job.spec.priority < contender.spec.priority]
+        if not victims:
+            return None
+        return max(victims, key=lambda job: job.enqueue_index)
+
 
 class FairSharePolicy(SchedulerPolicy):
     """Weighted fair sharing of service seconds across tenants.
@@ -130,6 +149,40 @@ class CacheAwarePolicy(SchedulerPolicy):
         hot = [job for job in queue if job.artifact in warm]
         candidates = hot or queue
         return min(candidates, key=lambda job: job.enqueue_index)
+
+    def preempt(self, queue, state):
+        """Evict a cache-loner in favour of a warm waiter.
+
+        Fires only when a queued job could reuse currently-resident
+        chunks (its artifact is warm).  The victim is the youngest
+        running job whose artifact nobody else wants: not the
+        contender's, not co-running, and not queued behind it.  The
+        victim must also be *younger* than the contender -- a requeued
+        victim re-enters with a fresh (higher) enqueue index, so it can
+        never bounce the job that displaced it (no ping-pong).
+        """
+        if not queue or not state.running:
+            return None
+        warm = state.warm_artifacts()
+        hot = [job for job in queue if job.artifact in warm]
+        if not hot:
+            return None
+        contender = min(hot, key=lambda job: job.enqueue_index)
+        running_counts: dict = {}
+        for job in state.running:
+            running_counts[job.artifact] = \
+                running_counts.get(job.artifact, 0) + 1
+        queued_artifacts = {job.artifact for job in queue}
+        victims = [
+            job for job in state.running
+            if job.artifact != contender.artifact
+            and running_counts[job.artifact] == 1
+            and job.artifact not in queued_artifacts
+            and job.enqueue_index > contender.enqueue_index
+        ]
+        if not victims:
+            return None
+        return max(victims, key=lambda job: job.enqueue_index)
 
 
 #: Registry used by the CLI and the policy sweep.

@@ -192,6 +192,12 @@ class ServiceReport:
     #: Wall-clock seconds the host spent running the simulation
     #: (machine-dependent; track the trend, never assert it).
     wall_seconds: float = 0.0
+    #: Chaos-engine injections over the run (:mod:`repro.faults`):
+    #: one :class:`~repro.faults.engine.FaultEvent` per opened window,
+    #: and transfers failed by blackout windows.  Empty/zero on every
+    #: fault-free run -- the doctor and renderers key off that.
+    fault_events: list = field(default_factory=list)
+    transfers_aborted: int = 0
 
     def provenance(self) -> dict:
         """Uniform run-cost stamp shared by every workload report."""
@@ -276,7 +282,7 @@ class PreprocessingService:
                  materialize_offline: bool = True,
                  tie_break: Optional[str] = None,
                  metrics=None, metrics_interval: float = 60.0,
-                 tracer=None):
+                 tracer=None, faults=None):
         if slots < 1:
             raise ProfilingError("need at least one execution slot")
         if metrics is not None and metrics_interval <= 0:
@@ -310,6 +316,11 @@ class PreprocessingService:
         self.tracer = tracer
         if tracer is not None:
             self.backend.tracer = tracer
+        #: Seeded chaos timeline (:class:`repro.faults.FaultPlan`) or
+        #: ``None``.  With no plan the engine is never constructed and
+        #: the run schedules zero extra events -- the faults-off
+        #: differential wall (tests/faults/test_differential.py).
+        self.fault_plan = faults
         # Per-run state, initialised in run().
         self._sim: Simulation = None  # type: ignore[assignment]
         self._machine: Machine = None  # type: ignore[assignment]
@@ -342,6 +353,7 @@ class PreprocessingService:
         processes = [sim.process(self._job_process(job),
                                  name=f"job-{job.spec.tenant}")
                      for job in tenant_jobs]
+        self._start_faults()
         self._start_sampler()
         started = time.perf_counter()
         sim.run()
@@ -388,6 +400,22 @@ class PreprocessingService:
         self._enqueued = 0
         self._live = 0
         self._tenants: list[str] = []
+        self._fault_engine = None
+
+    # -- chaos engine (null-by-default; see repro.faults) --------------------
+
+    def _start_faults(self) -> None:
+        """Spawn the chaos engine's window processes -- only when a
+        fault plan is attached.  Must run after ``_configure_link`` (the
+        engine snapshots nominal link capacity) and before the kernel
+        starts draining events."""
+        if not self.fault_plan:
+            return
+        from repro.faults.engine import FaultEngine
+        self._fault_engine = FaultEngine(
+            self.fault_plan, self._sim, self._machine, self._cluster,
+            metrics=self.metrics, tracer=self.tracer)
+        self._fault_engine.start()
 
     # -- telemetry (null-by-default; see repro.obs) --------------------------
 
@@ -432,6 +460,12 @@ class PreprocessingService:
         registry.gauge("metadata.in_use").set(metadata.in_use)
         registry.gauge("metadata.queued").set(metadata.queued)
         registry.gauge("kernel.events_processed").set(sim.events_processed)
+        engine = self._fault_engine
+        if engine is not None:
+            registry.gauge("faults.active").set(engine.active_count)
+            # Blackouts make the bound unreachable; clamp for exporters.
+            registry.gauge("faults.capacity_stretch").set(
+                min(engine.capacity_stretch(), 1e6))
         inflight: dict[str, int] = {}
         for job in self._running:
             inflight[job.spec.tenant] = inflight.get(job.spec.tenant, 0) + 1
@@ -563,10 +597,22 @@ class PreprocessingService:
             return
         event = self._sim.event()
         self._offline_events[key] = event
-        result = yield from self.backend.offline_process(
-            self._sim, self._machine, self._cluster, job.plan, job.config,
-            link_tag=self._link_tag(job),
-            trace_track=job.spec.tenant, trace_parent=trace_parent)
+        try:
+            result = yield from self.backend.offline_process(
+                self._sim, self._machine, self._cluster, job.plan,
+                job.config, link_tag=self._link_tag(job),
+                trace_track=job.spec.tenant, trace_parent=trace_parent)
+        except Exception as error:
+            # Producer died (e.g. a storage blackout failed its
+            # transfer): un-claim the key so a later attempt
+            # re-materialises from scratch, and propagate the failure to
+            # any tenants already waiting on the shared artifact so
+            # their control-plane retries fire too.
+            if self._offline_events.get(key) is event:
+                del self._offline_events[key]
+            if event.callbacks is not None:
+                event.fail(error)
+            raise
         job.offline = result
         self._materialized.add(job.artifact)
         event.succeed(result)
@@ -628,4 +674,7 @@ class PreprocessingService:
             page_cache_evictions=self._machine.page_cache.evictions,
             events_processed=self._sim.events_processed,
         )
+        if self._fault_engine is not None:
+            report.fault_events = list(self._fault_engine.events)
+            report.transfers_aborted = self._fault_engine.transfers_aborted
         return report

@@ -88,7 +88,7 @@ class SharedBandwidth:
                  "_admissions", "_progress", "_last_update", "_rate",
                  "_wake_event", "_wake_threshold", "_wake_cb",
                  "_completed_bytes", "_admit_sum", "total_transfers",
-                 "peak_streams", "tie_break", "_batch_key")
+                 "peak_streams", "tie_break", "_batch_key", "_fault")
 
     def __init__(self, sim: Simulation, aggregate_bw: float,
                  per_stream_bw: Optional[float] = None, name: str = "link",
@@ -127,6 +127,10 @@ class SharedBandwidth:
         self._admit_sum = 0.0
         self.total_transfers = 0
         self.peak_streams = 0
+        #: When set (a ``nbytes -> Exception`` factory), new transfers
+        #: fail immediately -- the storage-blackout mode of the chaos
+        #: engine (:mod:`repro.faults`).  ``None`` is the fast path.
+        self._fault = None
 
     # -- queries -------------------------------------------------------------
 
@@ -169,6 +173,8 @@ class SharedBandwidth:
             raise SimulationError(f"negative transfer size: {nbytes}")
         event = Event(self.sim)
         self.total_transfers += 1
+        if self._fault is not None:
+            return event.fail(self._fault(nbytes))
         if nbytes <= _EPSILON_BYTES:
             return event.succeed()
         now = self.sim._now
@@ -207,6 +213,76 @@ class SharedBandwidth:
         if rate <= 0:
             raise SimulationError("no capacity available")
         return nbytes / rate
+
+    # -- degradation (chaos engine) -----------------------------------------
+
+    def set_capacity(self, aggregate_bw: Optional[float] = None,
+                     per_stream_bw: Optional[float] = None) -> None:
+        """Change the link's capacity mid-simulation (fault injection).
+
+        Progress accrued at the old fair rate is banked first, so every
+        in-flight transfer keeps the bytes it already moved; thresholds
+        live in progress (byte) space and need no rewrite.  When the
+        fair rate changes with transfers in flight, the wake-up is
+        re-armed (one Timeout).  Never calling this method costs
+        nothing: the constructor wires no degradation state and the
+        transfer hot path is untouched.
+        """
+        if aggregate_bw is not None and aggregate_bw <= 0:
+            raise SimulationError("aggregate bandwidth must be positive")
+        if per_stream_bw is not None and per_stream_bw <= 0:
+            raise SimulationError("per-stream bandwidth must be positive")
+        now = self.sim._now
+        elapsed = now - self._last_update
+        if elapsed > 0.0 and self._rate:
+            self._progress += elapsed * self._rate
+        self._last_update = now
+        if aggregate_bw is not None:
+            self.aggregate_bw = float(aggregate_bw)
+        if per_stream_bw is not None:
+            self.per_stream_bw = float(per_stream_bw)
+        heap = self._heap
+        if not heap:
+            return
+        rate = self.aggregate_bw / len(heap)
+        per_stream = self.per_stream_bw
+        if per_stream < rate:
+            rate = per_stream
+        if rate != self._rate:
+            self._rate = rate
+            self._arm_wake()
+
+    def set_fault(self, factory) -> None:
+        """Blackout mode: fail new transfers with ``factory(nbytes)``."""
+        self._fault = factory
+
+    def clear_fault(self) -> None:
+        """Leave blackout mode; new transfers move bytes again."""
+        self._fault = None
+
+    def abort_active(self, factory) -> int:
+        """Fail every in-flight transfer with a ``factory(nbytes)``
+        exception, in admission order; returns the abort count.
+
+        The blackout shape of the chaos engine: waiting processes
+        receive the exception at the current instant and the link is
+        left idle (progress rebased to zero).  The partial progress of
+        aborted transfers is discarded from ``bytes_moved`` -- those
+        bytes died with their transfers.
+        """
+        heap = self._heap
+        if not heap:
+            return 0
+        aborted = sorted(heap, key=_BY_ADMISSION)
+        heap.clear()
+        self._progress = 0.0
+        self._last_update = self.sim._now
+        self._admit_sum = 0.0
+        self._rate = 0.0
+        self._wake_event = None
+        for item in aborted:
+            item[4].fail(factory(item[3]))
+        return len(aborted)
 
     # -- internals ----------------------------------------------------------
 

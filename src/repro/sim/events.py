@@ -136,6 +136,9 @@ class Event:
                     callback(self)
             else:
                 callbacks(self)
+        elif self._exception is not None:
+            # A failure nobody is watching must not vanish.
+            raise self._exception
 
 
 class Timeout(Event):
@@ -192,6 +195,13 @@ class Process(Event):
                     target = generator.send(event._value)
             except StopIteration as stop:
                 super().succeed(stop.value)
+                return
+            except Exception as error:
+                # A dying process becomes a *failed* event: watchers
+                # (all_of barriers, joining processes) receive the
+                # exception through the normal event path; if nobody is
+                # watching, the run loop re-raises it as unhandled.
+                super().fail(error)
                 return
             try:
                 if target._processed:
@@ -383,6 +393,9 @@ class Simulation:
                             callback(event)
                     else:
                         callbacks(event)
+                elif event._exception is not None:
+                    # A failure nobody is watching must not vanish.
+                    raise event._exception
         finally:
             self._events_processed = events_processed
         return self._now

@@ -29,6 +29,7 @@ from repro import calibration as cal
 from repro.backends.base import CACHE_SYSTEM, Environment, RunConfig
 from repro.backends.simulated import SimulatedBackend
 from repro.errors import ProfilingError, SimulationError
+from repro.faults.gate import slo_shed_decision
 from repro.pipelines.base import SplitPlan
 from repro.sim.cluster import StorageCluster
 from repro.sim.cpu import Machine
@@ -91,7 +92,7 @@ class StreamingService:
     def __init__(self, environment: Optional[Environment] = None,
                  backend: Optional[SimulatedBackend] = None,
                  metrics=None, metrics_interval: float = 60.0,
-                 tracer=None):
+                 tracer=None, faults=None):
         if metrics is not None and metrics_interval <= 0:
             raise ProfilingError(
                 f"metrics_interval must be positive, got {metrics_interval}")
@@ -102,12 +103,16 @@ class StreamingService:
         self.metrics = metrics
         self.metrics_interval = metrics_interval
         self.tracer = tracer
+        #: Seeded chaos timeline (:class:`repro.faults.FaultPlan`) or
+        #: ``None``; with no plan the run schedules zero extra events.
+        self.fault_plan = faults
         # Per-run state, initialised in run().
         self._sim: Simulation = None  # type: ignore[assignment]
         self._machine: Machine = None  # type: ignore[assignment]
         self._cluster: StorageCluster = None  # type: ignore[assignment]
         self._contexts: list = []
         self._live_workers = 0
+        self._fault_engine = None
 
     # -- public entry point --------------------------------------------------
 
@@ -147,6 +152,7 @@ class StreamingService:
                 processes.append(sim.process(
                     self._worker_process(ctx, wid),
                     name=f"stream-{ctx.spec.tenant}-{wid}"))
+        self._start_faults()
         if self.metrics is not None:
             sim.process(self._metrics_process(), name="metrics-sampler")
         started = time.perf_counter()
@@ -163,6 +169,20 @@ class StreamingService:
         report = self._report(contexts)
         report.wall_seconds = wall_seconds
         return report
+
+    # -- chaos engine (null-by-default; see repro.faults) --------------------
+
+    def _start_faults(self) -> None:
+        """Spawn the chaos engine's window processes -- only when a
+        fault plan is attached (mirrors the serve layer)."""
+        self._fault_engine = None
+        if not self.fault_plan:
+            return
+        from repro.faults.engine import FaultEngine
+        self._fault_engine = FaultEngine(
+            self.fault_plan, self._sim, self._machine, self._cluster,
+            metrics=self.metrics, tracer=self.tracer)
+        self._fault_engine.start()
 
     # -- telemetry (null-by-default; see repro.obs) --------------------------
 
@@ -191,6 +211,11 @@ class StreamingService:
         registry.gauge("metadata.in_use").set(metadata.in_use)
         registry.gauge("metadata.queued").set(metadata.queued)
         registry.gauge("kernel.events_processed").set(sim.events_processed)
+        engine = self._fault_engine
+        if engine is not None:
+            registry.gauge("faults.active").set(engine.active_count)
+            registry.gauge("faults.capacity_stretch").set(
+                min(engine.capacity_stretch(), 1e6))
         for ctx in self._contexts:
             tenant = ctx.spec.tenant
             registry.gauge(f"tenant.{tenant}.queue_depth").set(ctx.depth)
@@ -331,10 +356,24 @@ class StreamingService:
         """Replay the arrival schedule: admit, hand off, block or shed."""
         sim = self._sim
         bound = ctx.spec.queue_bound
+        engine = self._fault_engine
         for record in ctx.records:
             delay = record.arrival - sim.now
             if delay > 0:
                 yield sim.timeout(delay)
+            if (engine is not None and ctx.spec.shed
+                    and record.deadline is not None):
+                # The SLO-aware gate shared with control-plane admission
+                # (repro.faults.gate): under degraded capacity a request
+                # whose service-time bound already breaks its deadline
+                # is shed at arrival, not after burning a worker.
+                reason = slo_shed_decision(
+                    record.deadline / ctx.spec.slo_stretch,
+                    record.deadline, engine.capacity_stretch())
+                if reason is not None:
+                    record.shed = True
+                    ctx.result.slo_shed += 1
+                    continue
             shard = ctx.shard_for(record)
             if shard.idle:
                 # An idle worker: hand the request over directly, never
@@ -493,7 +532,7 @@ class StreamingService:
         tenants = [ctx.result for ctx in contexts]
         completions = [record.completed for tenant in tenants
                        for record in tenant.completed]
-        return StreamReport(
+        report = StreamReport(
             environment=self.environment,
             tenants=tenants,
             makespan=max(completions) if completions else 0.0,
@@ -505,3 +544,7 @@ class StreamingService:
             metadata_peak_in_use=self._cluster.metadata.peak_in_use,
             page_cache_evictions=self._machine.page_cache.evictions,
         )
+        if self._fault_engine is not None:
+            report.fault_events = list(self._fault_engine.events)
+            report.transfers_aborted = self._fault_engine.transfers_aborted
+        return report

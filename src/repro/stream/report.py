@@ -90,6 +90,9 @@ class TenantStreamResult:
     bytes_from_cache: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Requests shed by the SLO-aware gate under degraded capacity
+    #: (a subset of ``shed_count``; queue-overflow sheds are the rest).
+    slo_shed: int = 0
 
     @property
     def deadline_seconds(self) -> Optional[float]:
@@ -193,6 +196,10 @@ class StreamReport:
     #: Wall-clock seconds the host spent running the simulation
     #: (machine-dependent; track the trend, never assert it).
     wall_seconds: float = 0.0
+    #: Chaos-engine injections over the run (:mod:`repro.faults`);
+    #: empty/zero on every fault-free run.
+    fault_events: list = field(default_factory=list)
+    transfers_aborted: int = 0
 
     def provenance(self) -> dict:
         """Uniform run-cost stamp shared by every workload report."""
@@ -210,6 +217,10 @@ class StreamReport:
     @property
     def total_shed(self) -> int:
         return sum(tenant.shed_count for tenant in self.tenants)
+
+    @property
+    def total_slo_shed(self) -> int:
+        return sum(tenant.slo_shed for tenant in self.tenants)
 
     @property
     def miss_fraction(self) -> float:

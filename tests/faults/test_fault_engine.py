@@ -1,0 +1,208 @@
+"""FaultEngine window mechanics against a minimal machine/cluster."""
+
+import pytest
+
+from repro.errors import InjectedFaultError
+from repro.faults import (Brownout, DeviceSlowdown, FaultEngine,
+                          FaultPlan, StragglerWindow)
+from repro.sim.bandwidth import SharedBandwidth
+from repro.sim.events import Simulation
+from repro.sim.resources import Resource
+
+
+class _Machine:
+    def __init__(self, sim, cores=4):
+        self.n_cores = cores
+        self.cores = Resource(sim, cores, name="cores")
+
+
+class _Cluster:
+    def __init__(self, sim):
+        self.read_link = SharedBandwidth(sim, aggregate_bw=100.0,
+                                         per_stream_bw=50.0, name="read")
+        self.write_link = SharedBandwidth(sim, aggregate_bw=80.0,
+                                          per_stream_bw=40.0, name="write")
+
+
+def _engine(plan, cores=4):
+    sim = Simulation()
+    machine = _Machine(sim, cores=cores)
+    cluster = _Cluster(sim)
+    engine = FaultEngine(plan, sim, machine, cluster)
+    engine.start()
+    return sim, machine, cluster, engine
+
+
+class TestEmptyPlan:
+    def test_spawns_nothing(self):
+        sim, _, _, engine = _engine(FaultPlan())
+        assert not engine.enabled
+        sim.run()
+        assert sim.events_processed == 0
+        assert engine.events == []
+        assert engine.capacity_stretch() == 1.0
+
+    def test_none_plan_treated_as_empty(self):
+        sim = Simulation()
+        engine = FaultEngine(None, sim, _Machine(sim), _Cluster(sim))
+        engine.start()
+        sim.run()
+        assert sim.events_processed == 0
+
+
+class TestStraggler:
+    def test_parks_and_releases_cores(self):
+        plan = FaultPlan(stragglers=(
+            StragglerWindow(start=10.0, duration=20.0, cores=3),))
+        sim, machine, _, engine = _engine(plan)
+        sim.run(until=15.0)
+        assert machine.cores.in_use == 3
+        assert engine.active_count == 1
+        assert engine.capacity_stretch() == pytest.approx(4.0)
+        sim.run()
+        assert machine.cores.in_use == 0
+        assert engine.active_count == 0
+        assert engine.capacity_stretch() == 1.0
+        (event,) = engine.events
+        assert event.kind == "straggler"
+        assert event.start == 10.0
+        assert event.magnitude == 3.0
+
+    def test_queues_behind_running_work(self):
+        # Cores are busy until t=20: the straggler window opens at 10
+        # but only parks cores as they free, like a real slow worker.
+        plan = FaultPlan(stragglers=(
+            StragglerWindow(start=10.0, duration=30.0, cores=2),))
+        sim, machine, _, engine = _engine(plan, cores=2)
+
+        def hog():
+            yield machine.cores.acquire()
+            yield machine.cores.acquire()
+            yield sim.timeout(20.0)
+            machine.cores.release()
+            machine.cores.release()
+
+        sim.process(hog(), name="hog")
+        sim.run(until=15.0)
+        assert engine.capacity_stretch() == 1.0   # nothing stolen yet
+        sim.run(until=25.0)
+        assert machine.cores.in_use == 2          # straggler holds both
+        assert engine.capacity_stretch() == float("inf")
+        sim.run()
+        assert machine.cores.in_use == 0
+
+
+class TestSlowdown:
+    def test_scales_and_restores_read_link(self):
+        plan = FaultPlan(slowdowns=(
+            DeviceSlowdown(start=10.0, duration=10.0, factor=2.0),))
+        sim, _, cluster, engine = _engine(plan)
+        sim.run(until=15.0)
+        assert cluster.read_link.aggregate_bw == pytest.approx(50.0)
+        assert cluster.read_link.per_stream_bw == pytest.approx(25.0)
+        assert engine.capacity_stretch() == pytest.approx(2.0)
+        sim.run()
+        assert cluster.read_link.aggregate_bw == pytest.approx(100.0)
+        assert engine.capacity_stretch() == 1.0
+
+    def test_ramp_degrades_in_stages(self):
+        plan = FaultPlan(slowdowns=(
+            DeviceSlowdown(start=0.0, duration=100.0, factor=5.0,
+                           ramp=40.0, ramp_steps=4),))
+        sim, _, cluster, _ = _engine(plan)
+        sim.run(until=5.0)    # stage 1 applied at t=0: factor 2 of 5
+        assert cluster.read_link.aggregate_bw == pytest.approx(100.0 / 2.0)
+        sim.run(until=45.0)   # ramp done: full factor
+        assert cluster.read_link.aggregate_bw == pytest.approx(20.0)
+        sim.run()
+        assert cluster.read_link.aggregate_bw == pytest.approx(100.0)
+
+
+class TestBrownout:
+    def test_scales_both_links(self):
+        plan = FaultPlan(brownouts=(
+            Brownout(start=5.0, duration=10.0, factor=4.0),))
+        sim, _, cluster, engine = _engine(plan)
+        sim.run(until=10.0)
+        assert cluster.read_link.aggregate_bw == pytest.approx(25.0)
+        assert cluster.write_link.aggregate_bw == pytest.approx(20.0)
+        assert engine.capacity_stretch() == pytest.approx(4.0)
+        sim.run()
+        assert cluster.read_link.aggregate_bw == pytest.approx(100.0)
+        assert cluster.write_link.aggregate_bw == pytest.approx(80.0)
+
+    def test_overlapping_windows_compose(self):
+        plan = FaultPlan(
+            slowdowns=(DeviceSlowdown(start=0.0, duration=20.0,
+                                      factor=2.0),),
+            brownouts=(Brownout(start=5.0, duration=10.0, factor=3.0),))
+        sim, _, cluster, engine = _engine(plan)
+        sim.run(until=10.0)
+        assert cluster.read_link.aggregate_bw == pytest.approx(100.0 / 6.0)
+        assert engine.capacity_stretch() == pytest.approx(6.0)
+        sim.run(until=18.0)   # brownout closed, slowdown still on
+        assert cluster.read_link.aggregate_bw == pytest.approx(50.0)
+
+
+class TestBlackout:
+    def test_fails_new_and_inflight_transfers(self):
+        plan = FaultPlan(brownouts=(
+            Brownout(start=10.0, duration=10.0, factor=100.0,
+                     blackout=True),))
+        sim, _, cluster, engine = _engine(plan)
+        outcomes = []
+
+        def early():
+            # In flight when the lights go out (needs ~8s of the link's
+            # 50/s per-stream rate, started at t=5).
+            try:
+                yield cluster.read_link.transfer(400.0)
+                outcomes.append("early-ok")
+            except InjectedFaultError:
+                outcomes.append("early-aborted")
+
+        def during():
+            yield sim.timeout(15.0)
+            try:
+                yield cluster.read_link.transfer(10.0)
+                outcomes.append("during-ok")
+            except InjectedFaultError:
+                outcomes.append("during-failed")
+
+        def after():
+            yield sim.timeout(25.0)
+            yield cluster.read_link.transfer(10.0)
+            outcomes.append("after-ok")
+
+        def starter():
+            yield sim.timeout(5.0)
+            yield sim.process(early(), name="early")
+
+        sim.process(starter(), name="starter")
+        sim.process(during(), name="during")
+        sim.process(after(), name="after")
+        sim.run()
+        assert sorted(outcomes) == ["after-ok", "during-failed",
+                                    "early-aborted"]
+        assert engine.transfers_aborted == 1
+        assert engine.plan.has_blackout
+
+    def test_capacity_stretch_is_infinite_inside_window(self):
+        plan = FaultPlan(brownouts=(
+            Brownout(start=10.0, duration=10.0, factor=100.0,
+                     blackout=True),))
+        sim, _, _, engine = _engine(plan)
+        sim.run(until=15.0)
+        assert engine.capacity_stretch() == float("inf")
+        sim.run()
+        assert engine.capacity_stretch() == 1.0
+
+
+class TestBackoffStretch:
+    def test_stretches_past_active_brownout(self):
+        plan = FaultPlan(brownouts=(
+            Brownout(start=10.0, duration=10.0, factor=4.0),))
+        sim, _, _, engine = _engine(plan)
+        assert engine.stretch_backoff(15.0, 30.0) == pytest.approx(35.0)
+        assert engine.stretch_backoff(2.0, 30.0) == 30.0
+        assert engine.stretch_backoff(25.0, 30.0) == 30.0

@@ -1,0 +1,76 @@
+"""The chaos engine's differential wall, in both directions.
+
+Faults **off** (no plan, or an empty plan) must be byte-identical to a
+build without the faults module at all: same event counts, same
+rendered reports, same ledger -- at the library level and through the
+CLI.  Faults **on** must be a pure function of the seed: running the
+same chaos timeline twice reproduces every report byte and every
+ledger transition.
+"""
+
+from repro.cli import main
+from repro.core.report import service_summary
+from repro.ctl import Dispatcher
+from repro.ctl.report import control_summary, control_table
+from repro.faults import FaultPlan, generate_fault_plan
+from repro.serve import PreprocessingService, generate_trace
+
+
+def _chain(report):
+    return [(entry.job_id, entry.event, entry.time, entry.detail)
+            for entry in report.ledger.entries]
+
+
+class TestFaultsOffIsByteIdentical:
+    def test_empty_plan_adds_zero_events_to_the_service(self):
+        trace = generate_trace("steady", tenants=4, seed=3)
+        plain = PreprocessingService(policy="fifo", slots=2).run(trace)
+        armed = PreprocessingService(policy="fifo", slots=2,
+                                     faults=FaultPlan()).run(trace)
+        assert armed.events_processed == plain.events_processed
+        assert armed.makespan == plain.makespan
+        assert service_summary(armed) == service_summary(plain)
+        assert list(armed.fault_events) == list(plain.fault_events) == []
+
+    def test_empty_plan_adds_zero_events_to_the_control_plane(self):
+        trace = generate_trace("steady", tenants=4, seed=3)
+        base = Dispatcher(policy="fifo", slots=2).run(trace)
+        armed = Dispatcher(policy="fifo", slots=2,
+                           faults=FaultPlan()).run(trace)
+        assert armed.events_processed == base.events_processed
+        assert control_summary(armed) == control_summary(base)
+        assert _chain(armed) == _chain(base)
+
+    def test_disabled_faults_flag_leaves_ctl_stdout_untouched(self, capsys):
+        # All-zero window counts disable the engine even when tuning
+        # knobs are set: the flagged run is the unflagged run.
+        argv = ["ctl", "--tenants", "3", "--policy", "fifo",
+                "--trace", "steady", "--seed", "2"]
+        assert main(argv) == 0
+        base = capsys.readouterr().out
+        assert main(argv + ["--faults", "severity=0.9,horizon=50"]) == 0
+        assert capsys.readouterr().out == base
+
+
+class TestChaosIsDeterministic:
+    def _run(self):
+        trace = generate_trace("bursty", tenants=4, seed=5)
+        plan = generate_fault_plan(9, 2000.0, stragglers=1, slowdowns=1,
+                                   brownouts=1, blackouts=1,
+                                   crash_windows=1, severity=0.6)
+        dispatcher = Dispatcher(policy="cache-aware", slots=2,
+                                faults=plan, checkpoint_epochs=2,
+                                shed_slo=True)
+        return dispatcher.run(trace)
+
+    def test_same_seed_reproduces_the_run_byte_for_byte(self):
+        first, second = self._run(), self._run()
+        assert first.events_processed == second.events_processed
+        assert first.service.makespan == second.service.makespan
+        assert control_summary(first) == control_summary(second)
+        assert (control_table(first).to_markdown()
+                == control_table(second).to_markdown())
+        assert _chain(first) == _chain(second)
+        assert (list(first.service.fault_events)
+                == list(second.service.fault_events))
+        assert first.service.fault_events       # the plan actually bit

@@ -1,0 +1,165 @@
+"""Property test: control-plane invariants survive chaos timelines.
+
+The companion to ``tests/ctl/test_properties.py``: the same ledger
+invariants, but with the failure source being a seeded fault plan
+(stragglers, slowdowns, brownouts, blackouts, crash windows) instead of
+per-job injected crashes:
+
+* legal transitions only, dense sequence numbers, monotone clock;
+* no lost jobs -- every submission reaches a terminal state even when
+  windows abort its transfers mid-flight;
+* DLQ iff attempts exhausted, regardless of what failed the attempts;
+* lost-epoch accounting -- replay cost is only ever charged when a
+  checkpoint interval is configured;
+* SLO shedding lands jobs in CANCELLED, inside the outcome partition.
+
+Uses hypothesis when available (derandomized); otherwise a fixed-seed
+random sweep over the same generator.
+"""
+
+import random
+
+from repro.ctl import (DEADLETTER, TERMINAL_STATES, Dispatcher,
+                       RetryPolicy)
+from repro.ctl import ledger as lc
+from repro.ctl.ledger import next_state
+from repro.faults import generate_fault_plan
+from repro.serve import JobSpec
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is optional
+    HAVE_HYPOTHESIS = False
+
+N_EXAMPLES = 12
+
+POLICIES = ("fifo", "fair-share", "cache-aware")
+HORIZON = 1500.0
+
+
+def make_scenario(policy_index, slots, max_attempts, fault_seed, counts,
+                  checkpoint, shed, preempt, jobs):
+    """Build a dispatcher under a drawn chaos timeline.
+
+    ``counts`` is ``(stragglers, slowdowns, brownouts, blackouts,
+    crash_windows)``; ``jobs`` is a sequence of ``(tenant_index,
+    arrival, epochs)`` tuples.
+    """
+    plan = generate_fault_plan(
+        fault_seed, HORIZON, stragglers=counts[0], slowdowns=counts[1],
+        brownouts=counts[2], blackouts=counts[3],
+        crash_windows=counts[4], severity=0.6)
+    dispatcher = Dispatcher(
+        policy=POLICIES[policy_index], slots=slots,
+        faults=plan or None, checkpoint_epochs=checkpoint,
+        shed_slo=shed, preempt=preempt,
+        retry=RetryPolicy(max_attempts=max_attempts, backoff_base=5.0,
+                          backoff_factor=2.0))
+    for tenant, arrival, epochs in jobs:
+        dispatcher.submit(JobSpec(
+            tenant=f"t{tenant}", pipeline="MP3",
+            split="spectrogram-encoded", arrival=float(arrival),
+            epochs=epochs))
+    return dispatcher
+
+
+def check_invariants(dispatcher):
+    report = dispatcher.run()
+    ledger = report.ledger
+    max_attempts = dispatcher.retry_policy.max_attempts
+
+    # Event order matches simulation time: dense seq, monotone clock.
+    times = [entry.time for entry in ledger.entries]
+    assert [entry.seq for entry in ledger.entries] == \
+        list(range(len(ledger)))
+    assert times == sorted(times)
+
+    # Legal transitions only: replay every entry from scratch.
+    state = {}
+    for entry in ledger.entries:
+        assert entry.from_state == state.get(entry.job_id, lc.NEW)
+        assert entry.to_state == next_state(entry.from_state, entry.event)
+        state[entry.job_id] = entry.to_state
+
+    # No lost jobs: every submission shows up and terminates.
+    assert set(state) == {record.job_id for record in report.records}
+    for record in report.records:
+        final = state[record.job_id]
+        assert final in TERMINAL_STATES
+        assert ledger.state(record.job_id) == final
+        # These jobs carry no injected crash: only the fault plan
+        # (crash windows, blackout-aborted transfers) can fail them.
+        if record.failures:
+            assert dispatcher.fault_plan
+        # DLQ iff the retry budget is exhausted.
+        assert (final == DEADLETTER) == (record.failures == max_attempts)
+        assert record.failures <= max_attempts
+        # Shed jobs are cancellations, and vice versa stay counted.
+        if record.shed:
+            assert final == lc.CANCELLED
+    assert sorted(ledger.dead_letters()) == \
+        sorted(letter.job_id for letter in report.dead_letters)
+
+    # Replay cost is only charged under a checkpoint interval.
+    assert report.total_lost_epochs == sum(
+        record.lost_epochs for record in report.records)
+    if dispatcher.checkpoint_epochs == 0:
+        assert report.total_lost_epochs == 0
+    assert report.total_shed == sum(
+        1 for record in report.records if record.shed)
+
+    # The report's outcome partition covers every job exactly once.
+    assert (report.succeeded + report.cancelled + report.dead
+            == report.submitted == len(report.records))
+
+
+def test_full_chaos_timeline_keeps_invariants():
+    """One pinned worst case: every window shape at once, shedding and
+    checkpointing on, preemption armed."""
+    dispatcher = make_scenario(
+        2, 2, 2, 3, (1, 1, 1, 1, 1), 2, True, True,
+        [(0, 0, 3), (1, 5, 2), (0, 10, 3), (1, 15, 1)])
+    check_invariants(dispatcher)
+
+
+if HAVE_HYPOTHESIS:
+    counts_strategy = st.tuples(
+        st.integers(0, 1), st.integers(0, 1), st.integers(0, 1),
+        st.integers(0, 1), st.integers(0, 1))
+
+    job_strategy = st.tuples(
+        st.integers(0, 1),                       # tenant
+        st.integers(0, 30),                      # arrival
+        st.integers(1, 3))                       # epochs
+
+    scenario_strategy = st.tuples(
+        st.integers(0, len(POLICIES) - 1),
+        st.integers(1, 2),                       # slots
+        st.integers(1, 3),                       # retry budget
+        st.integers(0, 3),                       # fault seed
+        counts_strategy,
+        st.integers(0, 2),                       # checkpoint interval
+        st.booleans(),                           # SLO shedding on?
+        st.booleans(),                           # preemption on?
+        st.lists(job_strategy, min_size=1, max_size=4))
+
+    @given(scenario_strategy)
+    @settings(max_examples=N_EXAMPLES, derandomize=True, deadline=None)
+    def test_invariants_hold_under_fault_interleavings(scenario):
+        check_invariants(make_scenario(*scenario))
+
+else:  # pragma: no cover - exercised only without hypothesis
+    def test_invariants_hold_under_fault_interleavings():
+        rng = random.Random(0xFA17)
+        for _ in range(N_EXAMPLES):
+            jobs = [(rng.randint(0, 1), rng.randint(0, 30),
+                     rng.randint(1, 3))
+                    for _ in range(rng.randint(1, 4))]
+            counts = tuple(rng.randint(0, 1) for _ in range(5))
+            check_invariants(make_scenario(
+                rng.randrange(len(POLICIES)), rng.randint(1, 2),
+                rng.randint(1, 3), rng.randint(0, 3), counts,
+                rng.randint(0, 2), rng.random() < 0.5,
+                rng.random() < 0.5, jobs))

@@ -1,0 +1,28 @@
+"""SLO-aware admission shedding: the analytic gate decision."""
+
+from repro.faults import slo_shed_decision
+
+
+class TestSloShedDecision:
+    def test_healthy_capacity_admits(self):
+        assert slo_shed_decision(10.0, 30.0, 1.0) is None
+
+    def test_degraded_but_within_slo_admits(self):
+        # Predicted 20s against a 30s SLO: still feasible.
+        assert slo_shed_decision(10.0, 30.0, 2.0) is None
+
+    def test_degraded_past_slo_sheds(self):
+        reason = slo_shed_decision(10.0, 30.0, 4.0)
+        assert reason is not None
+        assert reason.startswith("slo-shed:")
+        assert "40.000s" in reason
+        assert "4.00x" in reason
+
+    def test_blackout_sheds_with_dedicated_reason(self):
+        reason = slo_shed_decision(10.0, 30.0, float("inf"))
+        assert reason is not None
+        assert "blackout" in reason
+
+    def test_missing_baseline_or_slo_admits(self):
+        assert slo_shed_decision(0.0, 30.0, 100.0) is None
+        assert slo_shed_decision(10.0, 0.0, 100.0) is None

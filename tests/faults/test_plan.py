@@ -1,0 +1,131 @@
+"""Fault-plan construction: validation, seeding, determinism."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (Brownout, CrashWindow, DeviceSlowdown,
+                          FaultPlan, StragglerWindow, generate_fault_plan)
+
+
+class TestWindows:
+    def test_end_and_describe(self):
+        window = StragglerWindow(start=10.0, duration=5.0, cores=2)
+        assert window.end == 15.0
+        assert "2 core" in window.describe()
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultError):
+            StragglerWindow(start=-1.0, duration=5.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(FaultError):
+            DeviceSlowdown(start=0.0, duration=0.0)
+
+    def test_slowdown_factor_must_degrade(self):
+        with pytest.raises(FaultError):
+            DeviceSlowdown(start=0.0, duration=5.0, factor=1.0)
+
+    def test_slowdown_ramp_must_fit_window(self):
+        with pytest.raises(FaultError):
+            DeviceSlowdown(start=0.0, duration=5.0, factor=2.0, ramp=5.0)
+
+    def test_brownout_kind(self):
+        assert Brownout(start=0.0, duration=1.0).kind == "brownout"
+        assert Brownout(start=0.0, duration=1.0,
+                        blackout=True).kind == "blackout"
+
+    def test_active_at_is_half_open(self):
+        window = Brownout(start=10.0, duration=5.0)
+        assert not window.active_at(9.999)
+        assert window.active_at(10.0)
+        assert window.active_at(14.999)
+        assert not window.active_at(15.0)
+
+    def test_straggler_needs_a_core(self):
+        with pytest.raises(FaultError):
+            StragglerWindow(start=0.0, duration=1.0, cores=0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        plan = FaultPlan()
+        assert not plan
+        assert plan.fault_count == 0
+        assert not plan.has_blackout
+
+    def test_crash_active_finds_covering_window(self):
+        plan = FaultPlan(crash_windows=(
+            CrashWindow(start=10.0, duration=5.0),
+            CrashWindow(start=30.0, duration=5.0)))
+        assert plan.crash_active(12.0).start == 10.0
+        assert plan.crash_active(20.0) is None
+        assert plan.crash_active(31.0).start == 30.0
+
+    def test_brownout_end_covers_active_window_only(self):
+        plan = FaultPlan(brownouts=(
+            Brownout(start=10.0, duration=5.0),))
+        assert plan.brownout_end(12.0) == 15.0
+        assert plan.brownout_end(20.0) == 0.0
+
+    def test_describe_lists_windows(self):
+        plan = FaultPlan(stragglers=(
+            StragglerWindow(start=1.0, duration=2.0),))
+        assert "straggler" in plan.describe()
+
+
+class TestGenerate:
+    def test_zero_counts_yield_empty_plan(self):
+        assert not generate_fault_plan(0, 100.0)
+
+    def test_counts_respected(self):
+        plan = generate_fault_plan(7, 10_000.0, stragglers=2, slowdowns=3,
+                                   brownouts=1, blackouts=1,
+                                   crash_windows=2)
+        assert len(plan.stragglers) == 2
+        assert len(plan.slowdowns) == 3
+        # Blackouts ride in the brownout tuple, flagged.
+        assert len(plan.brownouts) == 2
+        assert sum(w.blackout for w in plan.brownouts) == 1
+        assert len(plan.crash_windows) == 2
+        assert plan.fault_count == 9
+        assert plan.has_blackout
+
+    def test_same_seed_same_plan(self):
+        kwargs = dict(stragglers=1, slowdowns=2, brownouts=1,
+                      blackouts=1, crash_windows=1, severity=0.7)
+        assert generate_fault_plan(42, 5000.0, **kwargs) == \
+            generate_fault_plan(42, 5000.0, **kwargs)
+
+    def test_different_seed_different_plan(self):
+        assert generate_fault_plan(1, 5000.0, brownouts=2) != \
+            generate_fault_plan(2, 5000.0, brownouts=2)
+
+    def test_windows_sorted_and_inside_horizon(self):
+        plan = generate_fault_plan(3, 2000.0, stragglers=4, slowdowns=4,
+                                   brownouts=4, crash_windows=4)
+        for group in (plan.stragglers, plan.slowdowns, plan.brownouts,
+                      plan.crash_windows):
+            starts = [w.start for w in group]
+            assert starts == sorted(starts)
+            for window in group:
+                assert 0.0 <= window.start
+                assert window.end <= 2000.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(FaultError):
+            generate_fault_plan(0, 100.0, stragglers=-1)
+        with pytest.raises(FaultError):
+            generate_fault_plan(0, 0.0, stragglers=1)
+        with pytest.raises(FaultError):
+            generate_fault_plan(0, 100.0, stragglers=1, severity=0.0)
+        with pytest.raises(FaultError):
+            generate_fault_plan(0, 100.0, stragglers=1, severity=1.5)
+        with pytest.raises(FaultError):
+            generate_fault_plan(0, 100.0, stragglers=1, cores=0)
+
+    def test_straggler_leaves_one_core(self):
+        for seed in range(20):
+            plan = generate_fault_plan(seed, 1000.0, stragglers=3,
+                                       severity=1.0, cores=8)
+            for window in plan.stragglers:
+                assert 1 <= window.cores <= 7

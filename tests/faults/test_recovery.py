@@ -1,0 +1,128 @@
+"""Checkpoint-aware recovery: resume epochs, replay cost, stretched
+backoff.
+
+A crashed or preempted attempt resumes from the last checkpoint
+(``checkpoint_epochs = k``) and the finished epochs past it are charged
+as lost work; with ``k = 0`` the historical model holds (crashes
+restart from scratch for free, preemptions resume in place).  Retry
+backoff stretches past an active brownout so attempts are not burned
+into a degraded tier.
+"""
+
+import types
+
+import pytest
+
+from repro.ctl import Dispatcher, RetryPolicy
+from repro.ctl import ledger as lc
+from repro.errors import ControlError
+from repro.faults import Brownout, CrashWindow, FaultPlan
+from repro.serve import JobSpec
+
+
+def _job(epochs=4, crash_epoch=None, crash_attempts=1, arrival=0.0):
+    return JobSpec(tenant="t0", pipeline="MP3",
+                   split="spectrogram-encoded", epochs=epochs,
+                   arrival=arrival, crash_epoch=crash_epoch,
+                   crash_attempts=crash_attempts)
+
+
+class TestCheckpointResume:
+    def test_crash_resumes_from_last_checkpoint(self):
+        dispatcher = Dispatcher(slots=1, checkpoint_epochs=2,
+                                retry=RetryPolicy(max_attempts=3,
+                                                  backoff_base=30.0))
+        job_id = dispatcher.submit(_job(epochs=4, crash_epoch=3))
+        report = dispatcher.run()
+        record = report.record(job_id)
+        assert report.succeeded == 1
+        assert record.failures == 1
+        assert record.resume_epoch == 2      # last multiple of 2 before 3
+        assert record.lost_epochs == 1       # epoch 2 was done, replayed
+        assert report.total_lost_epochs == 1
+
+    def test_without_checkpoints_a_crash_restarts_from_scratch(self):
+        dispatcher = Dispatcher(slots=1,
+                                retry=RetryPolicy(max_attempts=3,
+                                                  backoff_base=30.0))
+        job_id = dispatcher.submit(_job(epochs=4, crash_epoch=3))
+        report = dispatcher.run()
+        record = report.record(job_id)
+        assert report.succeeded == 1
+        assert record.resume_epoch == 0
+        assert record.lost_epochs == 0       # historical free model
+        assert report.total_lost_epochs == 0
+
+    def test_resume_arithmetic_charges_replay(self):
+        dispatcher = Dispatcher(checkpoint_epochs=3)
+        record = types.SimpleNamespace(lost_epochs=0)
+        assert dispatcher._resume_epoch(record, 7, crashed=True) == 6
+        assert record.lost_epochs == 1
+        assert dispatcher._resume_epoch(record, 7, crashed=False) == 6
+        assert record.lost_epochs == 2
+        # Interrupted exactly on a checkpoint: nothing to replay.
+        assert dispatcher._resume_epoch(record, 6, crashed=True) == 6
+        assert record.lost_epochs == 2
+
+    def test_zero_interval_keeps_historical_model(self):
+        dispatcher = Dispatcher()
+        record = types.SimpleNamespace(lost_epochs=0)
+        assert dispatcher._resume_epoch(record, 7, crashed=True) == 0
+        assert dispatcher._resume_epoch(record, 7, crashed=False) == 7
+        assert record.lost_epochs == 0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ControlError):
+            Dispatcher(checkpoint_epochs=-1)
+
+
+class TestCrashWindow:
+    def test_window_fails_the_epoch_and_replay_is_charged(self):
+        # The MP3/spectrogram-encoded job reaches its epoch boundaries
+        # around t in [207, 212]; this window catches exactly epoch 3.
+        plan = FaultPlan(crash_windows=(
+            CrashWindow(start=211.0, duration=49.0),))
+        dispatcher = Dispatcher(slots=1, faults=plan, checkpoint_epochs=2,
+                                retry=RetryPolicy(max_attempts=3,
+                                                  backoff_base=60.0))
+        job_id = dispatcher.submit(_job(epochs=4))
+        report = dispatcher.run()
+        record = report.record(job_id)
+        (fail,) = [entry for entry in report.ledger.entries
+                   if entry.event == lc.FAIL]
+        assert "crash window" in fail.detail
+        assert record.failures == 1
+        assert record.resume_epoch == 2
+        assert record.lost_epochs == 1
+        assert report.succeeded == 1
+
+
+class TestStretchedBackoff:
+    def test_retry_waits_out_an_active_brownout(self):
+        plan = FaultPlan(brownouts=(
+            Brownout(start=0.0, duration=900.0, factor=2.0),))
+        dispatcher = Dispatcher(slots=1, faults=plan,
+                                retry=RetryPolicy(max_attempts=3,
+                                                  backoff_base=30.0))
+        job_id = dispatcher.submit(_job(epochs=2, crash_epoch=0))
+        report = dispatcher.run()
+        (retry,) = [entry for entry in report.ledger.entries
+                    if entry.event == lc.RETRY]
+        assert "stretched to" in retry.detail
+        assert "(brownout active)" in retry.detail
+        assert retry.time >= 900.0           # re-admitted after the window
+        assert report.record(job_id).failures == 1
+        assert report.succeeded == 1
+
+    def test_backoff_unchanged_outside_any_window(self):
+        plan = FaultPlan(brownouts=(
+            Brownout(start=5000.0, duration=100.0, factor=2.0),))
+        dispatcher = Dispatcher(slots=1, faults=plan,
+                                retry=RetryPolicy(max_attempts=3,
+                                                  backoff_base=30.0))
+        dispatcher.submit(_job(epochs=2, crash_epoch=0))
+        report = dispatcher.run()
+        (retry,) = [entry for entry in report.ledger.entries
+                    if entry.event == lc.RETRY]
+        assert retry.detail == "backoff 30s"
+        assert report.succeeded == 1

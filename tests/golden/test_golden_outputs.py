@@ -42,6 +42,16 @@ CTL_CASES = {
                           "fair-share", "--trace", "steady", "--seed",
                           "5", "--fault-rate", "0.5", "--max-attempts",
                           "2", "--backoff-base", "30"],
+    # Long-horizon operations trace under the seeded chaos timeline:
+    # pins the fault engine end to end (window injection, checkpoint
+    # replay, SLO shedding, fault-aware doctor findings).
+    "ctl_operations_chaos": ["ctl", "--tenants", "8", "--policy",
+                             "cache-aware", "--trace", "operations",
+                             "--seed", "1", "--slots", "4", "--faults",
+                             "stragglers=1,slowdowns=1,brownouts=1,"
+                             "blackouts=1,crash-windows=1,severity=0.6,"
+                             "horizon=20000,checkpoint-epochs=2,"
+                             "shed-slo=1"],
 }
 
 STREAM_CASES = {

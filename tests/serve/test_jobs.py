@@ -5,8 +5,8 @@ import pytest
 from repro.backends.base import CACHE_SYSTEM
 from repro.errors import ProfilingError
 from repro.serve import (TRACE_KINDS, JobSpec, bursty_trace, diurnal_trace,
-                         generate_trace, poisson_trace, steady_trace,
-                         with_epochs)
+                         generate_trace, operations_trace, poisson_trace,
+                         steady_trace, with_epochs)
 
 
 class TestJobSpec:
@@ -58,7 +58,9 @@ class TestTraceGenerators:
         first = generate_trace(kind, tenants=6, seed=42)
         second = generate_trace(kind, tenants=6, seed=42)
         assert first == second
-        assert len(first) == 6
+        # operations repeats the population over its default 3 days
+        # (jobs_per_tenant defaults to 2 there); the rest are one round.
+        assert len(first) == (36 if kind == "operations" else 6)
         assert generate_trace(kind, tenants=6, seed=43) != first
 
     def test_steady_spacing(self):
@@ -127,7 +129,7 @@ class TestTraceGenerators:
     @pytest.mark.parametrize("kind", sorted(TRACE_KINDS))
     def test_jobs_per_tenant_cycles_the_population(self, kind):
         trace = generate_trace(kind, tenants=3, seed=0, jobs_per_tenant=2)
-        assert len(trace) == 6
+        assert len(trace) == (18 if kind == "operations" else 6)
         tenants = {job.tenant for job in trace}
         assert tenants == {"tenant-0", "tenant-1", "tenant-2"}
         with pytest.raises(ProfilingError):
@@ -207,3 +209,49 @@ class TestFaultInjectionInteraction:
         clean = generate_trace("poisson", tenants=8, seed=2)
         assert generate_trace("poisson", tenants=8, seed=2,
                               fault_rate=0.0) == clean
+
+
+class TestOperationsTrace:
+    def test_registered_in_trace_kinds(self):
+        assert "operations" in TRACE_KINDS
+        assert generate_trace("operations", tenants=4, seed=0) == \
+            operations_trace(tenants=4, seed=0)
+
+    def test_spans_the_requested_days_sorted(self):
+        trace = operations_trace(tenants=6, seed=1, days=3,
+                                 day_length=1000.0)
+        arrivals = [job.arrival for job in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= arrival <= 3000.0 for arrival in arrivals)
+        # Load actually lands on every day of the horizon.
+        days_hit = {int(arrival // 1000.0) for arrival in arrivals}
+        assert days_hit == {0, 1, 2}
+
+    def test_morning_bursts_share_one_hot_artifact(self):
+        trace = operations_trace(tenants=8, seed=2, days=2,
+                                 day_length=1000.0)
+        # The burst: arrivals exactly a quarter into each day, whole
+        # seconds apart (background arrivals carry random fractions).
+        offsets = {250.0 + slot for slot in range(4)}
+        bursts = [job for job in trace
+                  if (job.arrival % 1000.0) in offsets]
+        assert len(bursts) >= 2
+        assert len({job.artifact for job in bursts}) == 1
+
+    def test_tenants_recur_across_days(self):
+        trace = operations_trace(tenants=4, seed=3, days=3,
+                                 day_length=1000.0)
+        per_day = {}
+        for job in trace:
+            per_day.setdefault(int(job.arrival // 1000.0),
+                               set()).add(job.tenant)
+        recurring = set.intersection(*per_day.values())
+        assert recurring   # history accumulates over the horizon
+
+    def test_validation(self):
+        with pytest.raises(ProfilingError):
+            operations_trace(tenants=4, days=0)
+        with pytest.raises(ProfilingError):
+            operations_trace(tenants=4, day_length=0.0)
+        with pytest.raises(ProfilingError):
+            operations_trace(tenants=0)

@@ -98,3 +98,120 @@ class TestCacheAware:
         state = _StubState(warm={first.artifact})
         assert CacheAwarePolicy().select(
             [second, first], state).spec.tenant == "x"
+
+
+class _PreemptState(_StubState):
+    """Stub state with the running set the preempt hook inspects."""
+
+    def __init__(self, running=(), busy=None, warm=None):
+        super().__init__(busy=busy, warm=warm)
+        self.running = list(running)
+
+
+class TestFifoPreempt:
+    def test_base_policy_and_empty_sets_decline(self):
+        from repro.serve.policies import SchedulerPolicy
+        runner = _job("a", 0)
+        state = _PreemptState(running=[runner])
+        assert SchedulerPolicy().preempt([_job("b", 1)], state) is None
+        assert FifoPolicy().preempt([], state) is None
+        assert FifoPolicy().preempt([_job("b", 1)],
+                                    _PreemptState()) is None
+
+    def test_equal_priorities_never_preempt(self):
+        state = _PreemptState(running=[_job("a", 0), _job("b", 1)])
+        assert FifoPolicy().preempt([_job("c", 2)], state) is None
+
+    def test_evicts_youngest_lower_priority_runner(self):
+        old_low = _job("old", 1, priority=1.0)
+        young_low = _job("young", 3, priority=1.0)
+        state = _PreemptState(running=[old_low, young_low])
+        victim = FifoPolicy().preempt(
+            [_job("premium", 4, priority=2.0)], state)
+        assert victim is young_low   # least sunk work to replay
+
+    def test_contender_is_the_oldest_waiter(self):
+        # The oldest waiter has the *lowest* priority, so the premium
+        # job queued behind it cannot trigger a preemption on its own.
+        runner = _job("runner", 0, priority=1.0)
+        state = _PreemptState(running=[runner])
+        queue = [_job("basic", 1, priority=0.5),
+                 _job("premium", 2, priority=2.0)]
+        assert FifoPolicy().preempt(queue, state) is None
+
+    def test_only_strictly_lower_priority_is_evicted(self):
+        peer = _job("peer", 0, priority=2.0)
+        low = _job("low", 1, priority=1.0)
+        state = _PreemptState(running=[peer, low])
+        victim = FifoPolicy().preempt(
+            [_job("premium", 2, priority=2.0)], state)
+        assert victim is low
+
+
+class TestFairSharePreempt:
+    def test_preempts_a_hog_past_the_deadband(self):
+        hog = _job("hog", 0)
+        state = _PreemptState(running=[hog],
+                              busy={"hog": 1000.0, "starved": 100.0})
+        assert FairSharePolicy().preempt(
+            [_job("starved", 1)], state) is hog
+
+    def test_deadband_blocks_mild_imbalance(self):
+        hog = _job("hog", 0)
+        state = _PreemptState(running=[hog],
+                              busy={"hog": 300.0, "starved": 100.0})
+        assert FairSharePolicy().preempt(
+            [_job("starved", 1)], state) is None
+
+    def test_never_preempts_its_own_tenant(self):
+        runner = _job("t", 0)
+        state = _PreemptState(running=[runner], busy={"t": 1000.0})
+        assert FairSharePolicy().preempt([_job("t", 1)], state) is None
+
+    def test_untouched_victim_is_safe(self):
+        runner = _job("fresh", 0)
+        state = _PreemptState(running=[runner],
+                              busy={"fresh": 0.0, "waiting": 0.0})
+        assert FairSharePolicy().preempt(
+            [_job("waiting", 1)], state) is None
+
+
+class TestCacheAwarePreempt:
+    def test_cold_queue_never_preempts(self):
+        state = _PreemptState(running=[_job("r", 0)])
+        assert CacheAwarePolicy().preempt([_job("q", 1)], state) is None
+
+    def test_evicts_the_youngest_cache_loner(self):
+        warm_waiter = _job("warm", 2, split="decoded")
+        loner = _job("loner", 5, split="spectrogram-encoded")
+        state = _PreemptState(running=[loner],
+                              warm={warm_waiter.artifact})
+        assert CacheAwarePolicy().preempt([warm_waiter],
+                                          state) is loner
+
+    def test_requeued_victim_cannot_bounce_its_displacer(self):
+        # The loner is *older* than the warm waiter: a job requeued by
+        # a previous preemption re-enters with a fresh higher index, so
+        # this guard is exactly the no-ping-pong rule.
+        warm_waiter = _job("warm", 5, split="decoded")
+        loner = _job("loner", 2, split="spectrogram-encoded")
+        state = _PreemptState(running=[loner],
+                              warm={warm_waiter.artifact})
+        assert CacheAwarePolicy().preempt([warm_waiter], state) is None
+
+    def test_co_running_artifacts_are_protected(self):
+        warm_waiter = _job("warm", 0, split="decoded")
+        twin_a = _job("a", 3, split="spectrogram-encoded")
+        twin_b = _job("b", 4, split="spectrogram-encoded")
+        state = _PreemptState(running=[twin_a, twin_b],
+                              warm={warm_waiter.artifact})
+        assert CacheAwarePolicy().preempt([warm_waiter], state) is None
+
+    def test_artifacts_still_queued_are_protected(self):
+        warm_waiter = _job("warm", 0, split="decoded")
+        runner = _job("r", 3, split="spectrogram-encoded")
+        queued_twin = _job("q", 4, split="spectrogram-encoded")
+        state = _PreemptState(running=[runner],
+                              warm={warm_waiter.artifact})
+        assert CacheAwarePolicy().preempt(
+            [warm_waiter, queued_twin], state) is None

@@ -83,3 +83,50 @@ class TestBottleneckDoctorIntegration:
         assert diagnosis.fractions == reference.fractions
         assert [finding.kind for finding in diagnosis.findings] == \
             [finding.kind for finding in reference.findings]
+
+
+class TestFaultFindings:
+    """Chaos-engine windows surface as ranked findings with the
+    predicted epoch-time stretch anchored to the injected magnitude."""
+
+    @pytest.fixture(scope="class")
+    def chaos_report(self):
+        from repro.faults import (Brownout, DeviceSlowdown, FaultPlan,
+                                  StragglerWindow)
+        plan = FaultPlan(
+            stragglers=(StragglerWindow(start=50.0, duration=400.0,
+                                        cores=6),),
+            slowdowns=(DeviceSlowdown(start=100.0, duration=300.0,
+                                      factor=3.0),),
+            brownouts=(Brownout(start=200.0, duration=250.0,
+                                factor=4.0),))
+        trace = bursty_trace(tenants=6, seed=0)
+        return PreprocessingService(policy="fifo", slots=2,
+                                    faults=plan).run(trace)
+
+    def test_each_window_kind_surfaces(self, chaos_report):
+        kinds = {finding.kind
+                 for finding in diagnose_service(chaos_report).findings}
+        assert {"brownout-detected", "straggler-detected",
+                "device-degraded"} <= kinds
+
+    def test_predicted_impact_anchors_to_injected_magnitude(
+            self, chaos_report):
+        findings = {finding.kind: finding
+                    for finding in diagnose_service(chaos_report).findings}
+        # Brownout: 1/4 capacity -> storage-bound epochs stretch 4x.
+        assert "stretch up to 4.0x" in findings["brownout-detected"].detail
+        # Straggler: 6 of 8 cores parked -> CPU-bound epochs stretch 4x.
+        assert "6 of 8 cores" in findings["straggler-detected"].detail
+        assert "stretch up to 4.00x" in \
+            findings["straggler-detected"].detail
+        # Slowdown: read link at 1/3 -> I/O-bound epochs stretch 3x.
+        assert "stretch up to 3.0x" in findings["device-degraded"].detail
+
+    def test_fault_free_diagnosis_has_no_fault_findings(
+            self, contended_reports):
+        for report in contended_reports.values():
+            kinds = {finding.kind
+                     for finding in diagnose_service(report).findings}
+            assert not kinds & {"brownout-detected", "straggler-detected",
+                                "device-degraded"}
