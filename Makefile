@@ -6,6 +6,10 @@
 #   make golden        regenerate the golden CLI outputs (eyeball the diff!)
 #   make coverage      line-coverage floors (diagnosis + serve + api +
 #                      ctl + stream + obs + faults)
+#   make lint          simlint static analysis over src/ tools/
+#                      benchmarks/ (DES discipline; docs/lint.md)
+#   make typecheck     pinned mypy pass over the starter subset
+#                      (skips with a notice when mypy is absent)
 #   make trace-smoke   generate Chrome traces via the CLI and
 #                      schema-validate them (tools/trace_smoke.py)
 #   make bench         write the BENCH_serve.json performance snapshot
@@ -22,7 +26,8 @@ COVERAGE_FLOOR ?= 80
 
 .PHONY: test smoke sweep golden coverage coverage-diagnosis coverage-serve \
 	coverage-api coverage-ctl coverage-stream coverage-obs \
-	coverage-faults trace-smoke bench bench-check plan-examples
+	coverage-faults coverage-lint lint typecheck trace-smoke bench \
+	bench-check plan-examples
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -37,7 +42,13 @@ golden:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/golden --update-golden -q
 
 coverage: coverage-diagnosis coverage-serve coverage-api coverage-ctl \
-	coverage-stream coverage-obs coverage-faults
+	coverage-stream coverage-obs coverage-faults coverage-lint
+
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/simlint.py
+
+typecheck:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/typecheck.py
 
 coverage-diagnosis:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --floor $(COVERAGE_FLOOR)
@@ -59,6 +70,9 @@ coverage-obs:
 
 coverage-faults:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.faults --floor $(COVERAGE_FLOOR)
+
+coverage-lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/diagnosis_coverage.py --package repro.lint --floor $(COVERAGE_FLOOR)
 
 trace-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/trace_smoke.py

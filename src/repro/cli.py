@@ -20,6 +20,8 @@ Subcommands::
                                       admission, preemption, autoscaling)
     presto stream --arrival burst     streaming inference with per-request
                                       latency SLOs and backpressure
+    presto lint [PATH]                simlint static analysis: the DES
+                                      discipline rules (docs/lint.md)
     presto trend A.json B.json        events/s deltas across bench
                                       snapshots, flagging regressions
 
@@ -289,6 +291,27 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(no blackouts/crash-windows: those need "
                              "the control plane; see docs/faults.md)")
     _add_obs_options(stream)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis for DES discipline (simlint): wall-clock "
+             "bans, seeded+namespaced RNG, sorted listings, the "
+             "telemetry wall")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: src tools benchmarks)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit findings as JSON (schema 1)")
+    lint.add_argument("--select", metavar="RULES", default=None,
+                      help="comma-separated rule ids to run")
+    lint.add_argument("--ignore", metavar="RULES", default=None,
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      dest="list_rules",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--root", metavar="DIR", default=None,
+                      help="repo root findings are reported relative "
+                           "to (default: current directory)")
 
     trend = sub.add_parser(
         "trend",
@@ -626,6 +649,22 @@ def _cmd_stream(args) -> int:
         seed=args.seed), args)
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import cli as lint_cli
+    argv = list(args.paths)
+    if args.as_json:
+        argv.append("--json")
+    if args.select:
+        argv.extend(["--select", args.select])
+    if args.ignore:
+        argv.extend(["--ignore", args.ignore])
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.root:
+        argv.extend(["--root", args.root])
+    return lint_cli.run(argv)
+
+
 def _cmd_trend(args) -> int:
     import json
     from repro.obs.trend import analyze_files
@@ -673,6 +712,7 @@ def _dispatch(args) -> int:
         "serve": lambda: _cmd_serve(args),
         "ctl": lambda: _cmd_ctl(args),
         "stream": lambda: _cmd_stream(args),
+        "lint": lambda: _cmd_lint(args),
         "trend": lambda: _cmd_trend(args),
     }
     return handlers[args.command]()

@@ -228,13 +228,15 @@ class ProfileCache:
         self._memory.clear()
         if self.directory is None:
             return
-        cutoff = time.time() - STALE_TMP_SECONDS
-        for path in self.directory.glob("*.json"):
+        # Host-side GC: tmp staleness is judged against the real
+        # filesystem mtime, which no sim clock can stand in for.
+        cutoff = time.time() - STALE_TMP_SECONDS  # simlint: allow[wall-clock] -- stale-tmp sweep ages real files by host mtime, not sim time
+        for path in sorted(self.directory.glob("*.json")):
             try:
                 path.unlink()
             except FileNotFoundError:
                 pass  # a concurrent clear() got there first
-        for path in self.directory.glob("*.tmp"):
+        for path in sorted(self.directory.glob("*.tmp")):
             try:
                 if path.stat().st_mtime <= cutoff:
                     path.unlink()

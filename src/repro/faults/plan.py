@@ -58,7 +58,7 @@ class StragglerWindow:
     duration: float
     cores: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_window("straggler", self.start, self.duration)
         if self.cores < 1:
             raise FaultError(
@@ -85,7 +85,7 @@ class DeviceSlowdown:
     ramp: float = 0.0
     ramp_steps: int = 4
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_window("slowdown", self.start, self.duration)
         if self.factor <= 1.0:
             raise FaultError(
@@ -118,7 +118,7 @@ class Brownout:
     factor: float = 4.0
     blackout: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_window("brownout", self.start, self.duration)
         if self.factor <= 1.0:
             raise FaultError(
@@ -150,7 +150,7 @@ class CrashWindow:
     start: float
     duration: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_window("crash window", self.start, self.duration)
 
     @property

@@ -1,0 +1,365 @@
+"""The simlint rule framework: registry, pragmas, config, rendering.
+
+A :class:`Rule` inspects one parsed module and yields findings; the
+framework owns everything around that -- discovering files, parsing
+them once, building the parent map rules use for context, honouring
+``# simlint: allow[rule-id] -- reason`` suppression pragmas, applying
+the per-path rule configuration, and rendering text or JSON reports
+with a deterministic ordering (path, line, column, rule id).
+
+Suppression pragmas
+-------------------
+
+A finding is suppressed by a pragma *on the same physical line* as the
+finding's anchor, or by a whole-line pragma comment *immediately
+above* it::
+
+    cutoff = time.time() - STALE  # simlint: allow[wall-clock] -- host GC
+
+    # simlint: allow[unsorted-listing] -- order-insensitive unlink sweep
+    for path in directory.glob("*.tmp"):
+        ...
+
+The reason after ``--`` is mandatory: a pragma without one (or naming
+an unknown rule) is itself reported as a ``bad-pragma`` finding, so
+every suppression in the tree carries a rationale.  Several rules can
+share one pragma: ``allow[wall-clock, unsorted-listing]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Pragma grammar (in a comment): ``simlint: allow[rule, ...] -- why``.
+PRAGMA_RE = re.compile(
+    r"#\s*simlint:\s*allow\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?")
+
+#: The synthetic rule id used to report malformed pragmas.
+BAD_PRAGMA = "bad-pragma"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "severity": self.severity}
+
+
+class FileContext:
+    """Everything a rule may want to know about the file under analysis.
+
+    Built once per file and shared by every rule: the parsed tree, a
+    child->parent node map (stdlib ``ast`` has no parent links), the
+    raw source lines, and the repo-relative path the finding will be
+    reported under.
+    """
+
+    def __init__(self, path: str, tree: ast.Module,
+                 lines: Sequence[str]) -> None:
+        self.path = path
+        self.tree = tree
+        self.lines = lines
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node``, innermost first, stopping at module."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def inside_sorted(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside a ``sorted(...)`` call (so the
+        non-deterministic order it produces is laundered before use)."""
+        for ancestor in self.parent_chain(node):
+            if isinstance(ancestor, ast.Call):
+                func = ancestor.func
+                if isinstance(func, ast.Name) and func.id == "sorted":
+                    return True
+            if isinstance(ancestor, ast.stmt):
+                return False
+        return False
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(node, message)`` pairs.  ``id`` is the stable rule
+    identifier used in pragmas and config; ``rationale`` feeds the
+    ``--list-rules`` catalog and ``docs/lint.md``.
+    """
+
+    id: str = ""
+    title: str = ""
+    severity: str = "error"
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+#: The global rule registry, id -> instance.  Populated by ``@register``.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a rule to :data:`RULES` (id collisions
+    are programming errors and raise immediately)."""
+    rule = cls()
+    if not rule.id or not rule.title or not rule.rationale:
+        raise ValueError(f"rule {cls.__name__} is missing metadata")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def rule_catalog() -> List[Rule]:
+    """Registered rules in stable (id) order."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+@dataclass(frozen=True)
+class PathRules:
+    """Disable specific rules under a path prefix (repo-relative,
+    ``/``-separated; a file path matches itself)."""
+
+    prefix: str
+    disable: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run where.
+
+    ``select`` restricts the run to the named rules (``None`` = all
+    registered); ``ignore`` drops rules globally; ``per_path`` turns
+    rules off under path prefixes -- the mechanism behind e.g. letting
+    ``repro/obs`` construct the tracers everyone else must receive
+    through the :class:`~repro.obs.Telemetry` null-object path.
+    """
+
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Tuple[str, ...] = ()
+    per_path: Tuple[PathRules, ...] = ()
+
+    def enabled(self, rule_id: str, path: str) -> bool:
+        if self.select is not None and rule_id not in self.select:
+            return False
+        if rule_id in self.ignore:
+            return False
+        normalized = path.replace("\\", "/")
+        for entry in self.per_path:
+            if (normalized.startswith(entry.prefix)
+                    and rule_id in entry.disable):
+                return False
+        return True
+
+
+#: Paths that are *allowed* to construct telemetry objects directly:
+#: the telemetry package itself, and the Session facade that builds
+#: tracers/registries from a ``Telemetry`` request.  Everyone else gets
+#: them handed in (or ``None``) -- that wall is what keeps telemetry
+#: off the hot path when it is off.
+TELEMETRY_PATHS = ("src/repro/obs/", "src/repro/api/session.py")
+
+DEFAULT_CONFIG = LintConfig(per_path=(
+    PathRules(prefix="src/repro/obs/", disable=("telemetry-wall",)),
+    PathRules(prefix="src/repro/api/session.py",
+              disable=("telemetry-wall",)),
+))
+
+
+# -- pragma handling ---------------------------------------------------------
+
+@dataclass
+class Suppressions:
+    """Per-file pragma table: line -> rule ids allowed on that line."""
+
+    by_line: Dict[int, set] = field(default_factory=dict)
+    bad: List[Finding] = field(default_factory=list)
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        return rule_id in self.by_line.get(line, ())
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, int, str]]:
+    """``(line, col, text)`` for every comment token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps docstrings
+    and string literals that merely *mention* the pragma syntax from
+    being parsed as pragmas.
+    """
+    import io
+    import tokenize
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # unparsable files are reported as syntax-error findings
+
+
+def parse_pragmas(path: str, source: str) -> Suppressions:
+    """Scan a file's comments for suppression pragmas.
+
+    A pragma covers its own line; a whole-line pragma comment also
+    covers the next line (so multi-clause statements can carry the
+    pragma above them).  Malformed pragmas -- missing the ``-- reason``
+    tail or naming an unregistered rule -- become ``bad-pragma``
+    findings so suppressions cannot silently rot.
+    """
+    result = Suppressions()
+    lines = source.splitlines()
+    for lineno, start_col, text in _comment_tokens(source):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        col = start_col + match.start() + 1
+        reason = match.group("reason")
+        rule_ids = [part.strip() for part in
+                    match.group("rules").split(",") if part.strip()]
+        if not reason:
+            result.bad.append(Finding(
+                rule=BAD_PRAGMA, path=path, line=lineno, col=col,
+                message="suppression pragma is missing its "
+                        "'-- reason' tail"))
+            continue
+        if not rule_ids:
+            result.bad.append(Finding(
+                rule=BAD_PRAGMA, path=path, line=lineno, col=col,
+                message="suppression pragma names no rule ids"))
+            continue
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
+        if unknown:
+            result.bad.append(Finding(
+                rule=BAD_PRAGMA, path=path, line=lineno, col=col,
+                message="suppression pragma names unknown rule(s): "
+                        + ", ".join(sorted(unknown))))
+            continue
+        covered = [lineno]
+        line_text = lines[lineno - 1] if lineno <= len(lines) else ""
+        if line_text[:start_col].strip() == "":  # whole-line comment
+            covered.append(lineno + 1)
+        for target in covered:
+            result.by_line.setdefault(target, set()).update(rule_ids)
+    return result
+
+
+# -- linting -----------------------------------------------------------------
+
+def lint_source(source: str, path: str,
+                config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    """Lint one source text, reporting findings under ``path``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(rule="syntax-error", path=path,
+                        line=exc.lineno or 1, col=(exc.offset or 1),
+                        message=f"file does not parse: {exc.msg}")]
+    lines = source.splitlines()
+    suppressions = parse_pragmas(path, source)
+    ctx = FileContext(path, tree, lines)
+    findings = list(suppressions.bad)
+    for rule in rule_catalog():
+        if not config.enabled(rule.id, path):
+            continue
+        for node, message in rule.check(ctx):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+            if suppressions.allows(line, rule.id):
+                continue
+            findings.append(Finding(rule=rule.id, path=path, line=line,
+                                    col=col, message=message,
+                                    severity=rule.severity))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: Path, root: Optional[Path] = None,
+              config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    """Lint one file; findings are reported relative to ``root``."""
+    display = path
+    if root is not None:
+        try:
+            display = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            display = path
+    return lint_source(path.read_text(encoding="utf-8"),
+                       str(display).replace("\\", "/"), config)
+
+
+def discover(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    result = []
+    for path in paths:
+        if path.is_dir():
+            result.extend(
+                candidate for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts)
+        elif path.suffix == ".py":
+            result.append(path)
+    return sorted(set(result))
+
+
+def lint_paths(paths: Iterable[Path], root: Optional[Path] = None,
+               config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    """Lint every ``*.py`` file under ``paths`` (deterministic order)."""
+    findings: List[Finding] = []
+    for path in discover(paths):
+        findings.extend(lint_file(path, root=root, config=config))
+    return findings
+
+
+# -- rendering ---------------------------------------------------------------
+
+def render_text(findings: Sequence[Finding], checked: int) -> str:
+    """The human report: one ``path:line:col`` diagnostic per finding
+    plus a summary line (empty-finding runs still get the summary)."""
+    out = [finding.render() for finding in findings]
+    if findings:
+        by_rule: Dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(f"{rule} x{count}" for rule, count
+                              in sorted(by_rule.items()))
+        out.append(f"simlint: {len(findings)} finding(s) in "
+                   f"{checked} file(s) [{breakdown}]")
+    else:
+        out.append(f"simlint: clean ({checked} file(s), "
+                   f"{len(RULES)} rules)")
+    return "\n".join(out)
+
+
+def findings_to_json(findings: Sequence[Finding], checked: int) -> dict:
+    """The machine report (stable schema for CI tooling)."""
+    return {
+        "schema": 1,
+        "files_checked": checked,
+        "rules": sorted(RULES),
+        "findings": [finding.to_dict() for finding in findings],
+    }

@@ -273,7 +273,7 @@ def all_of(sim: "Simulation", events: Iterable[Event]) -> Event:
 class Simulation:
     """The event loop: a clock plus a priority queue of pending events."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         #: Events triggered with zero delay while the clock sits at _now.

@@ -1,0 +1,32 @@
+"""Fixture for the float-time-eq rule."""
+
+
+def positives(sim, job, other):
+    if sim.now == 0.0:  # BAD
+        pass
+    if job.deadline != other.deadline:  # BAD
+        pass
+    if sim.now == job.arrival:  # BAD
+        pass
+    now = sim.now
+    while now != 10.0:  # BAD
+        now += 1.0
+    return now
+
+
+def negatives(sim, job, other):
+    if sim.now <= job.deadline:
+        pass
+    if sim.now >= 0.0 and job.arrival < other.arrival:
+        pass
+    if job.state == "granted":      # string compare, not a timestamp
+        pass
+    if job.retries == 3:            # plain counter named nothing timelike
+        pass
+    import math
+    return math.isclose(sim.now, job.deadline)
+
+
+def suppressed(sim):
+    if sim.now == 0.0:  # simlint: allow[float-time-eq] -- fixture: exact zero start-of-run sentinel
+        pass

@@ -1,0 +1,27 @@
+"""Fixture for the global-rng rule (no shared module-level RNG)."""
+
+import random
+from random import choice, shuffle
+
+
+def positives(items):
+    value = random.random()  # BAD
+    pick = random.choice(items)  # BAD
+    random.shuffle(items)  # BAD
+    random.seed(0)  # BAD
+    direct = choice(items)  # BAD
+    shuffle(items)  # BAD
+    return value, pick, direct
+
+
+def negatives(items, seed):
+    rng = random.Random(seed)
+    value = rng.random()
+    pick = rng.choice(items)
+    rng.shuffle(items)
+    return value, pick
+
+
+def suppressed(items):
+    pick = random.choice(items)  # simlint: allow[global-rng] -- fixture: demo
+    return pick

@@ -1,0 +1,35 @@
+"""Fixture for the mutable-default rule."""
+
+from dataclasses import dataclass, field
+
+
+def positives_list(items=[]):  # BAD
+    return items
+
+
+def positives_dict(mapping={}):  # BAD
+    return mapping
+
+
+def positives_call(entries=list(), *, table=dict()):  # BAD
+    return entries, table
+
+
+def positives_comp(seen={x for x in range(3)}):  # BAD
+    return seen
+
+
+def negatives(items=None, names=(), label="x", count=0):
+    if items is None:
+        items = []
+    return items, names, label, count
+
+
+@dataclass
+class NegativeSpec:
+    values: list = field(default_factory=list)
+    table: dict = field(default_factory=dict)
+
+
+def suppressed(cache={}):  # simlint: allow[mutable-default] -- fixture: intentional memo table
+    return cache

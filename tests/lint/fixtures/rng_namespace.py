@@ -1,0 +1,23 @@
+"""Fixture for the rng-namespace rule (string seeds carry a namespace)."""
+
+import random
+
+
+def positives(seed, tenant):
+    bare = random.Random("my seed")  # BAD
+    leading = random.Random(f"{seed}-chaos")  # BAD
+    caps = random.Random("Chaos-1")  # BAD
+    return bare, leading, caps
+
+
+def negatives(seed, tenant):
+    chaos = random.Random(f"chaos-{seed}")
+    stream = random.Random(f"stream-{seed}-{tenant}")
+    plain = random.Random(seed)           # non-string seeds are exempt
+    literal = random.Random("faults-7")   # constant with namespace
+    return chaos, stream, plain, literal
+
+
+def suppressed(seed):
+    odd = random.Random(f"{seed}")  # simlint: allow[rng-namespace] -- fixture: single-use legacy seed
+    return odd

@@ -1,0 +1,30 @@
+"""Fixture for the set-iteration rule."""
+
+
+def positives(items, other):
+    for value in set(items):  # BAD
+        print(value)
+    for value in {1, 2, 3}:  # BAD
+        print(value)
+    for value in frozenset(items):  # BAD
+        print(value)
+    for value in set(items) | set(other):  # BAD
+        print(value)
+    squares = [v * v for v in {x for x in items}]  # BAD
+    return squares
+
+
+def negatives(items, other):
+    for value in sorted(set(items)):
+        print(value)
+    joined = ", ".join(sorted({str(x) for x in items}))
+    member = 3 in set(items)        # membership, not iteration
+    union = set(items) | set(other)  # building a set is fine
+    as_list = list(items)            # lists keep insertion order
+    return joined, member, union, as_list
+
+
+def suppressed(items):
+    # simlint: allow[set-iteration] -- fixture: aggregate min() is order-insensitive
+    smallest = min(x for x in set(items))
+    return smallest

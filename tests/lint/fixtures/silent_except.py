@@ -1,0 +1,35 @@
+"""Fixture for the silent-except rule."""
+
+
+def positives(kernel):
+    try:
+        kernel.step()
+    except:  # BAD
+        pass
+    try:
+        kernel.step()
+    except Exception:  # BAD
+        pass
+    try:
+        kernel.step()
+    except BaseException:  # BAD
+        pass
+
+
+def negatives(kernel, log):
+    try:
+        kernel.step()
+    except FileNotFoundError:
+        pass                      # narrow catch is fine
+    try:
+        kernel.step()
+    except Exception as error:    # broad catch that *handles* is fine
+        log.append(error)
+        raise
+
+
+def suppressed(kernel):
+    try:
+        kernel.step()
+    except Exception:  # simlint: allow[silent-except] -- fixture: best-effort teardown
+        pass

@@ -1,0 +1,24 @@
+"""Fixture for the telemetry-wall rule."""
+
+
+def positives():
+    from repro.obs import MetricsRegistry, Tracer
+    tracer = Tracer()  # BAD
+    detailed = Tracer(detail=True)  # BAD
+    registry = MetricsRegistry()  # BAD
+    return tracer, detailed, registry
+
+
+def negatives(tracer, metrics, spans):
+    if tracer is not None:
+        span = tracer.start("epoch", "job", "t0", 0.0)
+        tracer.finish(span, 1.0)
+    if metrics is not None:
+        metrics.counter("events").increment()
+    return spans
+
+
+def suppressed():
+    from repro.obs import Tracer
+    tracer = Tracer()  # simlint: allow[telemetry-wall] -- fixture: test helper builds its own tracer
+    return tracer

@@ -1,0 +1,22 @@
+"""Fixture for the unseeded-rng rule."""
+
+import random
+from random import Random
+
+
+def positives():
+    rng = random.Random()  # BAD
+    other = Random()  # BAD
+    return rng, other
+
+
+def negatives(seed, spec):
+    rng = random.Random(seed)
+    namespaced = random.Random(f"chaos-{seed}")
+    derived = Random(spec.seed * 31 + 7)
+    return rng, namespaced, derived
+
+
+def suppressed():
+    rng = random.Random()  # simlint: allow[unseeded-rng] -- fixture: demo
+    return rng

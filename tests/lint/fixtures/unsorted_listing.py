@@ -1,0 +1,33 @@
+"""Fixture for the unsorted-listing rule."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def positives(directory: Path):
+    names = os.listdir(".")  # BAD
+    for path in directory.glob("*.json"):  # BAD
+        print(path)
+    for path in directory.iterdir():  # BAD
+        print(path)
+    nested = [p for p in directory.rglob("*.py")]  # BAD
+    matches = glob.glob("*.txt")  # BAD
+    lazy = glob.iglob("*.txt")  # BAD
+    entries = os.scandir(".")  # BAD
+    return names, nested, matches, lazy, entries
+
+
+def negatives(directory: Path):
+    names = sorted(os.listdir("."))
+    for path in sorted(directory.glob("*.json")):
+        print(path)
+    ordered = sorted(directory.iterdir())
+    by_name = sorted(p.name for p in directory.rglob("*.py"))
+    return names, ordered, by_name
+
+
+def suppressed(directory: Path):
+    # simlint: allow[unsorted-listing] -- fixture: order-insensitive unlink sweep
+    for path in directory.glob("*.tmp"):
+        path.unlink()

@@ -1,0 +1,30 @@
+"""Fixture for the wall-clock rule (positive / negative / pragma)."""
+
+import time
+from time import monotonic, sleep
+from datetime import datetime
+
+
+def positives():
+    stamp = time.time()  # BAD
+    tick = time.monotonic()  # BAD
+    nanos = time.time_ns()  # BAD
+    time.sleep(0.5)  # BAD
+    taken = monotonic()  # BAD
+    sleep(1)  # BAD
+    today = datetime.now()  # BAD
+    return stamp, tick, nanos, taken, today
+
+
+def negatives(sim):
+    started = time.perf_counter()  # sanctioned host-side timer
+    now = sim.now                  # the sim clock
+    label = "time.time() in a string is fine"
+    return started, now, label, time.perf_counter() - started
+
+
+def suppressed():
+    cutoff = time.time()  # simlint: allow[wall-clock] -- fixture: host-side GC sweep
+    # simlint: allow[wall-clock] -- fixture: whole-line pragma covers next line
+    other = time.monotonic()
+    return cutoff, other

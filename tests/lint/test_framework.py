@@ -1,0 +1,171 @@
+"""Framework tests: pragmas, config, rendering, discovery."""
+
+import json
+from pathlib import Path
+
+from repro.lint import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    PathRules,
+    RULES,
+    findings_to_json,
+    lint_paths,
+    lint_source,
+    render_text,
+)
+from repro.lint.framework import discover, parse_pragmas
+
+WALL = "import time\nstamp = time.time()\n"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- pragmas -----------------------------------------------------------------
+
+def test_same_line_pragma_suppresses():
+    src = ("import time\n"
+           "stamp = time.time()  "
+           "# simlint: allow[wall-clock] -- host-side GC\n")
+    assert lint_source(src, "x.py") == []
+
+
+def test_whole_line_pragma_covers_next_line():
+    src = ("import time\n"
+           "# simlint: allow[wall-clock] -- host-side GC\n"
+           "stamp = time.time()\n")
+    assert lint_source(src, "x.py") == []
+
+
+def test_pragma_does_not_cover_later_lines():
+    src = ("import time\n"
+           "# simlint: allow[wall-clock] -- host-side GC\n"
+           "stamp = time.time()\n"
+           "other = time.time()\n")
+    findings = lint_source(src, "x.py")
+    assert rules_of(findings) == ["wall-clock"]
+    assert findings[0].line == 4
+
+
+def test_pragma_without_reason_is_a_finding():
+    src = WALL.rstrip() + "  # simlint: allow[wall-clock]\n"
+    findings = lint_source(src, "x.py")
+    assert "bad-pragma" in rules_of(findings)
+    # ... and the malformed pragma does NOT suppress the finding.
+    assert "wall-clock" in rules_of(findings)
+
+
+def test_pragma_with_unknown_rule_is_a_finding():
+    src = WALL.rstrip() + "  # simlint: allow[no-such-rule] -- why\n"
+    findings = lint_source(src, "x.py")
+    assert "bad-pragma" in rules_of(findings)
+    assert "wall-clock" in rules_of(findings)
+
+
+def test_multi_rule_pragma():
+    src = ("import time, os\n"
+           "names = [time.time() for n in os.listdir('.')]  "
+           "# simlint: allow[wall-clock, unsorted-listing] -- demo\n")
+    assert lint_source(src, "x.py") == []
+
+
+def test_pragma_in_docstring_is_ignored():
+    src = ('"""Docs may say simlint: allow[wall-clock] freely."""\n'
+           "x = 1\n")
+    assert lint_source(src, "x.py") == []
+
+
+def test_pragma_only_suppresses_named_rule():
+    src = ("import time, os\n"
+           "names = [time.time() for n in os.listdir('.')]  "
+           "# simlint: allow[wall-clock] -- demo\n")
+    assert rules_of(lint_source(src, "x.py")) == ["unsorted-listing"]
+
+
+def test_parse_pragmas_table():
+    src = ("# simlint: allow[wall-clock] -- one\n"
+           "x = 1  # simlint: allow[set-iteration, global-rng] -- two\n")
+    table = parse_pragmas("x.py", src)
+    assert table.allows(1, "wall-clock")
+    assert table.allows(2, "wall-clock")      # whole-line covers next
+    assert table.allows(2, "set-iteration")
+    assert table.allows(2, "global-rng")
+    assert not table.allows(2, "unseeded-rng")
+    assert table.bad == []
+
+
+# -- config ------------------------------------------------------------------
+
+def test_select_restricts_rules():
+    src = "import time, os\nx = [time.time() for n in os.listdir('.')]\n"
+    config = LintConfig(select=("wall-clock",))
+    assert rules_of(lint_source(src, "x.py", config)) == ["wall-clock"]
+
+
+def test_ignore_drops_rules():
+    config = LintConfig(ignore=("wall-clock",))
+    assert lint_source(WALL, "x.py", config) == []
+
+
+def test_per_path_disable():
+    config = LintConfig(per_path=(
+        PathRules(prefix="src/special/", disable=("wall-clock",)),))
+    assert lint_source(WALL, "src/special/gc.py", config) == []
+    assert rules_of(lint_source(WALL, "src/other/gc.py", config)) == [
+        "wall-clock"]
+
+
+def test_default_config_allows_obs_to_build_tracers():
+    src = "t = Tracer()\n"
+    assert lint_source(src, "src/repro/obs/tracing.py",
+                       DEFAULT_CONFIG) == []
+    assert lint_source(src, "src/repro/api/session.py",
+                       DEFAULT_CONFIG) == []
+    assert rules_of(lint_source(src, "src/repro/serve/service.py",
+                                DEFAULT_CONFIG)) == ["telemetry-wall"]
+
+
+# -- rendering + discovery ---------------------------------------------------
+
+def test_render_text_clean_summary():
+    text = render_text([], checked=12)
+    assert "clean" in text and "12 file(s)" in text
+
+
+def test_render_text_lists_findings_and_breakdown():
+    findings = lint_source(WALL, "x.py")
+    text = render_text(findings, checked=1)
+    assert "x.py:2:" in text
+    assert "wall-clock x1" in text
+
+
+def test_findings_to_json_schema():
+    payload = findings_to_json(lint_source(WALL, "x.py"), checked=1)
+    assert payload["schema"] == 1
+    assert payload["files_checked"] == 1
+    assert payload["rules"] == sorted(RULES)
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "wall-clock"
+    assert finding["path"] == "x.py"
+    assert finding["line"] == 2
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_syntax_error_is_reported_not_raised():
+    findings = lint_source("def broken(:\n", "x.py")
+    assert rules_of(findings) == ["syntax-error"]
+
+
+def test_findings_are_ordered(tmp_path):
+    (tmp_path / "b.py").write_text(WALL)
+    (tmp_path / "a.py").write_text(WALL)
+    findings = lint_paths([tmp_path], root=tmp_path)
+    assert [f.path for f in findings] == ["a.py", "b.py"]
+
+
+def test_discover_skips_pycache(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+    (tmp_path / "real.py").write_text("x = 1\n")
+    assert [p.name for p in discover([tmp_path])] == ["real.py"]

@@ -1,0 +1,64 @@
+"""Per-rule fixture tests for the simlint catalog.
+
+Every rule has a fixture file under ``fixtures/`` with three sections:
+positive cases whose violation lines carry a trailing ``# BAD`` marker,
+negative cases that must stay silent, and pragma-suppressed cases.  The
+test runs one rule over its fixture and asserts the finding lines are
+*exactly* the marked lines -- so both false negatives and false
+positives fail loudly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, LintConfig, lint_source, rule_catalog
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file stem -> rule id (stems use ``_``, rule ids use ``-``).
+FIXTURE_RULES = sorted(
+    (path.stem.replace("_", "-"), path) for path in FIXTURES.glob("*.py"))
+
+
+def expected_lines(source: str) -> set:
+    return {lineno for lineno, text in enumerate(source.splitlines(), 1)
+            if text.rstrip().endswith("# BAD")}
+
+
+@pytest.mark.parametrize("rule_id,path", FIXTURE_RULES,
+                         ids=[rule for rule, _ in FIXTURE_RULES])
+def test_rule_fixture(rule_id, path):
+    assert rule_id in RULES, f"fixture {path.name} names no known rule"
+    source = path.read_text()
+    config = LintConfig(select=(rule_id,))
+    findings = lint_source(source, path.name, config=config)
+    assert {f.rule for f in findings} <= {rule_id}
+    assert {f.line for f in findings} == expected_lines(source), (
+        f"{rule_id}: findings do not match the # BAD markers:\n"
+        + "\n".join(f.render() for f in findings))
+
+
+def test_every_rule_has_a_fixture():
+    covered = {rule for rule, _ in FIXTURE_RULES}
+    assert covered == set(RULES), (
+        "rules without fixture coverage: "
+        f"{sorted(set(RULES) - covered)}")
+
+
+def test_catalog_has_at_least_eight_rules():
+    assert len(RULES) >= 8
+
+
+def test_rule_metadata_is_complete():
+    for rule in rule_catalog():
+        assert rule.id and rule.title and rule.rationale
+        assert rule.severity in ("error", "warning")
+
+
+def test_fixtures_have_all_three_sections():
+    for rule_id, path in FIXTURE_RULES:
+        source = path.read_text()
+        assert expected_lines(source), f"{path.name}: no positive cases"
+        assert "def negatives" in source, f"{path.name}: no negatives"
+        assert "simlint: allow[" in source, f"{path.name}: no pragma case"

@@ -1,0 +1,38 @@
+"""The tree simlint guards must itself be simlint-clean.
+
+This is the acceptance gate behind ``make lint``: ``src/`` + ``tools/``
++ ``benchmarks/`` lint clean under the default config, and every
+suppression pragma in that tree carries a reason (malformed pragmas
+surface as ``bad-pragma`` findings, so cleanliness covers that too).
+"""
+
+from pathlib import Path
+
+from repro.lint import DEFAULT_CONFIG, lint_paths
+from repro.lint.framework import PRAGMA_RE, discover
+
+REPO = Path(__file__).resolve().parents[2]
+TARGETS = [REPO / "src", REPO / "tools", REPO / "benchmarks"]
+
+
+def test_guarded_tree_is_clean():
+    findings = lint_paths(TARGETS, root=REPO, config=DEFAULT_CONFIG)
+    assert findings == [], (
+        "simlint findings in the guarded tree:\n"
+        + "\n".join(f.render() for f in findings))
+
+
+def test_src_repro_is_clean_alone():
+    assert lint_paths([REPO / "src" / "repro"], root=REPO) == []
+
+
+def test_every_pragma_in_tree_carries_a_reason():
+    pragmas = 0
+    for path in discover(TARGETS):
+        for match in PRAGMA_RE.finditer(path.read_text(encoding="utf-8")):
+            pragmas += 1
+            assert match.group("reason"), (
+                f"{path}: pragma without reason: {match.group(0)!r}")
+    # The triaged wall-clock suppression in exec/cache.py must exist --
+    # if it disappears, either the sweep changed or the rule rotted.
+    assert pragmas >= 1

@@ -1,0 +1,28 @@
+"""The typecheck gate (tools/typecheck.py) behaves in both worlds:
+skips cleanly where mypy is absent, gates where it is installed."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_typecheck_gate_exits_zero_or_fails_loud():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "typecheck.py")],
+        capture_output=True, text=True)
+    if importlib.util.find_spec("mypy") is None:
+        assert proc.returncode == 0
+        assert "skipping" in proc.stdout
+    else:
+        # Where mypy exists (CI), the starter subset must be clean.
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_config_is_pinned_in_pyproject():
+    text = (REPO / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in text
+    for target in ("src/repro/sim", "src/repro/faults", "src/repro/lint"):
+        assert target in text

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Standalone launcher for simlint (stdlib only, no install needed).
+
+Equivalent to ``presto lint``; exists so CI and pre-commit hooks can
+run the analyzer without the package installed::
+
+    python tools/simlint.py                 # src/ tools/ benchmarks/
+    python tools/simlint.py src/repro/sim   # one package
+    python tools/simlint.py --json          # machine-readable findings
+    python tools/simlint.py --list-rules    # the rule catalog
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  The rule catalog and
+the pragma syntax are documented in ``docs/lint.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
